@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper table/figure (or an ablation) and
+asserts the reproduced shape before timing it, so `pytest benchmarks/
+--benchmark-only` doubles as the reproduction harness.  Printed output is
+captured into EXPERIMENTS.md manually (see repo root).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Benchmarks reuse the reference constants in tests/conftest.py; make the
+# repo root importable even under plain `pytest benchmarks/` (which, unlike
+# `python -m pytest`, does not put the CWD on sys.path).
+_ROOT = str(Path(__file__).resolve().parent.parent)
+if _ROOT not in sys.path:
+    sys.path.insert(0, _ROOT)
+
+from repro.devices import XC5VLX110T, XC6VLX75T
+from repro.synth import synthesize
+from repro.workloads import build_fir, build_mips, build_sdram
+
+BUILDERS = {"fir": build_fir, "mips": build_mips, "sdram": build_sdram}
+DEVICES = {"xc5vlx110t": XC5VLX110T, "xc6vlx75t": XC6VLX75T}
+
+
+@pytest.fixture(scope="session")
+def reports():
+    """Synthesis reports for the six evaluation cases, keyed by
+    (workload, device name)."""
+    out = {}
+    for device in DEVICES.values():
+        for name, builder in BUILDERS.items():
+            out[(name, device.name)] = synthesize(
+                builder(device.family), device.family
+            )
+    return out

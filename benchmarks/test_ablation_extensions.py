@@ -1,0 +1,137 @@
+"""Ablations F–H: the paper's future-work and discussion items, quantified.
+
+* **F — automatic floorplanning** (Section V future work): the cost
+  models drive a full multi-PRR floorplan; order-optimized placement
+  keeps the static region less fragmented than naive greedy order.
+* **G — non-rectangular PRRs** (Section IV discussion): the L-shaped
+  FIR/V5 PRR beats the rectangle on area, RU and bitstream size.
+* **H — task relocation / context save-restore** (the authors' prior
+  work [5][6] this paper builds on): relocating a task between
+  compatible PRRs preserves every frame payload, and a context
+  round-trips bit-exactly.
+"""
+
+import pytest
+
+from repro.bitgen import generate_partial_bitstream
+from repro.core import find_prr, floorplan
+from repro.core.shapes import composite_bitstream_bytes, find_lshape_prr
+from repro.devices import XC5VLX110T
+from repro.devices.frames import BLOCK_TYPE_CONFIG
+from repro.relocation import (
+    ConfigMemory,
+    find_compatible_regions,
+    relocate_bitstream,
+    restore_context,
+    save_context,
+)
+
+from tests.conftest import paper_requirements
+
+
+def v5_prms():
+    return [
+        paper_requirements("fir", "virtex5"),
+        paper_requirements("mips", "virtex5"),
+        paper_requirements("sdram", "virtex5"),
+    ]
+
+
+def test_ablation_f_floorplanning(benchmark):
+    plan = benchmark(floorplan, XC5VLX110T, v5_prms())
+    assert len(plan.prrs) == 3
+    # The PR area equals the sum of the Fig. 1 minima — floorplanning adds
+    # placement, not padding.
+    solo_total = sum(
+        find_prr(XC5VLX110T, prm).size for prm in v5_prms()
+    )
+    assert plan.total_prr_cells == solo_total
+    # A usable static region remains (the LX110T is mostly static here).
+    assert plan.static_cells > 0.8 * (plan.static_cells + plan.total_prr_cells)
+    print()
+    print(plan.summary())
+
+
+def test_ablation_g_lshape(benchmark):
+    prm = paper_requirements("fir", "virtex5")
+    rect, lshape = benchmark(find_lshape_prr, XC5VLX110T, prm)
+    assert lshape.size < rect.size
+    rect_ru = rect.utilization(prm).clb
+    l_ru = lshape.utilization(prm).clb
+    assert l_ru > rect_ru
+    rect_bytes = composite_bitstream_bytes(rect)
+    l_bytes = composite_bitstream_bytes(lshape)
+    assert l_bytes < rect_bytes
+    print()
+    print(
+        f"FIR/V5 rectangle: size {rect.size}, RU_CLB {rect_ru:.1%}, "
+        f"{rect_bytes} B"
+    )
+    print(
+        f"FIR/V5 L-shape:   size {lshape.size}, RU_CLB {l_ru:.1%}, "
+        f"{l_bytes} B  ({(1 - l_bytes / rect_bytes):.1%} smaller bitstream)"
+    )
+
+
+@pytest.fixture(scope="module")
+def mips_setup():
+    placed = find_prr(XC5VLX110T, paper_requirements("mips", "virtex5"))
+    bitstream = generate_partial_bitstream(
+        XC5VLX110T, placed.region, design_name="mips"
+    )
+    return placed, bitstream
+
+
+def test_ablation_h_relocation(benchmark, mips_setup):
+    placed, bitstream = mips_setup
+    target = find_compatible_regions(XC5VLX110T, placed.region)[0]
+    moved = benchmark(relocate_bitstream, XC5VLX110T, bitstream, target)
+    assert moved.size_bytes == bitstream.size_bytes
+
+    src_mem, dst_mem = ConfigMemory(XC5VLX110T), ConfigMemory(XC5VLX110T)
+    src_mem.configure(bitstream.to_bytes())
+    dst_mem.configure(moved.to_bytes())
+    src = src_mem.region_frames(placed.region, BLOCK_TYPE_CONFIG)
+    dst = dst_mem.region_frames(target, BLOCK_TYPE_CONFIG)
+    assert [w for _, w in src] == [w for _, w in dst]
+
+
+def test_ablation_h_context_roundtrip(benchmark, mips_setup):
+    placed, bitstream = mips_setup
+    memory = ConfigMemory(XC5VLX110T)
+    memory.configure(bitstream.to_bytes())
+
+    def roundtrip():
+        context = save_context(memory, placed.region, task_name="mips")
+        restored = restore_context(XC5VLX110T, context)
+        fresh = ConfigMemory(XC5VLX110T)
+        fresh.configure(restored.to_bytes())
+        return fresh
+
+    fresh = benchmark(roundtrip)
+    assert fresh.frames == memory.frames
+
+
+def test_ablation_h_scrubbing(benchmark):
+    """SEU scrubbing built on readback + PR: inject upsets, detect via
+    golden frame signatures, repair by rewriting the partial bitstream."""
+    from repro.relocation import ConfigMemory, Scrubber
+    from repro.relocation.scrubber import inject_upsets
+
+    placed = find_prr(XC5VLX110T, paper_requirements("mips", "virtex5"))
+    bitstream = generate_partial_bitstream(
+        XC5VLX110T, placed.region, design_name="mips"
+    )
+
+    def cycle():
+        memory = ConfigMemory(XC5VLX110T)
+        memory.configure(bitstream.to_bytes())
+        scrubber = Scrubber.for_region(memory, placed.region, bitstream)
+        inject_upsets(memory, placed.region, count=3, seed=2015)
+        report = scrubber.scrub()
+        clean = scrubber.scan()
+        return report, clean
+
+    report, clean = benchmark(cycle)
+    assert report.upset_detected and report.repaired
+    assert not clean.upset_detected

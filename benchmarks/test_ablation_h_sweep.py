@@ -1,0 +1,61 @@
+"""Ablation A: PRR row count (H) vs size, fragmentation and bitstream.
+
+The paper's motivation for starting the Fig. 1 flow at H = 1 and sweeping:
+H trades width against height, changing PRR_size, internal fragmentation
+and bitstream size non-monotonically.  This bench sweeps H for FIR on the
+LX110T and reports the frontier the flow optimizes over.
+"""
+
+from repro.core import (
+    InfeasibleGeometryError,
+    bitstream_size_bytes,
+    prr_geometry_for_rows,
+    utilization,
+)
+from repro.devices import XC5VLX110T
+from repro.reports.tables import render_grid
+
+from tests.conftest import paper_requirements
+
+
+def sweep_fir_h():
+    prm = paper_requirements("fir", "virtex5")
+    rows = []
+    for h in range(1, XC5VLX110T.rows + 1):
+        try:
+            geometry = prr_geometry_for_rows(
+                prm, XC5VLX110T.family, h, single_dsp_column=True
+            )
+        except InfeasibleGeometryError:
+            rows.append({"H": h, "feasible": False})
+            continue
+        ru = utilization(prm, geometry)
+        rows.append(
+            {
+                "H": h,
+                "feasible": True,
+                "W": geometry.width,
+                "size": geometry.size,
+                "RU_CLB_pct": round(ru.clb * 100),
+                "bitstream_bytes": bitstream_size_bytes(geometry),
+            }
+        )
+    return rows
+
+
+def test_h_sweep(benchmark):
+    rows = benchmark(sweep_fir_h)
+    feasible = [r for r in rows if r["feasible"]]
+    # Eq. (4) gates H >= 4.
+    assert [r["H"] for r in rows if not r["feasible"]] == [1, 2, 3]
+    # The H = 5 point is the global size and bitstream minimum.
+    best_size = min(feasible, key=lambda r: r["size"])
+    best_bytes = min(feasible, key=lambda r: r["bitstream_bytes"])
+    assert best_size["H"] == 5
+    assert best_bytes["H"] == 5
+    # Oversizing is real: the worst feasible H costs more area and bytes.
+    worst = max(feasible, key=lambda r: r["size"])
+    assert worst["size"] > best_size["size"]
+    assert worst["bitstream_bytes"] > best_bytes["bitstream_bytes"]
+    print()
+    print(render_grid(rows))

@@ -1,0 +1,108 @@
+"""Ablation N: preemptive hardware multitasking with context costs.
+
+Integrates the FCCM'13 context save/restore mechanism [5] into the
+scheduler and measures the tradeoff on a two-class workload (urgent
+control tasks vs long background compute sharing one PRR):
+
+* preemption cuts urgent-class response dramatically;
+* the price — context save (frame readback) + restore (re-write) — is
+  charged per preemption and is proportional to the PRR's frame count,
+  linking the benefit of *small, right-sized PRRs* (the paper's thesis)
+  to preemption overhead as well.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.params import PRMRequirements
+from repro.core.prr_model import PRRGeometry
+from repro.devices import VIRTEX5
+from repro.devices.resources import ResourceVector
+from repro.multitask import (
+    HwTask,
+    PriorityJob,
+    context_bytes,
+    simulate_preemptive,
+)
+
+PRR = PRRGeometry(VIRTEX5, rows=1, columns=ResourceVector(clb=4))
+PRM = PRMRequirements("task", 200, 150, 120)
+
+
+def two_class_workload(seed=2015, horizon=1.0):
+    rng = np.random.default_rng(seed)
+    jobs = []
+    job_id = 0
+    # Background: long jobs arriving steadily.
+    t = 0.0
+    while t < horizon:
+        jobs.append(
+            PriorityJob(
+                HwTask(PRM, exec_seconds=0.05),
+                arrival_seconds=t,
+                priority=9,
+                job_id=job_id,
+            )
+        )
+        job_id += 1
+        t += 0.06
+    # Urgent: short sporadic jobs.
+    t = 0.013
+    while t < horizon:
+        jobs.append(
+            PriorityJob(
+                HwTask(PRM, exec_seconds=0.002),
+                arrival_seconds=t,
+                priority=1,
+                job_id=job_id,
+            )
+        )
+        job_id += 1
+        t += float(rng.uniform(0.08, 0.15))
+    return jobs
+
+
+def run_both():
+    jobs = two_class_workload()
+    preemptive = simulate_preemptive(jobs, [PRR], allow_preemption=True)
+    cooperative = simulate_preemptive(jobs, [PRR], allow_preemption=False)
+    return preemptive, cooperative
+
+
+def test_preemption_tradeoff(benchmark):
+    preemptive, cooperative = benchmark(run_both)
+    urgent_p = float(np.mean(preemptive.response_seconds(priority=1)))
+    urgent_c = float(np.mean(cooperative.response_seconds(priority=1)))
+    assert preemptive.preemption_count > 0
+    # Urgent response improves by a large factor under preemption.
+    assert urgent_c / urgent_p > 3
+    # Context overhead is real but small relative to the horizon.
+    assert 0 < preemptive.context_overhead_seconds < 0.1
+    print()
+    print(
+        f"urgent mean response: preemptive {urgent_p * 1e3:.2f} ms vs "
+        f"cooperative {urgent_c * 1e3:.2f} ms "
+        f"({urgent_c / urgent_p:.1f}x); "
+        f"{preemptive.preemption_count} preemptions, context overhead "
+        f"{preemptive.context_overhead_seconds * 1e3:.2f} ms"
+    )
+
+
+def test_context_cost_scales_with_prr_size():
+    """Right-sized PRRs preempt cheaper — the paper's thesis extended to
+    preemption overhead."""
+    small = PRRGeometry(VIRTEX5, rows=1, columns=ResourceVector(clb=3))
+    large = PRRGeometry(VIRTEX5, rows=4, columns=ResourceVector(clb=6))
+    assert context_bytes(large) == 8 * context_bytes(small)
+
+
+def test_both_modes_complete_everything():
+    preemptive, cooperative = run_both()
+    assert len(preemptive.completed) == len(cooperative.completed)
+    total_exec = pytest.approx(
+        sum(j.task.exec_seconds for j, _, _ in preemptive.completed)
+    )
+    assert (
+        sum(j.task.exec_seconds for j, _, _ in cooperative.completed)
+        == total_exec
+    )

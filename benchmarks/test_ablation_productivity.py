@@ -1,0 +1,80 @@
+"""Ablation O: the designer-productivity claim, quantified.
+
+"Even though complete implementation provides highly accurate design
+analysis ... this PR design flow can take hours to days ... to implement
+a single PR partitioning" while the cost models let designers evaluate a
+partitioning from a synthesis report in negligible time (Section I and
+Table VIII).
+
+This bench evaluates a 15-design exploration (5 set partitions x 3
+candidate H policies would be typical) two ways:
+
+* **cost-model path**: measured wall time of the actual Python evaluation
+  (microseconds per design);
+* **full-flow path**: the modelled per-design implementation time
+  (Table VIII's MAP/PAR minutes), which every candidate would pay without
+  the models.
+
+Reported: the exploration speedup factor — the paper's whole raison
+d'être.
+"""
+
+import time
+
+from repro.core import evaluate_partition, iter_set_partitions
+from repro.devices import XC5VLX110T
+from repro.par.flow import simulated_implementation_seconds
+from repro.synth.xst import simulated_synthesis_seconds
+
+from tests.conftest import paper_requirements
+
+
+def evaluate_design_space():
+    prms = [
+        paper_requirements("fir", "virtex5"),
+        paper_requirements("mips", "virtex5"),
+        paper_requirements("sdram", "virtex5"),
+    ]
+    designs = []
+    for partition in iter_set_partitions(range(len(prms))):
+        groups = [[prms[i] for i in group] for group in partition]
+        design = evaluate_partition(XC5VLX110T, groups)
+        if design is not None:
+            designs.append(design)
+    return designs
+
+
+def test_exploration_speedup(benchmark):
+    start = time.perf_counter()
+    designs = evaluate_design_space()
+    model_seconds = time.perf_counter() - start
+    benchmark(evaluate_design_space)
+
+    assert designs
+    # Without the models, every candidate PRR of every design would run
+    # the full flow: synthesis once per PRM + implementation per PRR.
+    synthesis_cost = 3 * simulated_synthesis_seconds(40, 1500)
+    full_flow_seconds = synthesis_cost + sum(
+        simulated_implementation_seconds(
+            assignment.placement.geometry.luts_available // 2, 0.8
+        )
+        for design in designs
+        for assignment in design.assignments
+    )
+    speedup = full_flow_seconds / max(model_seconds, 1e-9)
+    # The models replace tool-hours with sub-second evaluation: >= 1000x.
+    assert speedup > 1_000
+    print()
+    print(
+        f"{len(designs)} feasible designs: cost models "
+        f"{model_seconds * 1e3:.1f} ms vs full flow "
+        f"~{full_flow_seconds / 60:.0f} min -> {speedup:,.0f}x"
+    )
+
+
+def test_single_design_model_latency(benchmark):
+    """One design evaluation stays in the millisecond range."""
+    designs = benchmark(evaluate_design_space)
+    assert designs
+    if benchmark.stats:
+        assert benchmark.stats["mean"] < 0.5

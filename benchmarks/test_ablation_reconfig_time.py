@@ -1,0 +1,109 @@
+"""Ablation C: reconfiguration time — our simulator vs prior-work models.
+
+Puts the paper's Section II related-work landscape on one axis: for the
+Table VII bitstreams, compare the icap simulator ("measured") against the
+Papadimitriou, Claus and Duhem/FaRM analytical models and the Liu design
+comparison.  Reproduced shapes:
+
+* DMA-class controllers beat CPU-copy ICAP by >5x and PC/JTAG by >100x;
+* the Claus busy-factor model is accurate when the ICAP is the bottleneck
+  and wildly optimistic when storage is (the paper's criticism);
+* the Papadimitriou media model lands in its own reported 30–60% error
+  band for media-bound transfers;
+* FaRM-style compression cuts preload time proportionally.
+"""
+
+import pytest
+
+from repro.baselines import claus, duhem_farm, liu_dma, papadimitriou
+from repro.icap import (
+    COMPACT_FLASH,
+    DDR_SDRAM,
+    DmaIcapController,
+    IcapController,
+    simulate_reconfiguration,
+)
+
+TABLE7 = {
+    ("fir", "xc5vlx110t"): 83040,
+    ("mips", "xc5vlx110t"): 157272,
+    ("sdram", "xc5vlx110t"): 18016,
+    ("fir", "xc6vlx75t"): 76928,
+    ("mips", "xc6vlx75t"): 188728,
+    ("sdram", "xc6vlx75t"): 23792,
+}
+
+
+def full_comparison():
+    rows = []
+    for (prm, device), nbytes in TABLE7.items():
+        measured = simulate_reconfiguration(
+            nbytes, DmaIcapController(), DDR_SDRAM
+        ).total_seconds
+        rows.append(
+            {
+                "prm": prm,
+                "device": device,
+                "bytes": nbytes,
+                "measured_us": measured * 1e6,
+                "claus_us": claus.estimate(nbytes).seconds * 1e6,
+                "papadimitriou_cf_us": papadimitriou.estimate(
+                    nbytes, COMPACT_FLASH
+                ).seconds
+                * 1e6,
+                "farm_us": duhem_farm.estimate(nbytes).seconds * 1e6,
+            }
+        )
+    return rows
+
+
+def test_prior_work_comparison(benchmark):
+    rows = benchmark(full_comparison)
+    for row in rows:
+        # ICAP-bound case: Claus is within ~10% of measured.
+        assert row["claus_us"] == pytest.approx(row["measured_us"], rel=0.10)
+        # FaRM (overlapped, ICAP-bound) likewise tracks measured.
+        assert row["farm_us"] == pytest.approx(row["measured_us"], rel=0.10)
+
+
+def test_claus_fails_off_domain():
+    """'the method is only valid if the ICAP is the limiting factor'."""
+    nbytes = TABLE7[("mips", "xc5vlx110t")]
+    model = claus.estimate(nbytes).seconds
+    measured = simulate_reconfiguration(
+        nbytes, DmaIcapController(), COMPACT_FLASH
+    ).total_seconds
+    assert measured / model > 50
+
+
+def test_papadimitriou_error_band():
+    nbytes = TABLE7[("fir", "xc5vlx110t")]
+    model = papadimitriou.estimate(nbytes, COMPACT_FLASH).seconds
+    measured = simulate_reconfiguration(
+        nbytes, DmaIcapController(), COMPACT_FLASH
+    ).total_seconds
+    error = abs(model - measured) / measured
+    assert 0.30 <= error <= 0.60
+
+
+def test_liu_design_space(benchmark):
+    points = benchmark(liu_dma.compare_designs, TABLE7[("mips", "xc5vlx110t")])
+    by_name = {p.design: p.seconds for p in points}
+    assert by_name["cpu_icap"] / by_name["dma_icap"] > 5
+    assert by_name["pc_jtag"] / by_name["dma_icap"] > 100
+
+
+def test_farm_compression_sweep():
+    nbytes = TABLE7[("mips", "xc6vlx75t")]
+    previous = float("inf")
+    for ratio in (1.0, 0.8, 0.6, 0.4):
+        preload = duhem_farm.estimate(nbytes, compression_ratio=ratio).preload_seconds
+        assert preload < previous
+        previous = preload
+
+
+def test_cpu_icap_efficiency_matters():
+    nbytes = TABLE7[("fir", "xc6vlx75t")]
+    slow = simulate_reconfiguration(nbytes, IcapController(), DDR_SDRAM)
+    fast = simulate_reconfiguration(nbytes, DmaIcapController(), DDR_SDRAM)
+    assert slow.total_seconds / fast.total_seconds > 5

@@ -1,0 +1,83 @@
+"""Ablation P: regression recovery of the Table IV constants.
+
+The repro brief calls the paper's contribution "simple regression
+models"; this bench makes that literal.  Eq. (18) is linear in the PRR
+geometry, so the family constants are recoverable by least squares from
+measured bitstream sizes alone — which is exactly how a user would port
+the model to a family whose configuration guide does not document them.
+
+Recovered here from generated (measured) Virtex-5 bitstreams:
+CF_CLB = 36, CF_DSP = 28, IW+FW = 30, FAR_FDRI = 5, and — using the
+parser's per-section split — CF_BRAM = 30 and DF_BRAM = 128, all exact.
+"""
+
+from repro.bitgen import generate_partial_bitstream, parse_bitstream
+from repro.core import SizeSample, fit_family_constants
+from repro.devices import XC5VLX110T
+from repro.devices.fabric import Region
+from repro.devices.resources import ResourceVector
+
+GEOMETRIES = [
+    (1, ResourceVector(clb=1)),
+    (2, ResourceVector(clb=3)),
+    (1, ResourceVector(clb=2, dsp=1)),
+    (1, ResourceVector(clb=2, bram=1)),
+    (4, ResourceVector(clb=5, bram=1)),
+    (1, ResourceVector(clb=17, dsp=1, bram=2)),
+    (2, ResourceVector(clb=2, bram=1)),
+    (3, ResourceVector(clb=17, dsp=1, bram=2)),
+]
+
+
+def measure_and_fit():
+    samples = []
+    for rows, columns in GEOMETRIES:
+        col = XC5VLX110T.find_column_window(columns)
+        assert col is not None
+        region = Region(row=1, col=col, height=rows, width=columns.total)
+        bitstream = generate_partial_bitstream(XC5VLX110T, region)
+        parsed = parse_bitstream(bitstream.to_bytes())
+        samples.append(
+            SizeSample(
+                rows=rows,
+                columns=columns,
+                total_bytes=bitstream.size_bytes,
+                bram_init_bytes=parsed.section_bytes()["bram_initialization"],
+            )
+        )
+    return fit_family_constants(samples, frame_words=41, bytes_per_word=4)
+
+
+def test_regression_recovers_table4(benchmark):
+    fitted = benchmark(measure_and_fit)
+    assert fitted.exact  # zero residual: the model is exactly linear
+    assert fitted.cf_clb == 36
+    assert fitted.cf_dsp == 28
+    assert fitted.cf_bram == 30
+    assert fitted.df_bram == 128
+    assert fitted.header_trailer_words == 30
+    assert fitted.far_fdri_words == 5
+    print()
+    print(
+        f"recovered: CF_CLB={fitted.cf_clb} CF_DSP={fitted.cf_dsp} "
+        f"CF_BRAM={fitted.cf_bram} DF_BRAM={fitted.df_bram} "
+        f"IW+FW={fitted.header_trailer_words} "
+        f"FAR_FDRI={fitted.far_fdri_words} "
+        f"(max residual {fitted.max_residual_words:.2e} words)"
+    )
+
+
+def test_bram_split_needs_sections():
+    """Without section data, only CF_BRAM + DF_BRAM is identifiable —
+    the documented identifiability limit."""
+    samples = []
+    for rows, columns in GEOMETRIES:
+        col = XC5VLX110T.find_column_window(columns)
+        region = Region(row=1, col=col, height=rows, width=columns.total)
+        bitstream = generate_partial_bitstream(XC5VLX110T, region)
+        samples.append(
+            SizeSample(rows=rows, columns=columns, total_bytes=bitstream.size_bytes)
+        )
+    fitted = fit_family_constants(samples, frame_words=41, bytes_per_word=4)
+    assert fitted.cf_bram_plus_df == 158
+    assert fitted.cf_bram is None

@@ -1,0 +1,98 @@
+"""Ablation L: cost-model scaling with PRM size.
+
+Sweeps proportionally scaled versions of the MIPS requirements (x0.25 to
+x4) on the Virtex-5 LX110T and reports PRR size, utilization and
+bitstream size — the "bitstream grows with PRR, PRR grows in column
+quanta" staircase that motivates the models: resource needs scale
+smoothly but PRR area and bitstream size jump at column boundaries
+(internal fragmentation at work).
+"""
+
+from repro.core import (
+    PlacementNotFoundError,
+    bitstream_size_bytes,
+    find_prr,
+    utilization,
+)
+from repro.devices import XC5VLX110T
+from repro.reports.tables import render_grid
+
+from tests.conftest import paper_requirements
+
+
+def scaling_sweep():
+    base = paper_requirements("mips", "virtex5")
+    rows = []
+    for factor in (0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0):
+        prm = base.scaled(factor)
+        try:
+            placed = find_prr(XC5VLX110T, prm)
+        except PlacementNotFoundError:
+            rows.append({"scale": factor, "feasible": False})
+            continue
+        ru = utilization(prm, placed.geometry)
+        rows.append(
+            {
+                "scale": factor,
+                "feasible": True,
+                "pairs": prm.lut_ff_pairs,
+                "H": placed.geometry.rows,
+                "W": placed.geometry.width,
+                "size": placed.size,
+                "RU_CLB_pct": round(ru.clb * 100),
+                "bitstream_B": bitstream_size_bytes(placed.geometry),
+            }
+        )
+    return rows
+
+
+def test_scaling_staircase(benchmark):
+    rows = benchmark(scaling_sweep)
+    feasible = [r for r in rows if r["feasible"]]
+    assert len(feasible) >= 6
+
+    # Bitstream size is monotone in demand...
+    sizes = [r["bitstream_B"] for r in feasible]
+    assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+    # ...but grows in column quanta: distinct scales can share a size.
+    assert len(set(sizes)) < len(sizes) or any(
+        b - a > 20_000 for a, b in zip(sizes, sizes[1:])
+    )
+    # Utilization stays bounded and meaningful across the sweep.
+    for row in feasible:
+        assert 40 <= row["RU_CLB_pct"] <= 100
+    print()
+    print(render_grid(rows))
+
+
+def test_scaling_beyond_device_fails_cleanly():
+    base = paper_requirements("mips", "virtex5")
+    monster = base.scaled(100.0)
+    try:
+        find_prr(XC5VLX110T, monster)
+        assert False, "a 100x MIPS cannot fit the LX110T"
+    except PlacementNotFoundError:
+        pass
+
+
+def test_search_scales_to_large_devices(benchmark):
+    """The Fig. 1 flow stays fast on a 2000T-class fabric (12 rows,
+    ~200 columns) — early exploration must be interactive."""
+    from repro.devices import SERIES7, make_device
+
+    big = make_device(
+        "xc7v2000t_like",
+        SERIES7,
+        rows=12,
+        layout="I " + "C*4 B C*3 D C*4 " * 8 + "K " + "C*4 B C*3 D C*4 " * 8 + "I",
+        description="Virtex-7 2000T-like fabric for scaling studies.",
+    )
+    prm = paper_requirements("mips", "virtex5")  # shape-compatible demand
+
+    def run():
+        return find_prr(big, prm)
+
+    placed = benchmark(run)
+    assert big.is_valid_prr(placed.region)
+    if benchmark.stats:
+        assert benchmark.stats["mean"] < 0.05  # interactive

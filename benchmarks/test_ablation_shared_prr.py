@@ -1,0 +1,60 @@
+"""Ablation E: shared-PRR sizing and the partitioning design space.
+
+Exercises the Section III.B multi-PRM rule ("the largest W_CLB, W_DSP,
+and W_BRAM across all of the PRR's associated PRMs dictates the number of
+... columns") and the explorer built on it: sharing trades fabric area
+against per-PRM bitstream size/reconfiguration time.
+"""
+
+from repro.core import (
+    bitstream_size_bytes,
+    evaluate_shared_prr,
+    explore,
+    find_prr,
+    pareto_front,
+)
+from repro.devices import XC6VLX75T
+
+from tests.conftest import paper_requirements
+
+
+def v6_prms():
+    return [
+        paper_requirements("fir", "virtex6"),
+        paper_requirements("mips", "virtex6"),
+        paper_requirements("sdram", "virtex6"),
+    ]
+
+
+def test_shared_prr_dominates_and_costs_more_bytes(benchmark):
+    prms = v6_prms()
+    results = benchmark(evaluate_shared_prr, prms, XC6VLX75T)
+    shared_geometry = results[0].placement.geometry
+    for prm in prms:
+        solo = find_prr(XC6VLX75T, prm).geometry
+        assert shared_geometry.columns.dominates(solo.columns)
+        # Sharing inflates every member's bitstream to the shared size.
+        assert bitstream_size_bytes(shared_geometry) >= bitstream_size_bytes(solo)
+
+
+def test_sharing_saves_area(benchmark):
+    prms = v6_prms()
+    shared = benchmark(find_prr, XC6VLX75T, prms)
+    solo_total = sum(find_prr(XC6VLX75T, prm).size for prm in prms)
+    assert shared.size < solo_total
+
+
+def test_explorer_pareto_tradeoff(benchmark):
+    prms = v6_prms()
+    designs = benchmark(explore, XC6VLX75T, prms)
+    front = pareto_front(designs)
+    assert front
+    # The frontier spans the tradeoff: the min-area design is not the
+    # min-bitstream design.
+    min_area = min(designs, key=lambda d: d.total_prr_size)
+    min_bytes = min(designs, key=lambda d: d.total_bitstream_bytes)
+    assert min_area.total_bitstream_bytes >= min_bytes.total_bitstream_bytes
+    assert min_bytes.total_prr_size >= min_area.total_prr_size
+    print()
+    for design in front:
+        print(" *", design.summary())

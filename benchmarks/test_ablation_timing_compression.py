@@ -1,0 +1,116 @@
+"""Ablations J–K: PRR oversizing vs timing, and real bitstream compression.
+
+* **J — oversized PRRs impose longer routing delays** (Section I): sweep
+  the MIPS PRR from right-sized to device-height on the LX110T and report
+  the achievable frequency at each size — monotone degradation.
+* **K — FaRM compression with measured ratios** (ref. [2]): compress the
+  six Table VII bitstreams with the actual run-length coder and feed the
+  *measured* ratio into the FaRM cost model, replacing its assumed
+  constant; blank (erase) bitstreams compress >50x.
+"""
+
+from repro.bitgen import (
+    compression_ratio,
+    generate_partial_bitstream,
+)
+from repro.baselines import duhem_farm
+from repro.core import find_prr
+from repro.devices import XC5VLX110T, XC6VLX75T
+from repro.devices.fabric import Region
+from repro.synth import estimate_timing
+from repro.workloads import build_fir, build_mips, build_sdram
+
+from tests.conftest import paper_requirements
+
+
+def timing_sweep():
+    netlist = build_mips(XC5VLX110T.family)
+    placed = find_prr(XC5VLX110T, paper_requirements("mips", "virtex5"))
+    base = placed.region
+    points = []
+    for extra_rows in range(0, XC5VLX110T.rows - base.height + 1):
+        region = Region(
+            row=base.row,
+            col=base.col,
+            height=base.height + extra_rows,
+            width=base.width,
+        )
+        # Oversizing spreads the same logic thinner.
+        utilization = min(
+            1.0, 0.96 * base.height / region.height
+        )
+        timing = estimate_timing(
+            netlist, XC5VLX110T, region, pair_utilization=utilization
+        )
+        points.append((region.size, timing.fmax_mhz))
+    return points
+
+
+def test_ablation_j_oversizing_slows(benchmark):
+    points = benchmark(timing_sweep)
+    sizes = [s for s, _ in points]
+    freqs = [f for _, f in points]
+    assert sizes == sorted(sizes)
+    # The curve has a knee: the 96%-packed right-sized PRR is congestion-
+    # limited, so one extra row *helps*; beyond the knee, wire length
+    # dominates and frequency decays monotonically — the Section I
+    # "oversized PRRs impose longer routing delays" regime.
+    knee = freqs.index(max(freqs))
+    assert knee <= 1
+    assert all(a >= b for a, b in zip(freqs[knee:], freqs[knee + 1 :]))
+    # Gross oversizing loses > 40% of the achievable frequency.
+    assert freqs[-1] < 0.6 * max(freqs)
+    print()
+    for size, fmax in points:
+        print(f"  PRR size {size:3}: {fmax:6.1f} MHz")
+
+
+def measured_ratios():
+    cases = [
+        (XC5VLX110T, build_fir, "fir"),
+        (XC5VLX110T, build_mips, "mips"),
+        (XC5VLX110T, build_sdram, "sdram"),
+        (XC6VLX75T, build_fir, "fir"),
+        (XC6VLX75T, build_mips, "mips"),
+        (XC6VLX75T, build_sdram, "sdram"),
+    ]
+    out = {}
+    for device, builder, name in cases:
+        prm = paper_requirements(name, device.family.name)
+        placed = find_prr(device, prm)
+        bitstream = generate_partial_bitstream(
+            device, placed.region, design_name=name
+        )
+        out[(name, device.name)] = (
+            bitstream.size_bytes,
+            compression_ratio(bitstream),
+        )
+    return out
+
+
+def test_ablation_k_compression(benchmark):
+    ratios = benchmark(measured_ratios)
+    for (name, device), (nbytes, ratio) in ratios.items():
+        assert 0.0 < ratio < 1.0
+        # Feeding the measured ratio into FaRM cuts its preload estimate.
+        plain = duhem_farm.estimate(nbytes).preload_seconds
+        packed = duhem_farm.estimate(
+            nbytes, compression_ratio=ratio
+        ).preload_seconds
+        assert packed < plain
+    print()
+    for (name, device), (nbytes, ratio) in sorted(ratios.items()):
+        print(f"  {name:6} {device:11} {nbytes:7} B -> ratio {ratio:.3f}")
+
+
+def test_ablation_k_blank_bitstream_extreme():
+    prm = paper_requirements("mips", "virtex5")
+    placed = find_prr(XC5VLX110T, prm)
+    family = XC5VLX110T.family
+    blank = generate_partial_bitstream(
+        XC5VLX110T,
+        placed.region,
+        design_name="blank",
+        payload_fn=lambda bt, far: [0] * family.frame_words,
+    )
+    assert compression_ratio(blank) < 0.02  # > 50x on erase bitstreams

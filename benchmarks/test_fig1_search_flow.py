@@ -1,0 +1,45 @@
+"""Fig. 1: the PRR size/organization search flow.
+
+Replays the flow (H sweep + fabric scan) for all six evaluation cases and
+asserts its decisive behaviours: the eq. (4) single-DSP-column constraint
+gating FIR/V5 to H >= 4, and the smallest-size selection preferring H=5
+(size 15) over the also-feasible H=4 (size 16).
+"""
+
+from repro.reports.figures import fig1_traces
+
+
+def test_fig1_flow_replay(benchmark):
+    traces = benchmark(fig1_traces)
+    assert len(traces) == 6
+
+    fir_v5 = traces[("fir", "xc5vlx110t")]
+    by_h = {rows: (geom, placed) for rows, geom, placed in fir_v5.steps}
+    # H = 1..3 infeasible by the single-DSP-column rule (eq. (4)).
+    for h in (1, 2, 3):
+        assert by_h[h][0] is None
+    # H = 4 feasible with size 16; H = 5 feasible with size 15 -> selected.
+    assert by_h[4][0].size == 16 and by_h[4][1]
+    assert by_h[5][0].size == 15 and by_h[5][1]
+    assert fir_v5.selected.geometry.rows == 5
+    assert fir_v5.selected.size == 15
+
+    # All single-row cases select H = 1 immediately.
+    for key in (("mips", "xc5vlx110t"), ("sdram", "xc5vlx110t"),
+                ("fir", "xc6vlx75t"), ("mips", "xc6vlx75t"),
+                ("sdram", "xc6vlx75t")):
+        assert traces[key].selected.geometry.rows == 1
+
+    print()
+    print(fir_v5.render())
+
+
+def test_fig1_search_scales_with_device(benchmark):
+    """The search is fast even over every H on the taller device."""
+    from repro.core import search_with_trace
+    from repro.devices import XC5VLX110T
+    from tests.conftest import paper_requirements
+
+    prm = paper_requirements("fir", "virtex5")
+    trace = benchmark(search_with_trace, XC5VLX110T, prm)
+    assert len(trace.steps) == 8

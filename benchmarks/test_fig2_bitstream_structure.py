@@ -1,0 +1,51 @@
+"""Fig. 2: the partial bitstream structure.
+
+Regenerates the figure's example — a two-row PRR containing CLB, DSP and
+BRAM columns on a Virtex-5 — and asserts the documented block sequence:
+initial words, then per row a configuration block (FAR/FDRI + frames +
+flush) and a BRAM initialization block, then the final words.
+"""
+
+from repro.reports.figures import fig2_structure, render_fig2
+
+
+def test_fig2_structure(benchmark):
+    parsed = benchmark(fig2_structure)
+    # "a sample partial bitstream structure for a PRR with two rows that
+    # contain CLBs, DSPs, and BRAMs"
+    assert parsed.rows == 2
+    assert len(parsed.bram_blocks) == 2
+    assert parsed.initial_words == 16
+    assert parsed.final_words == 14
+    assert parsed.crc_checked and parsed.crc_ok
+
+    # Block interleaving: per row, config block then BRAM block.
+    kinds = [block.is_bram_content for block in parsed.blocks]
+    assert kinds == [False, True, False, True]
+
+    # Every preamble is the 5-word FAR/FDRI sequence of eq. (19)/(23).
+    for block in parsed.blocks:
+        assert block.preamble_words == 5
+
+    # Data bursts carry whole frames plus exactly one flush frame.
+    frame_words = 41
+    for block in parsed.blocks:
+        assert block.data_words % frame_words == 0
+        assert block.data_words // frame_words >= 2
+
+    print()
+    print(render_fig2(parsed))
+
+
+def test_fig2_generation_throughput(benchmark):
+    """Word-exact generation of the MIPS/V5 bitstream (~157 KB)."""
+    from repro.bitgen import generate_partial_bitstream
+    from repro.core import find_prr
+    from repro.devices import XC5VLX110T
+    from tests.conftest import paper_requirements
+
+    placed = find_prr(XC5VLX110T, paper_requirements("mips", "virtex5"))
+    bitstream = benchmark(
+        generate_partial_bitstream, XC5VLX110T, placed.region
+    )
+    assert bitstream.size_bytes == 157272

@@ -1,0 +1,46 @@
+"""Tables I–IV: parameter glossaries and family constants.
+
+Static tables: the benchmark times their regeneration and asserts the
+constants the paper's prose pins down.
+"""
+
+from repro.reports.tables import table1, table2, table3, table4
+
+
+def test_table1_glossary(benchmark):
+    rows = benchmark(table1)
+    assert len(rows) == 24
+
+
+def test_table2_family_constants(benchmark):
+    rows = benchmark(table2)
+    grid = {r["parameter"]: r for r in rows}
+    # Paper prose for Virtex-5: 20 CLBs / 8 DSPs / 4 BRAMs per column-row,
+    # 8 LUTs and 8 FFs per CLB.
+    assert grid["CLB_col"]["virtex5"] == 20
+    assert grid["DSP_col"]["virtex5"] == 8
+    assert grid["BRAM_col"]["virtex5"] == 4
+    assert grid["LUT_CLB"]["virtex5"] == 8
+    assert grid["FF_CLB"]["virtex5"] == 8
+    # Virtex-6 doubles row height and FF density.
+    assert grid["CLB_col"]["virtex6"] == 40
+    assert grid["FF_CLB"]["virtex6"] == 16
+
+
+def test_table3_glossary(benchmark):
+    rows = benchmark(table3)
+    assert len(rows) == 16
+
+
+def test_table4_frame_constants(benchmark):
+    rows = benchmark(table4)
+    grid = {r["parameter"]: r for r in rows}
+    # Paper prose for Virtex-5: CLB/DSP/BRAM columns have 36/28/30 frames,
+    # 128 BRAM data frames, 41-word frames, 32-bit words.
+    assert grid["CF_CLB"]["virtex5"] == 36
+    assert grid["CF_DSP"]["virtex5"] == 28
+    assert grid["CF_BRAM"]["virtex5"] == 30
+    assert grid["DF_BRAM"]["virtex5"] == 128
+    assert grid["FR_size"]["virtex5"] == 41
+    assert grid["Bytes_word"]["virtex5"] == 4
+    assert grid["FR_size"]["virtex6"] == 81

@@ -1,0 +1,58 @@
+"""Table VI: post-implementation resource counts, savings percentages and
+the re-tightening experiment outcomes.
+
+Paper findings reproduced:
+* all six original (Table V geometry) implementations place and route;
+* DSP/BRAM counts never change (0%);
+* LUT_FF savings 16.8/16.6/2.4/31.9/18.8/3.9 percent;
+* SDRAM's LUTs *increase* ~21.7% (route-thrus), FIR/V5's FFs increase 4.1%;
+* re-tightening: SDRAM unchanged, FIR saves 2/1 CLB column-cells,
+  MIPS succeeds on Virtex-5 (we save 3 columns vs the paper's 2 —
+  documented divergence) and FAILS routing on Virtex-6.
+"""
+
+import pytest
+
+from repro.reports.tables import retighten_outcomes, table6
+
+EXPECTED_PAIR_SAVINGS = {
+    ("fir", "xc5vlx110t"): 16.8,
+    ("mips", "xc5vlx110t"): 16.6,
+    ("sdram", "xc5vlx110t"): 2.4,
+    ("fir", "xc6vlx75t"): 31.9,
+    ("mips", "xc6vlx75t"): 18.8,
+    ("sdram", "xc6vlx75t"): 3.9,
+}
+
+
+def test_table6_full_regeneration(benchmark):
+    rows = benchmark(table6)
+    assert len(rows) == 6
+    for key, row in rows.items():
+        assert row["routed"], f"original implementation failed for {key}"
+        assert row["savings_pct"]["DSP_req"] == 0.0
+        assert row["savings_pct"]["BRAM_req"] == 0.0
+        assert row["savings_pct"]["LUT_FF_req"] == pytest.approx(
+            EXPECTED_PAIR_SAVINGS[key], abs=0.05
+        )
+    # The two directions the paper highlights.
+    assert rows[("sdram", "xc5vlx110t")]["savings_pct"]["LUT_req"] == pytest.approx(
+        -21.7, abs=0.1
+    )
+    assert rows[("fir", "xc5vlx110t")]["savings_pct"]["FF_req"] == pytest.approx(
+        -4.1, abs=0.1
+    )
+
+
+def test_table6_retighten_experiment(benchmark):
+    outcomes = benchmark(retighten_outcomes)
+    assert outcomes[("sdram", "xc5vlx110t")].unchanged
+    assert outcomes[("sdram", "xc6vlx75t")].unchanged
+    fir_v5 = outcomes[("fir", "xc5vlx110t")]
+    assert fir_v5.succeeded and fir_v5.clb_column_rows_saved == 2
+    fir_v6 = outcomes[("fir", "xc6vlx75t")]
+    assert fir_v6.succeeded and fir_v6.clb_column_rows_saved == 1
+    mips_v5 = outcomes[("mips", "xc5vlx110t")]
+    assert mips_v5.succeeded and mips_v5.clb_column_rows_saved == 3
+    mips_v6 = outcomes[("mips", "xc6vlx75t")]
+    assert not mips_v6.succeeded  # "MIPS failed place and route on the Virtex-6"

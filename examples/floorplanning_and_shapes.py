@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Floorplanning and non-rectangular PRRs — the paper's next steps, live.
+
+Section V: "Our future work will use our cost models as part of the
+floorplanning stage in the PR design flow."  Section IV: "Higher RUs may
+be obtained by selecting non-rectangular PRRs (such as an L or T PRR
+shape)."  This example does both:
+
+1. automatically floorplans the three paper PRMs on the LX110T (cost
+   models pick each PRR, the planner places them disjointly and keeps the
+   static region contiguous) and renders the fabric;
+2. searches an L-shaped variant of the FIR PRR and quantifies the RU and
+   bitstream gains against the rectangular Fig. 1 result, validating the
+   composite bitstream size against a generated composite bitstream.
+
+Run:  python examples/floorplanning_and_shapes.py
+"""
+
+from repro.bitgen import generate_composite_bitstream, parse_bitstream
+from repro.core import floorplan, render_floorplan
+from repro.core.shapes import composite_bitstream_bytes, find_lshape_prr
+from repro.devices import XC5VLX110T
+from repro.synth import synthesize
+from repro.workloads import build_fir, build_mips, build_sdram
+
+
+def main() -> None:
+    device = XC5VLX110T
+    family = device.family
+    prms = [
+        synthesize(build_fir(family), family).requirements,
+        synthesize(build_mips(family), family).requirements,
+        synthesize(build_sdram(family), family).requirements,
+    ]
+
+    # 1. Automatic floorplanning.
+    plan = floorplan(device, prms)
+    print(plan.summary())
+    print(render_floorplan(plan))
+    print(
+        f"\nstatic region keeps {plan.static_cells} of "
+        f"{plan.static_cells + plan.total_prr_cells} PRR-eligible cells "
+        f"(fragmentation {plan.static_fragmentation():.2f})\n"
+    )
+
+    # 2. L-shaped FIR PRR.
+    fir = prms[0]
+    rect, lshape = find_lshape_prr(device, fir)
+    rect_ru = rect.utilization(fir).clb
+    l_ru = lshape.utilization(fir).clb
+    print("FIR PRR shapes:")
+    print(
+        f"  rectangle: {rect.size:2} cells, RU_CLB {rect_ru:.1%}, "
+        f"bitstream {composite_bitstream_bytes(rect)} B"
+    )
+    print(
+        f"  L-shape:   {lshape.size:2} cells, RU_CLB {l_ru:.1%}, "
+        f"bitstream {composite_bitstream_bytes(lshape)} B"
+    )
+    for part in lshape.parts:
+        print(f"    part: {part}")
+
+    # Validate the composite model against a generated bitstream.
+    bitstream = generate_composite_bitstream(
+        device, lshape.parts, design_name="fir_l"
+    )
+    parsed = parse_bitstream(bitstream.to_bytes())
+    assert bitstream.size_bytes == composite_bitstream_bytes(lshape)
+    assert parsed.crc_ok
+    print(
+        f"  composite bitstream generated: {bitstream.size_bytes} B, "
+        f"CRC OK — model exact for non-rectangular PRRs too"
+    )
+    print(
+        "\n(The paper's caveat stands: denser packing raises routing "
+        "risk — our router would score the L's parts at "
+        f"{l_ru:.0%} pair utilization.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

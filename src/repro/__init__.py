@@ -1,0 +1,26 @@
+"""repro — partial region and bitstream cost models for PR FPGAs.
+
+A from-scratch Python reproduction of Morales-Villanueva & Gordon-Ross,
+"Partial Region and Bitstream Cost Models for Hardware Multitasking on
+Partially Reconfigurable FPGAs" (IPPS 2015), together with every substrate
+the paper's evaluation depends on: device fabric models, an XST-like
+synthesis engine, workload (PRM) generators, a place-and-route simulator,
+a word-exact partial bitstream generator/parser, reconfiguration
+controller models, prior-work baseline models and a hardware-multitasking
+simulator.
+
+Quickstart::
+
+    from repro import core, devices, synth, workloads
+
+    prm = workloads.build_fir(device_family=devices.VIRTEX5)
+    report = synth.synthesize(prm, devices.VIRTEX5)
+    result = core.evaluate_prm(report.requirements, devices.XC5VLX110T)
+    print(result.summary())
+"""
+
+from . import core, devices
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "devices", "__version__"]

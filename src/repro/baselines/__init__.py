@@ -1,0 +1,11 @@
+"""Prior-work cost models (the paper's Section II related work).
+
+* :mod:`papadimitriou` — storage-media model with 30–60% reported error;
+* :mod:`claus` — ICAP busy-factor model;
+* :mod:`duhem_farm` — FaRM two-phase (preload + write) model;
+* :mod:`liu_dma` — controller design-space comparison.
+"""
+
+from . import claus, duhem_farm, liu_dma, papadimitriou
+
+__all__ = ["papadimitriou", "claus", "duhem_farm", "liu_dma"]

@@ -1,0 +1,50 @@
+"""Claus et al. (FPL 2008) busy-factor reconfiguration model.
+
+Reference [1] of the paper: expected PRR reconfiguration time from the
+ICAP's theoretical throughput degraded by a *busy factor* — "the ICAP's
+shared resource contention for PRR reconfiguration".  The paper's
+criticism, which our benches reproduce: "the method is only valid if the
+ICAP is the limiting factor during reconfiguration" — when a slow storage
+medium bounds throughput, this model underestimates badly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClausEstimate", "estimate"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClausEstimate:
+    """Model output for one reconfiguration."""
+
+    bitstream_bytes: int
+    busy_factor: float
+    seconds: float
+
+    @property
+    def microseconds(self) -> float:
+        return self.seconds * 1e6
+
+
+def estimate(
+    bitstream_bytes: int,
+    *,
+    icap_width_bytes: int = 4,
+    icap_clock_hz: float = 100e6,
+    busy_factor: float = 0.0,
+) -> ClausEstimate:
+    """``t = S / (width * f_clk * (1 - busy_factor))``."""
+    if bitstream_bytes < 0:
+        raise ValueError("bitstream_bytes must be non-negative")
+    if icap_width_bytes <= 0 or icap_clock_hz <= 0:
+        raise ValueError("ICAP parameters must be positive")
+    if not 0 <= busy_factor < 1:
+        raise ValueError("busy_factor must be in [0, 1)")
+    throughput = icap_width_bytes * icap_clock_hz * (1 - busy_factor)
+    return ClausEstimate(
+        bitstream_bytes=bitstream_bytes,
+        busy_factor=busy_factor,
+        seconds=bitstream_bytes / throughput,
+    )

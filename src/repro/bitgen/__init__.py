@@ -1,0 +1,73 @@
+"""Bitstream substrate: word-exact partial bitstream generation and parsing.
+
+:mod:`words` — packet/register/command encodings; :mod:`crc` — the
+configuration CRC; :mod:`generator` — Fig.-2-structured partial bitstream
+writer; :mod:`parser` — disassembler with per-section byte attribution for
+model-vs-measured validation.
+"""
+
+from .compress import compress, compression_ratio, decompress
+from .crc import ConfigCrc
+from .generator import (
+    PartialBitstream,
+    frame_payload,
+    generate_composite_bitstream,
+    generate_partial_bitstream,
+)
+from .spartan import (
+    SpartanBitstream,
+    SpartanParseError,
+    generate_spartan_bitstream,
+    parse_spartan_bitstream,
+)
+from .parser import (
+    BitstreamParseError,
+    FdriBlock,
+    ParsedBitstream,
+    parse_bitstream,
+)
+from .words import (
+    BUS_WIDTH_DETECT,
+    BUS_WIDTH_SYNC,
+    Command,
+    ConfigRegister,
+    DUMMY_WORD,
+    NOOP,
+    Opcode,
+    PacketHeader,
+    SYNC_WORD,
+    decode_header,
+    type1_header,
+    type2_header,
+)
+
+__all__ = [
+    "ConfigCrc",
+    "compress",
+    "decompress",
+    "compression_ratio",
+    "PartialBitstream",
+    "generate_partial_bitstream",
+    "generate_composite_bitstream",
+    "frame_payload",
+    "ParsedBitstream",
+    "FdriBlock",
+    "parse_bitstream",
+    "BitstreamParseError",
+    "SpartanBitstream",
+    "SpartanParseError",
+    "generate_spartan_bitstream",
+    "parse_spartan_bitstream",
+    "Command",
+    "ConfigRegister",
+    "Opcode",
+    "PacketHeader",
+    "SYNC_WORD",
+    "DUMMY_WORD",
+    "NOOP",
+    "BUS_WIDTH_SYNC",
+    "BUS_WIDTH_DETECT",
+    "type1_header",
+    "type2_header",
+    "decode_header",
+]

@@ -1,0 +1,44 @@
+"""Configuration CRC.
+
+Virtex-class devices accumulate a CRC over every (register, word) write
+and compare it against the value written to the CRC register at the end of
+the bitstream.  We model this with a standard CRC-32 (the exact Xilinx
+polynomial is CRC-32C over 36-bit units; using zlib-compatible CRC-32 over
+the register-tagged byte stream preserves the protocol property that
+matters — any corrupted configuration word fails the final check).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+__all__ = ["ConfigCrc"]
+
+
+class ConfigCrc:
+    """Accumulates the configuration CRC the way the device would."""
+
+    def __init__(self) -> None:
+        self._crc = 0
+
+    def update(self, register: int, word: int) -> None:
+        """Fold one register write into the CRC."""
+        payload = bytes(
+            (
+                register & 0xFF,
+                (word >> 24) & 0xFF,
+                (word >> 16) & 0xFF,
+                (word >> 8) & 0xFF,
+                word & 0xFF,
+            )
+        )
+        self._crc = zlib.crc32(payload, self._crc)
+
+    @property
+    def value(self) -> int:
+        """Current 32-bit CRC value."""
+        return self._crc & 0xFFFFFFFF
+
+    def reset(self) -> None:
+        """The RCRC command."""
+        self._crc = 0

@@ -1,0 +1,323 @@
+"""Partial bitstream generator.
+
+Writes a word-exact Virtex-5-style partial bitstream for a placed PRR,
+following the Fig. 2 structure: initial (sync/header) words, then per PRR
+row a configuration block (FAR + CMD=WCFG + FDRI burst over every covered
+column's frames + one pipeline-flush frame) and — when the row covers BRAM
+columns — a BRAM initialization block (block-type-1 FAR + FDRI burst over
+the content frames + flush frame), then the final (CRC/desync) words.
+
+The layout constants (IW=16, FW=14, FAR_FDRI=5 words) are the same
+:class:`~repro.devices.family.DeviceFamily` fields the analytical model
+uses, so for every PRR::
+
+    len(generate_partial_bitstream(...).to_bytes())
+        == core.bitstream_model.bitstream_size_bytes(geometry)
+
+— the validation the paper could not perform against vendor documentation.
+Frame payloads are deterministic pseudo-data seeded by the design name
+(a real PRM's LUT masks/FF init values), so regeneration is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..devices.fabric import Device, Region
+from ..devices.frames import (
+    BLOCK_TYPE_BRAM_CONTENT,
+    BLOCK_TYPE_CONFIG,
+    FrameAddress,
+    frames_in_column,
+)
+from ..devices.resources import ColumnKind
+from .crc import ConfigCrc
+from .words import (
+    BUS_WIDTH_DETECT,
+    BUS_WIDTH_SYNC,
+    Command,
+    ConfigRegister,
+    DUMMY_WORD,
+    NOOP,
+    Opcode,
+    SYNC_WORD,
+    type1_header,
+    type2_header,
+)
+
+__all__ = [
+    "PartialBitstream",
+    "generate_partial_bitstream",
+    "generate_composite_bitstream",
+    "frame_payload",
+]
+
+#: Synthetic IDCODE marking our virtual devices.
+VIRTUAL_IDCODE = 0x52EB2015
+
+
+def frame_payload(seed: int, far_word: int, frame_words: int) -> list[int]:
+    """Deterministic pseudo-content for one frame.
+
+    A 32-bit xorshift stream keyed by (seed, FAR) — stable across runs and
+    platforms, which keeps bitstream regeneration reproducible.
+    """
+    state = (seed ^ (far_word * 0x9E3779B1) ^ 0xDEADBEEF) & 0xFFFFFFFF
+    if state == 0:
+        state = 0x1
+    words = []
+    for _ in range(frame_words):
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        words.append(state)
+    return words
+
+
+@dataclass(frozen=True)
+class PartialBitstream:
+    """A generated partial bitstream."""
+
+    design_name: str
+    device_name: str
+    region: Region
+    words: tuple[int, ...]
+
+    def to_bytes(self) -> bytes:
+        """Big-endian byte serialization (SelectMAP/ICAP word order)."""
+        out = bytearray()
+        for word in self.words:
+            out.extend(word.to_bytes(4, "big"))
+        return bytes(out)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.words) * 4
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+def _seed(design_name: str) -> int:
+    value = 0
+    for ch in design_name:
+        value = (value * 131 + ord(ch)) & 0xFFFFFFFF
+    return value or 0x5EED
+
+
+def _header_words(crc: ConfigCrc) -> list[int]:
+    """The IW=16 initial words: sync + IDCODE + RCRC + COR."""
+    words = [
+        DUMMY_WORD,
+        BUS_WIDTH_SYNC,
+        BUS_WIDTH_DETECT,
+        DUMMY_WORD,
+        SYNC_WORD,
+        NOOP,
+    ]
+    words.append(type1_header(Opcode.WRITE, ConfigRegister.IDCODE, 1))
+    words.append(VIRTUAL_IDCODE)
+    crc.update(ConfigRegister.IDCODE, VIRTUAL_IDCODE)
+    words.append(type1_header(Opcode.WRITE, ConfigRegister.CMD, 1))
+    words.append(int(Command.RCRC))
+    crc.reset()
+    words.append(NOOP)
+    words.append(NOOP)
+    words.append(type1_header(Opcode.WRITE, ConfigRegister.COR, 1))
+    cor_value = 0x00003FE5
+    words.append(cor_value)
+    crc.update(ConfigRegister.COR, cor_value)
+    words.append(NOOP)
+    words.append(NOOP)
+    assert len(words) == 16
+    return words
+
+
+def _trailer_words(crc: ConfigCrc) -> list[int]:
+    """The FW=14 final words: GRESTORE, DGHIGH, CRC check, DESYNC."""
+    words = [type1_header(Opcode.WRITE, ConfigRegister.CMD, 1)]
+    words.append(int(Command.GRESTORE))
+    crc.update(ConfigRegister.CMD, int(Command.GRESTORE))
+    words.append(NOOP)
+    words.append(type1_header(Opcode.WRITE, ConfigRegister.CMD, 1))
+    words.append(int(Command.DGHIGH))
+    crc.update(ConfigRegister.CMD, int(Command.DGHIGH))
+    words.append(NOOP)
+    words.append(type1_header(Opcode.WRITE, ConfigRegister.CRC, 1))
+    words.append(crc.value)
+    words.append(type1_header(Opcode.WRITE, ConfigRegister.CMD, 1))
+    words.append(int(Command.DESYNC))
+    words.extend([NOOP, NOOP, NOOP, NOOP])
+    assert len(words) == 14
+    return words
+
+
+#: Maps a (block_type, encoded FAR) to the frame's payload words.
+PayloadFn = Callable[[int, int], list[int]]
+
+
+def _row_block(
+    device: Device,
+    region: Region,
+    row: int,
+    block_type: int,
+    payload_fn: PayloadFn,
+    crc: ConfigCrc,
+) -> list[int]:
+    """One per-row block: 5-word FAR/FDRI preamble + data + flush frame.
+
+    For ``BLOCK_TYPE_CONFIG`` every covered column contributes its
+    configuration frames; for ``BLOCK_TYPE_BRAM_CONTENT`` only BRAM
+    columns contribute (their 128 initialization frames each).
+    """
+    fam = device.family
+    data_frames = sum(
+        frames_in_column(device, col, block_type) for col in region.col_span
+    )
+    if block_type == BLOCK_TYPE_BRAM_CONTENT and data_frames == 0:
+        return []
+
+    start_far = FrameAddress(
+        block_type=block_type, row=row - 1, major=region.col - 1, minor=0
+    ).encode()
+
+    burst_words = (data_frames + 1) * fam.frame_words  # +1 = flush frame
+    words = [type1_header(Opcode.WRITE, ConfigRegister.FAR, 1), start_far]
+    crc.update(ConfigRegister.FAR, start_far)
+    words.append(type1_header(Opcode.WRITE, ConfigRegister.CMD, 1))
+    words.append(int(Command.WCFG))
+    crc.update(ConfigRegister.CMD, int(Command.WCFG))
+    words.append(type2_header(Opcode.WRITE, burst_words))
+    assert len(words) == fam.far_fdri_words, "preamble must equal FAR_FDRI"
+
+    for col in region.col_span:
+        n_frames = frames_in_column(device, col, block_type)
+        for minor in range(n_frames):
+            far = FrameAddress(
+                block_type=block_type, row=row - 1, major=col - 1, minor=minor
+            ).encode()
+            payload = payload_fn(block_type, far)
+            if len(payload) != fam.frame_words:
+                raise ValueError(
+                    f"payload for FAR 0x{far:08X} has {len(payload)} words, "
+                    f"expected {fam.frame_words}"
+                )
+            for word in payload:
+                words.append(word)
+                crc.update(ConfigRegister.FDRI, word)
+    # Pipeline flush frame (all zeros) — the "+1" of eqs. (19)/(23).
+    for _ in range(fam.frame_words):
+        words.append(0)
+        crc.update(ConfigRegister.FDRI, 0)
+    return words
+
+
+def generate_partial_bitstream(
+    device: Device,
+    region: Region,
+    *,
+    design_name: str = "prm",
+    payload_fn: PayloadFn | None = None,
+) -> PartialBitstream:
+    """Generate the partial bitstream configuring *region* on *device*.
+
+    ``payload_fn(block_type, encoded_far) -> words`` supplies each frame's
+    content; the default derives deterministic pseudo-content from
+    *design_name* (a PRM's LUT masks / FF init values).  Relocation and
+    context restore pass captured frames instead
+    (:mod:`repro.relocation`).
+    """
+    if device.family.bytes_per_word != 4:
+        raise ValueError(
+            "the generator emits 32-bit configuration words; family "
+            f"{device.family.name!r} uses {device.family.bytes_per_word}-byte "
+            "words"
+        )
+    if not device.is_valid_prr(region):
+        raise ValueError(f"{region} is not a valid PRR on {device.name}")
+    if device.family.initial_words != 16 or device.family.final_words != 14:
+        raise ValueError(
+            "generator header/trailer layouts are built for IW=16/FW=14"
+        )
+
+    if payload_fn is None:
+        seed = _seed(design_name)
+        frame_words = device.family.frame_words
+
+        def payload_fn(block_type: int, far: int, _s=seed, _n=frame_words):
+            return frame_payload(_s, far, _n)
+
+    crc = ConfigCrc()
+    words = _header_words(crc)
+    for row in region.row_span:
+        words.extend(
+            _row_block(device, region, row, BLOCK_TYPE_CONFIG, payload_fn, crc)
+        )
+        words.extend(
+            _row_block(
+                device, region, row, BLOCK_TYPE_BRAM_CONTENT, payload_fn, crc
+            )
+        )
+    words.extend(_trailer_words(crc))
+    return PartialBitstream(
+        design_name=design_name,
+        device_name=device.name,
+        region=region,
+        words=tuple(words),
+    )
+
+
+def generate_composite_bitstream(
+    device: Device,
+    regions: "list[Region] | tuple[Region, ...]",
+    *,
+    design_name: str = "prm",
+    payload_fn: PayloadFn | None = None,
+) -> PartialBitstream:
+    """Generate one partial bitstream configuring several rectangles.
+
+    Used for non-rectangular (L/T-shaped) PRRs: one header and trailer,
+    then the per-row configuration/BRAM blocks of each rectangle in turn —
+    which is exactly the structure the composite bitstream model
+    (:func:`repro.core.shapes.composite_bitstream_bytes`) charges for.
+    The returned object's ``region`` field holds the first rectangle;
+    ``words`` covers all of them.
+    """
+    if not regions:
+        raise ValueError("at least one region is required")
+    if device.family.bytes_per_word != 4:
+        raise ValueError("the generator emits 32-bit configuration words")
+    for i, a in enumerate(regions):
+        if not device.is_valid_prr(a):
+            raise ValueError(f"{a} is not a valid PRR on {device.name}")
+        for b in list(regions)[i + 1 :]:
+            if a.overlaps(b):
+                raise ValueError(f"regions {a} and {b} overlap")
+
+    if payload_fn is None:
+        seed = _seed(design_name)
+        frame_words = device.family.frame_words
+
+        def payload_fn(block_type: int, far: int, _s=seed, _n=frame_words):
+            return frame_payload(_s, far, _n)
+
+    crc = ConfigCrc()
+    words = _header_words(crc)
+    for region in regions:
+        for row in region.row_span:
+            words.extend(
+                _row_block(device, region, row, BLOCK_TYPE_CONFIG, payload_fn, crc)
+            )
+            words.extend(
+                _row_block(
+                    device, region, row, BLOCK_TYPE_BRAM_CONTENT, payload_fn, crc
+                )
+            )
+    words.extend(_trailer_words(crc))
+    return PartialBitstream(
+        design_name=design_name,
+        device_name=device.name,
+        region=regions[0],
+        words=tuple(words),
+    )

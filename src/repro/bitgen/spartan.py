@@ -1,0 +1,326 @@
+"""Spartan-class 16-bit bitstream generation and parsing.
+
+Spartan-3/6 devices use a 16-bit configuration bus: "in other devices,
+such as Spartan-3/6 devices, words are 16-bit, therefore, Bytes_word must
+be adjusted according to the device family" (Section III.C).  This module
+provides a 16-bit serialization consistent with the Spartan family
+constants so eq. (18) is generator-validated on Bytes_word = 2 families
+too.
+
+Format (16-bit words; UG380-flavoured, simplified the same way the 32-bit
+generator is):
+
+* **header (IW = 16 half-words)** — dummy, the split sync word
+  (0xAA99, 0x5566), IDCODE write (2 half-words of payload), CMD=RCRC,
+  NOOP padding;
+* **per-row blocks (FAR_FDRI = 5 half-words of preamble)** — type-1 FAR
+  write carrying the 32-bit FAR as two half-words, then a two-half-word
+  type-2 FDRI header with the 32-bit burst length; data frames are
+  ``frame_words`` (= 65 for Spartan-6) half-words each, plus the flush
+  frame;
+* **trailer (FW = 14 half-words)** — GRESTORE, the CRC check (two
+  half-words), DESYNC, NOOP padding.
+
+Packet headers: ``[15:13]`` type (1 or 2), ``[12:11]`` opcode,
+``[10:5]`` register, ``[4:0]`` word count (type-1 payload half-words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.fabric import Device, Region
+from ..devices.frames import (
+    BLOCK_TYPE_BRAM_CONTENT,
+    BLOCK_TYPE_CONFIG,
+    FrameAddress,
+    frames_in_column,
+)
+from .crc import ConfigCrc
+from .words import Command, ConfigRegister
+
+__all__ = [
+    "SpartanBitstream",
+    "generate_spartan_bitstream",
+    "parse_spartan_bitstream",
+    "SpartanParseError",
+]
+
+SYNC_HI = 0xAA99
+SYNC_LO = 0x5566
+DUMMY16 = 0xFFFF
+NOOP16 = 0x2000  # type-1, opcode NOP
+
+_TYPE_SHIFT = 13
+_OP_SHIFT = 11
+_REG_SHIFT = 5
+_COUNT_MASK = 0x1F
+
+SPARTAN_IDCODE = 0x24001093  # synthetic
+
+
+class SpartanParseError(ValueError):
+    """Malformed 16-bit bitstream."""
+
+
+def _t1(register: ConfigRegister, count: int, opcode: int = 2) -> int:
+    if not 0 <= count <= _COUNT_MASK:
+        raise ValueError("type-1 half-word count out of range")
+    return (
+        (1 << _TYPE_SHIFT)
+        | (opcode << _OP_SHIFT)
+        | (int(register) << _REG_SHIFT)
+        | count
+    )
+
+
+def _t2(opcode: int = 2) -> int:
+    """Type-2 header: the 32-bit count follows in two half-words."""
+    return (2 << _TYPE_SHIFT) | (opcode << _OP_SHIFT)
+
+
+def _split32(value: int) -> tuple[int, int]:
+    return (value >> 16) & 0xFFFF, value & 0xFFFF
+
+
+@dataclass(frozen=True)
+class SpartanBitstream:
+    """A generated 16-bit-word partial bitstream."""
+
+    design_name: str
+    device_name: str
+    region: Region
+    halfwords: tuple[int, ...]
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        for halfword in self.halfwords:
+            out.extend(halfword.to_bytes(2, "big"))
+        return bytes(out)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.halfwords) * 2
+
+    def __len__(self) -> int:
+        return len(self.halfwords)
+
+
+def _frame_payload16(seed: int, far_word: int, count: int) -> list[int]:
+    state = (seed ^ (far_word * 0x9E37) ^ 0xBEEF) & 0xFFFF
+    if state == 0:
+        state = 1
+    out = []
+    for _ in range(count):
+        state ^= (state << 7) & 0xFFFF
+        state ^= state >> 9
+        state ^= (state << 8) & 0xFFFF
+        out.append(state)
+    return out
+
+
+def _seed16(name: str) -> int:
+    value = 0
+    for ch in name:
+        value = (value * 31 + ord(ch)) & 0xFFFF
+    return value or 0x5EED
+
+
+def generate_spartan_bitstream(
+    device: Device, region: Region, *, design_name: str = "prm"
+) -> SpartanBitstream:
+    """Generate the 16-bit partial bitstream configuring *region*."""
+    family = device.family
+    if family.bytes_per_word != 2:
+        raise ValueError(
+            f"family {family.name!r} uses {family.bytes_per_word}-byte "
+            "words; use generate_partial_bitstream for 32-bit families"
+        )
+    if not device.is_valid_prr(region):
+        raise ValueError(f"{region} is not a valid PRR on {device.name}")
+
+    seed = _seed16(design_name)
+    crc = ConfigCrc()
+    words: list[int] = [DUMMY16, SYNC_HI, SYNC_LO, NOOP16]
+
+    # IDCODE write (2 payload half-words).
+    words.append(_t1(ConfigRegister.IDCODE, 2))
+    for half in _split32(SPARTAN_IDCODE):
+        words.append(half)
+        crc.update(ConfigRegister.IDCODE, half)
+    # CMD = RCRC.
+    words.append(_t1(ConfigRegister.CMD, 1))
+    words.append(int(Command.RCRC))
+    crc.reset()
+    words.extend([NOOP16] * 7)
+    assert len(words) == family.initial_words
+
+    for row in region.row_span:
+        for block_type in (BLOCK_TYPE_CONFIG, BLOCK_TYPE_BRAM_CONTENT):
+            data_frames = sum(
+                frames_in_column(device, col, block_type)
+                for col in region.col_span
+            )
+            if block_type == BLOCK_TYPE_BRAM_CONTENT and data_frames == 0:
+                continue
+            far = FrameAddress(
+                block_type=block_type,
+                row=row - 1,
+                major=region.col - 1,
+                minor=0,
+            ).encode()
+            burst = (data_frames + 1) * family.frame_words
+            block = [_t1(ConfigRegister.FAR, 2)]
+            for half in _split32(far):
+                block.append(half)
+                crc.update(ConfigRegister.FAR, half)
+            block.append(_t2())
+            block.append(burst & 0xFFFF)  # low half of the 32-bit count
+            assert len(block) == family.far_fdri_words
+            # NOTE: burst counts beyond 65535 half-words would need the
+            # high half too; our PRRs stay far below that. Enforce it:
+            if burst > 0xFFFF:
+                raise ValueError("burst too large for 16-bit count field")
+            words.extend(block)
+            for col in region.col_span:
+                for minor in range(frames_in_column(device, col, block_type)):
+                    frame_far = FrameAddress(
+                        block_type=block_type,
+                        row=row - 1,
+                        major=col - 1,
+                        minor=minor,
+                    ).encode()
+                    for half in _frame_payload16(
+                        seed, frame_far, family.frame_words
+                    ):
+                        words.append(half)
+                        crc.update(ConfigRegister.FDRI, half)
+            for _ in range(family.frame_words):  # flush frame
+                words.append(0)
+                crc.update(ConfigRegister.FDRI, 0)
+
+    trailer = [_t1(ConfigRegister.CMD, 1)]
+    trailer.append(int(Command.GRESTORE))
+    crc.update(ConfigRegister.CMD, int(Command.GRESTORE))
+    trailer.append(_t1(ConfigRegister.CRC, 2))
+    trailer.extend(_split32(crc.value))
+    trailer.append(_t1(ConfigRegister.CMD, 1))
+    trailer.append(int(Command.DESYNC))
+    trailer.extend([NOOP16] * 7)
+    assert len(trailer) == family.final_words
+    words.extend(trailer)
+
+    return SpartanBitstream(
+        design_name=design_name,
+        device_name=device.name,
+        region=region,
+        halfwords=tuple(words),
+    )
+
+
+@dataclass
+class ParsedSpartanBitstream:
+    """Structural summary of a parsed 16-bit bitstream."""
+
+    total_halfwords: int
+    blocks: list[tuple[FrameAddress, int]]  #: (FAR, data half-words)
+    crc_ok: bool
+
+    @property
+    def size_bytes(self) -> int:
+        return self.total_halfwords * 2
+
+    @property
+    def rows(self) -> int:
+        return sum(1 for far, _ in self.blocks if far.block_type == 0)
+
+
+def parse_spartan_bitstream(data: bytes) -> ParsedSpartanBitstream:
+    """Parse a 16-bit bitstream produced by the generator."""
+    if len(data) % 2:
+        raise SpartanParseError("not 16-bit aligned")
+    words = [
+        int.from_bytes(data[i : i + 2], "big") for i in range(0, len(data), 2)
+    ]
+    try:
+        sync = next(
+            i
+            for i in range(len(words) - 1)
+            if words[i] == SYNC_HI and words[i + 1] == SYNC_LO
+        )
+    except StopIteration:
+        raise SpartanParseError("no sync sequence") from None
+
+    crc = ConfigCrc()
+    blocks: list[tuple[FrameAddress, int]] = []
+    crc_ok = False
+    index = sync + 2
+    desynced = False
+    while index < len(words):
+        word = words[index]
+        if word == NOOP16:
+            index += 1
+            continue
+        packet_type = (word >> _TYPE_SHIFT) & 0b111
+        register_bits = (word >> _REG_SHIFT) & 0x3F
+        count = word & _COUNT_MASK
+        if packet_type == 1:
+            try:
+                register = ConfigRegister(register_bits)
+            except ValueError:
+                raise SpartanParseError(
+                    f"unknown register {register_bits}"
+                ) from None
+            payload = words[index + 1 : index + 1 + count]
+            if len(payload) != count:
+                raise SpartanParseError("truncated type-1 payload")
+            if register is ConfigRegister.FAR:
+                if count != 2:
+                    raise SpartanParseError("FAR write must carry 2 half-words")
+                far_word = (payload[0] << 16) | payload[1]
+                current_far = FrameAddress.decode(far_word)
+                for half in payload:
+                    crc.update(ConfigRegister.FAR, half)
+                index += 1 + count
+                # Expect the type-2 FDRI burst next.
+                t2 = words[index]
+                if (t2 >> _TYPE_SHIFT) & 0b111 != 2:
+                    raise SpartanParseError("expected type-2 after FAR")
+                burst = words[index + 1]
+                data_words = words[index + 2 : index + 2 + burst]
+                if len(data_words) != burst:
+                    raise SpartanParseError("truncated FDRI burst")
+                for half in data_words:
+                    crc.update(ConfigRegister.FDRI, half)
+                blocks.append((current_far, burst))
+                index += 2 + burst
+                continue
+            if register is ConfigRegister.CRC:
+                value = (payload[0] << 16) | payload[1]
+                crc_ok = value == crc.value
+                index += 1 + count
+                continue
+            if register is ConfigRegister.CMD:
+                command = payload[0]
+                if command == Command.RCRC:
+                    crc.reset()
+                else:
+                    crc.update(ConfigRegister.CMD, command)
+                if command == Command.DESYNC:
+                    desynced = True
+                    break
+                index += 1 + count
+                continue
+            for half in payload:
+                crc.update(register, half)
+            index += 1 + count
+            continue
+        raise SpartanParseError(f"unexpected half-word 0x{word:04X}")
+
+    if not desynced:
+        raise SpartanParseError("never desynchronized")
+    if not blocks:
+        raise SpartanParseError("no FDRI blocks")
+    return ParsedSpartanBitstream(
+        total_halfwords=len(words), blocks=blocks, crc_ok=crc_ok
+    )

@@ -1,0 +1,256 @@
+"""``repro-fpga`` — command-line front end.
+
+Subcommands::
+
+    repro-fpga devices                      list catalog devices
+    repro-fpga synth fir --device xc5vlx110t      synthesize a paper PRM
+    repro-fpga estimate fir --device xc5vlx110t   run both cost models
+    repro-fpga trace mips --device xc6vlx75t      replay the Fig. 1 flow
+    repro-fpga bitgen fir --device xc5vlx110t -o fir.bit
+    repro-fpga table 5                      regenerate a paper table
+    repro-fpga explore --device xc5vlx110t  partitioning design space
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .bitgen.generator import generate_partial_bitstream
+from .core.api import evaluate_prm
+from .core.explorer import explore, pareto_front
+from .core.placement_search import find_prr, search_with_trace
+from .devices.catalog import DEVICES, get_device
+from .reports import tables as report_tables
+from .reports.figures import fig1_traces, fig2_structure, render_fig2
+from .synth.report import render_syr
+from .synth.xst import synthesize
+from .workloads import PAPER_WORKLOADS
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fpga",
+        description="PRR and bitstream cost models for PR FPGAs (IPPS'15 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list catalog devices")
+
+    for name, help_text in (
+        ("synth", "synthesize a paper PRM and print the .syr report"),
+        ("estimate", "run both cost models for a paper PRM"),
+        ("trace", "replay the Fig. 1 search flow for a paper PRM"),
+        ("bitgen", "generate the PRM's partial bitstream"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("prm", choices=sorted(PAPER_WORKLOADS))
+        p.add_argument("--device", default="xc5vlx110t", choices=sorted(DEVICES))
+        if name == "bitgen":
+            p.add_argument("-o", "--output", help="write bitstream bytes to file")
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", type=int, choices=range(1, 9))
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("number", type=int, choices=(1, 2))
+
+    p = sub.add_parser("explore", help="explore PRM->PRR partitionings")
+    p.add_argument("--device", default="xc5vlx110t", choices=sorted(DEVICES))
+
+    p = sub.add_parser(
+        "floorplan", help="floorplan all paper PRMs and render the fabric"
+    )
+    p.add_argument("--device", default="xc5vlx110t", choices=sorted(DEVICES))
+
+    p = sub.add_parser(
+        "relocate", help="demonstrate task relocation for a paper PRM"
+    )
+    p.add_argument("prm", choices=sorted(PAPER_WORKLOADS))
+    p.add_argument("--device", default="xc5vlx110t", choices=sorted(DEVICES))
+
+    p = sub.add_parser(
+        "advise", help="design-advisor findings for a paper PRM"
+    )
+    p.add_argument("prm", choices=sorted(PAPER_WORKLOADS))
+    p.add_argument("--device", default="xc5vlx110t", choices=sorted(DEVICES))
+    p.add_argument(
+        "--period-ms", type=float, default=None,
+        help="expected task swap period for reconfiguration-budget advice",
+    )
+
+    sub.add_parser("report", help="print the full reproduction report")
+    return parser
+
+
+def _cmd_devices() -> int:
+    for device in DEVICES.values():
+        print(device.summary())
+        print(f"  layout: {device.layout_string()}")
+    return 0
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    report = synthesize(PAPER_WORKLOADS[args.prm](device.family), device.family)
+    print(render_syr(report))
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    report = synthesize(PAPER_WORKLOADS[args.prm](device.family), device.family)
+    result = evaluate_prm(report.requirements, device)
+    print(result.summary())
+    for key, value in result.table5_row().items():
+        print(f"  {key:12} {value}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    report = synthesize(PAPER_WORKLOADS[args.prm](device.family), device.family)
+    print(search_with_trace(device, report.requirements).render())
+    return 0
+
+
+def _cmd_bitgen(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    report = synthesize(PAPER_WORKLOADS[args.prm](device.family), device.family)
+    placed = find_prr(device, report.requirements)
+    bitstream = generate_partial_bitstream(
+        device, placed.region, design_name=args.prm
+    )
+    print(
+        f"{args.prm} on {device.name}: {bitstream.size_bytes} bytes "
+        f"({len(bitstream)} words), region {placed.region}"
+    )
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(bitstream.to_bytes())
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    number = args.number
+    if number in (1, 2, 3, 4):
+        rows = getattr(report_tables, f"table{number}")()
+        print(report_tables.render_grid(rows))
+        return 0
+    data = getattr(report_tables, f"table{number}")()
+    rows = []
+    for (prm, device_name), cells in data.items():
+        row = {"prm": prm, "device": device_name}
+        for key, value in cells.items():
+            row[key] = value
+        rows.append(row)
+    print(report_tables.render_grid(rows))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.number == 1:
+        for trace in fig1_traces().values():
+            print(trace.render())
+            print()
+    else:
+        print(render_fig2(fig2_structure()))
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    device = get_device(args.device)
+    prms = [
+        synthesize(builder(device.family), device.family).requirements
+        for builder in PAPER_WORKLOADS.values()
+    ]
+    designs = explore(device, prms)
+    print(f"{len(designs)} feasible partitionings on {device.name}")
+    for design in pareto_front(designs):
+        print("  *", design.summary())
+    return 0
+
+
+def _cmd_floorplan(args: argparse.Namespace) -> int:
+    from .core.floorplanner import floorplan, render_floorplan
+
+    device = get_device(args.device)
+    prms = [
+        synthesize(builder(device.family), device.family).requirements
+        for builder in PAPER_WORKLOADS.values()
+    ]
+    plan = floorplan(device, prms)
+    print(plan.summary())
+    print(render_floorplan(plan))
+    return 0
+
+
+def _cmd_relocate(args: argparse.Namespace) -> int:
+    from .relocation import find_compatible_regions, relocate_bitstream
+
+    device = get_device(args.device)
+    report = synthesize(PAPER_WORKLOADS[args.prm](device.family), device.family)
+    placed = find_prr(device, report.requirements)
+    bitstream = generate_partial_bitstream(
+        device, placed.region, design_name=args.prm
+    )
+    targets = find_compatible_regions(device, placed.region)
+    print(f"{args.prm} PRR at {placed.region}")
+    print(f"{len(targets)} relocation-compatible region(s)")
+    if targets:
+        moved = relocate_bitstream(device, bitstream, targets[0])
+        print(
+            f"relocated to {targets[0]}: {moved.size_bytes} bytes "
+            f"(payloads preserved)"
+        )
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from .core.advisor import advise
+
+    device = get_device(args.device)
+    report = synthesize(PAPER_WORKLOADS[args.prm](device.family), device.family)
+    advice = advise(
+        report.requirements,
+        device,
+        task_period_seconds=(
+            args.period_ms / 1e3 if args.period_ms is not None else None
+        ),
+    )
+    print(advice.render())
+    return 0
+
+
+def _cmd_report() -> int:
+    from .reports.experiments import generate_report
+
+    print(generate_report())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "devices": lambda: _cmd_devices(),
+        "synth": lambda: _cmd_synth(args),
+        "estimate": lambda: _cmd_estimate(args),
+        "trace": lambda: _cmd_trace(args),
+        "bitgen": lambda: _cmd_bitgen(args),
+        "table": lambda: _cmd_table(args),
+        "figure": lambda: _cmd_figure(args),
+        "explore": lambda: _cmd_explore(args),
+        "floorplan": lambda: _cmd_floorplan(args),
+        "relocate": lambda: _cmd_relocate(args),
+        "advise": lambda: _cmd_advise(args),
+        "report": lambda: _cmd_report(),
+    }
+    return handlers[args.command]()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,203 @@
+"""Design advisor: every model's verdict on one PRM, with recommendations.
+
+The paper's goal is designer productivity during early PR partitioning.
+This module is the productized version: given a PRM's requirements and a
+target device it composes the PRR model, the Fig. 1 placement, the
+utilization/fragmentation analysis, the L-shape search, the bitstream and
+reconfiguration models, the routability check and the timing model into
+one :class:`Advice` object with human-readable findings, each tagged by
+severity:
+
+* ``info`` — a fact worth knowing;
+* ``suggestion`` — a concrete improvement (e.g. an L-shape saving area);
+* ``warning`` — a risk (dense packing near the routing capacity, heavy
+  fragmentation, reconfiguration dominating short task periods).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..devices.fabric import Device
+from ..par.router import DEFAULT_ROUTING_CAPACITY, ROUTING_CAPACITY
+from .api import CostModelResult, evaluate_prm
+from .params import PRMRequirements
+from .reconfig_model import ICAP_VIRTEX5_BYTES_PER_S
+from .shapes import CompositePRR, composite_bitstream_bytes, find_lshape_prr
+
+__all__ = ["Severity", "Finding", "Advice", "advise"]
+
+
+class Severity(enum.Enum):
+    INFO = "info"
+    SUGGESTION = "suggestion"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    severity: Severity
+    topic: str
+    message: str
+
+    def render(self) -> str:
+        return f"[{self.severity.value:10}] {self.topic}: {self.message}"
+
+
+@dataclass
+class Advice:
+    """The advisor's full output for one PRM on one device."""
+
+    result: CostModelResult
+    lshape: CompositePRR | None
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def suggestions(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.SUGGESTION]
+
+    def render(self) -> str:
+        lines = [self.result.summary()]
+        lines.extend(finding.render() for finding in self.findings)
+        return "\n".join(lines)
+
+
+#: RU below which a resource is called out as heavily fragmented.
+_FRAGMENTATION_THRESHOLD = 0.40
+#: Pair-utilization margin under the routing capacity that earns a warning.
+_ROUTING_MARGIN = 0.05
+
+
+def advise(
+    prm: PRMRequirements,
+    device: Device,
+    *,
+    task_period_seconds: float | None = None,
+    controller_bytes_per_s: float = ICAP_VIRTEX5_BYTES_PER_S,
+) -> Advice:
+    """Run every model and compile findings.
+
+    ``task_period_seconds`` (how often the PRM is expected to be swapped)
+    enables the reconfiguration-overhead warning.
+    """
+    result = evaluate_prm(
+        prm, device, controller_bytes_per_s=controller_bytes_per_s
+    )
+    findings: list[Finding] = []
+    geometry = result.placement.geometry
+
+    # -- geometry facts ------------------------------------------------------
+    findings.append(
+        Finding(
+            Severity.INFO,
+            "geometry",
+            f"smallest PRR is H={geometry.rows} x W={geometry.width} "
+            f"(W_CLB={geometry.columns.clb}, W_DSP={geometry.columns.dsp}, "
+            f"W_BRAM={geometry.columns.bram}), placed at row "
+            f"{result.placement.region.row}, column "
+            f"{result.placement.region.col}",
+        )
+    )
+
+    # -- fragmentation --------------------------------------------------------
+    ru = result.utilization
+    for name, value, demanded in (
+        ("CLB", ru.clb, True),
+        ("FF", ru.ff, prm.ffs > 0),
+        ("LUT", ru.lut, prm.luts > 0),
+        ("DSP", ru.dsp, prm.dsps > 0),
+        ("BRAM", ru.bram, prm.brams > 0),
+    ):
+        if demanded and value < _FRAGMENTATION_THRESHOLD:
+            findings.append(
+                Finding(
+                    Severity.WARNING,
+                    "fragmentation",
+                    f"RU_{name} is only {value:.0%} — "
+                    f"{1 - value:.0%} of the PRR's {name}s are wasted "
+                    "(column-granularity internal fragmentation)",
+                )
+            )
+
+    # -- L-shape opportunity ----------------------------------------------------
+    lshape: CompositePRR | None = None
+    rect, candidate = find_lshape_prr(device, prm)
+    if not candidate.is_rectangular and candidate.size < rect.size:
+        lshape = candidate
+        saved_bytes = composite_bitstream_bytes(rect) - composite_bitstream_bytes(
+            candidate
+        )
+        findings.append(
+            Finding(
+                Severity.SUGGESTION,
+                "shape",
+                f"an L-shaped PRR ({rect.size} -> {candidate.size} cells) "
+                f"raises RU_CLB to {candidate.utilization(prm).clb:.0%} and "
+                f"saves {saved_bytes} bitstream bytes — at increased "
+                "routing risk (Section IV caveat)",
+            )
+        )
+
+    # -- routability margin -------------------------------------------------------
+    capacity = ROUTING_CAPACITY.get(
+        device.family.name, DEFAULT_ROUTING_CAPACITY
+    )
+    pair_sites = geometry.available.clb * device.family.luts_per_clb
+    pair_utilization = prm.lut_ff_pairs / pair_sites if pair_sites else 0.0
+    if pair_utilization > capacity:
+        findings.append(
+            Finding(
+                Severity.WARNING,
+                "routing",
+                f"pair utilization {pair_utilization:.0%} exceeds the "
+                f"{device.family.name} routing capacity ({capacity:.0%}) — "
+                "expect place-and-route failure; widen the PRR",
+            )
+        )
+    elif pair_utilization > capacity - _ROUTING_MARGIN:
+        findings.append(
+            Finding(
+                Severity.WARNING,
+                "routing",
+                f"pair utilization {pair_utilization:.0%} is within "
+                f"{_ROUTING_MARGIN:.0%} of the routing capacity "
+                f"({capacity:.0%}) — densely packed PRRs may fail routing",
+            )
+        )
+
+    # -- reconfiguration budget -----------------------------------------------------
+    findings.append(
+        Finding(
+            Severity.INFO,
+            "reconfiguration",
+            f"partial bitstream {result.bitstream.total_bytes} bytes; "
+            f"{result.reconfig.microseconds:.0f} us at the configured port",
+        )
+    )
+    if task_period_seconds is not None:
+        overhead = result.reconfig.seconds / task_period_seconds
+        if overhead > 0.10:
+            findings.append(
+                Finding(
+                    Severity.WARNING,
+                    "reconfiguration",
+                    f"reconfiguration costs {overhead:.0%} of the "
+                    f"{task_period_seconds * 1e3:.1f} ms task period — PR "
+                    "may underperform a static design at this swap rate",
+                )
+            )
+        else:
+            findings.append(
+                Finding(
+                    Severity.INFO,
+                    "reconfiguration",
+                    f"reconfiguration is {overhead:.1%} of the task period",
+                )
+            )
+
+    return Advice(result=result, lshape=lshape, findings=findings)

@@ -1,0 +1,129 @@
+"""One-call convenience API over the two cost models.
+
+These helpers mirror the designer workflow of Section IV: synthesize (or
+load) a PRM's requirements, run the PRR size/organization model, then the
+bitstream size model, and read off the geometry, utilization, bitstream
+size and reconfiguration time in one structured result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.fabric import Device
+from .bitstream_model import BitstreamEstimate, estimate_bitstream
+from .params import PRMRequirements
+from .placement_search import PlacedPRR, find_prr
+from .prr_model import clb_requirement
+from .reconfig_model import (
+    ICAP_VIRTEX5_BYTES_PER_S,
+    ReconfigEstimate,
+    estimate_reconfig_time,
+)
+from .utilization import UtilizationReport, utilization
+
+__all__ = ["CostModelResult", "evaluate_prm", "evaluate_shared_prr"]
+
+
+@dataclass(frozen=True, slots=True)
+class CostModelResult:
+    """Everything both cost models say about one PRM on one device."""
+
+    prm: PRMRequirements
+    device_name: str
+    clb_req: int  #: eq. (1)
+    placement: PlacedPRR
+    utilization: UtilizationReport
+    bitstream: BitstreamEstimate
+    reconfig: ReconfigEstimate
+
+    def table5_row(self) -> dict[str, int]:
+        """The paper's Table V cells for this PRM/device pair."""
+        geometry = self.placement.geometry
+        avail = geometry.available
+        row: dict[str, int] = {
+            "LUT_FF_req": self.prm.lut_ff_pairs,
+            "DSP_req": self.prm.dsps,
+            "BRAM_req": self.prm.brams,
+            "LUT_req": self.prm.luts,
+            "FF_req": self.prm.ffs,
+            "CLB_req": self.clb_req,
+            "H_CLB": geometry.rows,
+            "W_CLB": geometry.columns.clb,
+            "H_DSP": geometry.rows if geometry.columns.dsp else 0,
+            "W_DSP": geometry.columns.dsp,
+            "H_BRAM": geometry.rows if geometry.columns.bram else 0,
+            "W_BRAM": geometry.columns.bram,
+            "CLB_avail": avail.clb,
+            "FF_avail": geometry.ffs_available,
+            "LUT_avail": geometry.luts_available,
+            "DSP_avail": avail.dsp,
+            "BRAM_avail": avail.bram,
+        }
+        row.update(self.utilization.as_percentages())
+        return row
+
+    def summary(self) -> str:
+        g = self.placement.geometry
+        return (
+            f"{self.prm.name} on {self.device_name}: H={g.rows} "
+            f"W_CLB={g.columns.clb} W_DSP={g.columns.dsp} "
+            f"W_BRAM={g.columns.bram} size={g.size} | "
+            f"bitstream={self.bitstream.total_bytes} B | "
+            f"t_reconfig={self.reconfig.microseconds:.1f} us"
+        )
+
+
+def evaluate_prm(
+    prm: PRMRequirements,
+    device: Device,
+    *,
+    controller_bytes_per_s: float = ICAP_VIRTEX5_BYTES_PER_S,
+) -> CostModelResult:
+    """Run both cost models for one PRM on one device."""
+    placement = find_prr(device, prm)
+    bitstream = estimate_bitstream(placement.geometry)
+    return CostModelResult(
+        prm=prm,
+        device_name=device.name,
+        clb_req=clb_requirement(prm, device.family),
+        placement=placement,
+        utilization=utilization(prm, placement.geometry),
+        bitstream=bitstream,
+        reconfig=estimate_reconfig_time(
+            bitstream.total_bytes, controller_bytes_per_s=controller_bytes_per_s
+        ),
+    )
+
+
+def evaluate_shared_prr(
+    prms: list[PRMRequirements],
+    device: Device,
+    *,
+    controller_bytes_per_s: float = ICAP_VIRTEX5_BYTES_PER_S,
+) -> list[CostModelResult]:
+    """Size one shared PRR for several PRMs; per-PRM utilization results.
+
+    All returned results share the same placement (and therefore the same
+    bitstream size — every PRM's partial bitstream configures the full
+    shared PRR).
+    """
+    if not prms:
+        raise ValueError("at least one PRM is required")
+    placement = find_prr(device, prms)
+    bitstream = estimate_bitstream(placement.geometry)
+    reconfig = estimate_reconfig_time(
+        bitstream.total_bytes, controller_bytes_per_s=controller_bytes_per_s
+    )
+    return [
+        CostModelResult(
+            prm=prm,
+            device_name=device.name,
+            clb_req=clb_requirement(prm, device.family),
+            placement=placement,
+            utilization=utilization(prm, placement.geometry),
+            bitstream=bitstream,
+            reconfig=reconfig,
+        )
+        for prm in prms
+    ]

@@ -1,0 +1,221 @@
+"""PR partitioning design-space exploration.
+
+Section I: "the PR partitioning design space is exponentially large and
+designers can only feasibly evaluate a subset of these designs.  To assist
+in early PR partitioning design decisions, system designers need
+system/application-level analytical or simulated models".
+
+This module is that assistant: given a set of PRMs and a target device it
+enumerates ways to group PRMs into shared PRRs (set partitions), runs the
+Fig. 1 flow per group with non-overlap constraints, evaluates each design
+with both cost models, and reports the Pareto-efficient designs over
+(total PRR area, total bitstream bytes, worst per-PRM reconfiguration
+time).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..devices.fabric import Device, Region
+from .bitstream_model import bitstream_size_bytes
+from .params import PRMRequirements
+from .placement_search import (
+    PlacedPRR,
+    PlacementNotFoundError,
+    find_prr,
+)
+from .reconfig_model import ICAP_VIRTEX5_BYTES_PER_S, estimate_reconfig_time
+from .utilization import UtilizationReport, utilization
+
+__all__ = [
+    "PRRAssignment",
+    "PartitioningDesign",
+    "iter_set_partitions",
+    "evaluate_partition",
+    "explore",
+    "pareto_front",
+]
+
+#: Exploring more PRMs than this would enumerate > 21k set partitions.
+MAX_EXHAUSTIVE_PRMS = 8
+
+
+def iter_set_partitions(items: Sequence[int]) -> Iterator[list[list[int]]]:
+    """Yield all set partitions of *items* (order-insensitive groups).
+
+    Standard recursive construction: the first item starts in its own
+    group; each later item either joins an existing group or starts a new
+    one.
+    """
+    items = list(items)
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partial in iter_set_partitions(rest):
+        for index in range(len(partial)):
+            yield partial[:index] + [[first] + partial[index]] + partial[index + 1 :]
+        yield [[first]] + partial
+
+
+@dataclass(frozen=True, slots=True)
+class PRRAssignment:
+    """One PRR of a design: the PRMs sharing it and its placed geometry."""
+
+    prms: tuple[PRMRequirements, ...]
+    placement: PlacedPRR
+
+    @property
+    def bitstream_bytes(self) -> int:
+        """Every PRM of a shared PRR reconfigures the whole PRR, so all of
+        its partial bitstreams have the same eq. (18) size."""
+        return bitstream_size_bytes(self.placement.geometry)
+
+    def utilization_of(self, prm: PRMRequirements) -> UtilizationReport:
+        return utilization(prm, self.placement.geometry)
+
+
+@dataclass(frozen=True, slots=True)
+class PartitioningDesign:
+    """A fully evaluated PR partitioning: one assignment per PRR."""
+
+    device_name: str
+    assignments: tuple[PRRAssignment, ...]
+    controller_bytes_per_s: float
+
+    @property
+    def num_prrs(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def total_prr_size(self) -> int:
+        """Sum of PRR_size over all PRRs (fabric area committed to PR)."""
+        return sum(a.placement.size for a in self.assignments)
+
+    @property
+    def total_bitstream_bytes(self) -> int:
+        """Sum over PRMs of their partial bitstream sizes."""
+        return sum(
+            a.bitstream_bytes * len(a.prms) for a in self.assignments
+        )
+
+    @property
+    def worst_reconfig_seconds(self) -> float:
+        """Largest single-PRM reconfiguration time in the design."""
+        if not self.assignments:
+            return 0.0
+        worst_bytes = max(a.bitstream_bytes for a in self.assignments)
+        return estimate_reconfig_time(
+            worst_bytes, controller_bytes_per_s=self.controller_bytes_per_s
+        ).seconds
+
+    @property
+    def objectives(self) -> tuple[int, int, float]:
+        """(area, bitstream bytes, worst reconfig time) minimization tuple."""
+        return (
+            self.total_prr_size,
+            self.total_bitstream_bytes,
+            self.worst_reconfig_seconds,
+        )
+
+    def summary(self) -> str:
+        groups = " | ".join(
+            "+".join(prm.name for prm in a.prms)
+            + f" -> H={a.placement.geometry.rows},W={a.placement.geometry.width}"
+            for a in self.assignments
+        )
+        return (
+            f"{self.num_prrs} PRR(s): {groups} | area={self.total_prr_size} "
+            f"bytes={self.total_bitstream_bytes} "
+            f"t_max={self.worst_reconfig_seconds * 1e6:.1f}us"
+        )
+
+
+def evaluate_partition(
+    device: Device,
+    groups: Sequence[Sequence[PRMRequirements]],
+    *,
+    controller_bytes_per_s: float = ICAP_VIRTEX5_BYTES_PER_S,
+) -> PartitioningDesign | None:
+    """Place one PRR per group (non-overlapping); ``None`` if infeasible.
+
+    Groups are placed largest-first (by merged column demand) so big PRRs
+    get first pick of contiguous windows, then re-checked pairwise.
+    """
+    ordered = sorted(
+        (list(group) for group in groups),
+        key=lambda group: -max(prm.lut_ff_pairs for prm in group),
+    )
+    placed: list[PRRAssignment] = []
+    occupied: list[Region] = []
+    for group in ordered:
+        try:
+            placement = find_prr(device, group, forbidden=occupied)
+        except PlacementNotFoundError:
+            return None
+        placed.append(PRRAssignment(prms=tuple(group), placement=placement))
+        occupied.append(placement.region)
+    return PartitioningDesign(
+        device_name=device.name,
+        assignments=tuple(placed),
+        controller_bytes_per_s=controller_bytes_per_s,
+    )
+
+
+def explore(
+    device: Device,
+    prms: Sequence[PRMRequirements],
+    *,
+    controller_bytes_per_s: float = ICAP_VIRTEX5_BYTES_PER_S,
+    max_prrs: int | None = None,
+) -> list[PartitioningDesign]:
+    """Evaluate every PRM-to-PRR set partition; return feasible designs.
+
+    Designs come back sorted by the objective tuple (best first).
+    """
+    if len(prms) > MAX_EXHAUSTIVE_PRMS:
+        raise ValueError(
+            f"exhaustive exploration capped at {MAX_EXHAUSTIVE_PRMS} PRMs; "
+            f"got {len(prms)} — pre-group or shard the PRM set"
+        )
+    designs: list[PartitioningDesign] = []
+    for partition in iter_set_partitions(range(len(prms))):
+        if max_prrs is not None and len(partition) > max_prrs:
+            continue
+        groups = [[prms[i] for i in group] for group in partition]
+        design = evaluate_partition(
+            device, groups, controller_bytes_per_s=controller_bytes_per_s
+        )
+        if design is not None:
+            designs.append(design)
+    designs.sort(key=lambda d: d.objectives)
+    return designs
+
+
+def pareto_front(designs: Sequence[PartitioningDesign]) -> list[PartitioningDesign]:
+    """Designs not dominated on (area, bitstream, worst reconfig time)."""
+    front: list[PartitioningDesign] = []
+    for candidate in designs:
+        c = candidate.objectives
+        dominated = False
+        for other in designs:
+            if other is candidate:
+                continue
+            o = other.objectives
+            if all(x <= y for x, y in zip(o, c)) and o != c:
+                dominated = True
+                break
+        if not dominated and not any(
+            f.objectives == c and _same_grouping(f, candidate) for f in front
+        ):
+            front.append(candidate)
+    return front
+
+
+def _same_grouping(a: PartitioningDesign, b: PartitioningDesign) -> bool:
+    names_a = sorted(tuple(sorted(p.name for p in x.prms)) for x in a.assignments)
+    names_b = sorted(tuple(sorted(p.name for p in x.prms)) for x in b.assignments)
+    return names_a == names_b

@@ -1,0 +1,245 @@
+"""Automatic multi-PRR floorplanning — the paper's stated future work.
+
+"Our future work will use our cost models as part of the floorplanning
+stage in the PR design flow" (Section V).  This module is that stage:
+given the PRM groups of a partitioning, it sizes each PRR with the
+eq. (1)–(6) model, searches joint non-overlapping placements with the
+Fig. 1 flow, reserves a static-region budget, and scores floorplans by
+total PR area and static-region contiguity.
+
+The search enumerates placement orders for the PRR demands (largest
+first by default, with backtracking over all orders when greedy fails)
+and for each order places PRRs bottom-up/left-most with the existing
+window scan.  For the paper-scale problems (≤ ~6 PRRs) this is exact
+enough: the placement grid is coarse (rows × column windows) and the
+per-PRR candidate sets are small.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..devices.fabric import Device, Region
+from .bitstream_model import bitstream_size_bytes
+from .params import PRMRequirements
+from .placement_search import (
+    PlacedPRR,
+    PlacementNotFoundError,
+    find_prr,
+)
+
+__all__ = ["Floorplan", "FloorplanError", "floorplan", "render_floorplan"]
+
+
+class FloorplanError(LookupError):
+    """No joint placement of all PRRs exists on the device."""
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """A complete floorplan: one placed PRR per PRM group."""
+
+    device: Device
+    prrs: tuple[PlacedPRR, ...]
+    group_names: tuple[str, ...]
+
+    @property
+    def total_prr_cells(self) -> int:
+        """Fabric cells (row x column) committed to PR."""
+        return sum(prr.size for prr in self.prrs)
+
+    @property
+    def static_cells(self) -> int:
+        """Cells left to the static region (PRR-eligible columns only)."""
+        eligible = sum(
+            1 for kind in self.device.columns if kind.reconfigurable
+        ) * self.device.rows
+        return eligible - self.total_prr_cells
+
+    @property
+    def total_partial_bitstream_bytes(self) -> int:
+        return sum(bitstream_size_bytes(prr.geometry) for prr in self.prrs)
+
+    def static_fragmentation(self) -> float:
+        """Fraction of static cells NOT in the largest free rectangle.
+
+        0.0 means the static region is one contiguous rectangle (ideal for
+        timing and routing); values near 1.0 mean the PRRs shredded it.
+        """
+        free = self._free_cells()
+        total_free = sum(sum(row) for row in free)
+        if total_free == 0:
+            return 0.0
+        largest = _largest_rectangle(free)
+        return 1.0 - largest / total_free
+
+    def _free_cells(self) -> list[list[bool]]:
+        """rows x columns grid of cells free for the static region."""
+        grid = [
+            [self.device.columns[c].reconfigurable for c in range(self.device.num_columns)]
+            for _ in range(self.device.rows)
+        ]
+        for prr in self.prrs:
+            for row in prr.region.row_span:
+                for col in prr.region.col_span:
+                    grid[row - 1][col - 1] = False
+        return grid
+
+    def summary(self) -> str:
+        parts = [
+            f"{name}: H={prr.geometry.rows} W={prr.geometry.width} "
+            f"@ (row {prr.region.row}, col {prr.region.col})"
+            for name, prr in zip(self.group_names, self.prrs)
+        ]
+        return (
+            f"floorplan on {self.device.name}: "
+            + " | ".join(parts)
+            + f" | PR cells={self.total_prr_cells}"
+            + f" static frag={self.static_fragmentation():.2f}"
+        )
+
+
+def floorplan(
+    device: Device,
+    groups: Sequence[Sequence[PRMRequirements] | PRMRequirements],
+    *,
+    static_min_cells: int = 0,
+    optimize_static: bool = True,
+    max_orders: int = 24,
+) -> Floorplan:
+    """Floorplan one PRR per PRM group on *device*.
+
+    Parameters
+    ----------
+    groups:
+        One entry per PRR: a single :class:`PRMRequirements` or a sequence
+        sharing the PRR.
+    static_min_cells:
+        Minimum fabric cells (over PRR-eligible columns) that must remain
+        for the static region.
+    optimize_static:
+        When True, all placement orders (up to ``max_orders``) are tried
+        and the floorplan minimizing (total PR cells, static
+        fragmentation) is returned; when False the first feasible
+        greedy-order floorplan wins.
+
+    Raises :class:`FloorplanError` when no joint placement satisfies the
+    constraints.
+    """
+    normalized: list[list[PRMRequirements]] = [
+        [g] if isinstance(g, PRMRequirements) else list(g) for g in groups
+    ]
+    if not normalized:
+        raise ValueError("at least one PRM group is required")
+    names = tuple("+".join(p.name for p in group) for group in normalized)
+
+    indices = list(range(len(normalized)))
+    # Largest demand first is the strongest greedy order; then the rest.
+    greedy = sorted(
+        indices,
+        key=lambda i: -max(p.lut_ff_pairs for p in normalized[i]),
+    )
+    orders = [greedy]
+    if optimize_static:
+        for order in itertools.permutations(indices):
+            order = list(order)
+            if order != greedy:
+                orders.append(order)
+            if len(orders) >= max_orders:
+                break
+
+    best: Floorplan | None = None
+    best_key: tuple[int, float] | None = None
+    for order in orders:
+        candidate = _place_in_order(device, normalized, names, order)
+        if candidate is None:
+            continue
+        if candidate.static_cells < static_min_cells:
+            continue
+        key = (candidate.total_prr_cells, candidate.static_fragmentation())
+        if best_key is None or key < best_key:
+            best, best_key = candidate, key
+        if not optimize_static:
+            break
+    if best is None:
+        raise FloorplanError(
+            f"no feasible floorplan for {len(normalized)} PRRs on "
+            f"{device.name} (static_min_cells={static_min_cells})"
+        )
+    return best
+
+
+def _place_in_order(
+    device: Device,
+    groups: list[list[PRMRequirements]],
+    names: tuple[str, ...],
+    order: list[int],
+) -> Floorplan | None:
+    placed: dict[int, PlacedPRR] = {}
+    occupied: list[Region] = []
+    for index in order:
+        try:
+            prr = find_prr(device, groups[index], forbidden=occupied)
+        except PlacementNotFoundError:
+            return None
+        placed[index] = prr
+        occupied.append(prr.region)
+    ordered = tuple(placed[i] for i in range(len(groups)))
+    return Floorplan(device=device, prrs=ordered, group_names=names)
+
+
+def _largest_rectangle(grid: list[list[bool]]) -> int:
+    """Largest all-True rectangle (classic histogram sweep)."""
+    if not grid:
+        return 0
+    width = len(grid[0])
+    heights = [0] * width
+    best = 0
+    for row in grid:
+        for c in range(width):
+            heights[c] = heights[c] + 1 if row[c] else 0
+        best = max(best, _largest_in_histogram(heights))
+    return best
+
+
+def _largest_in_histogram(heights: list[int]) -> int:
+    stack: list[int] = []
+    best = 0
+    for index, height in enumerate(list(heights) + [0]):
+        start = index
+        while stack and heights[stack[-1]] >= height:
+            top = stack.pop()
+            start_index = stack[-1] + 1 if stack else 0
+            best = max(best, heights[top] * (index - start_index))
+        stack.append(index)
+    return best
+
+
+def render_floorplan(plan: Floorplan) -> str:
+    """ASCII rendering: rows top-down, one character per cell.
+
+    ``.`` static-eligible cell, ``#`` IOB/CLK column, digits/letters mark
+    each PRR's cells.
+    """
+    markers = "0123456789abcdefghijklmnopqrstuvwxyz"
+    device = plan.device
+    grid = [
+        [
+            "." if device.columns[c].reconfigurable else "#"
+            for c in range(device.num_columns)
+        ]
+        for _ in range(device.rows)
+    ]
+    for index, prr in enumerate(plan.prrs):
+        mark = markers[index % len(markers)]
+        for row in prr.region.row_span:
+            for col in prr.region.col_span:
+                grid[row - 1][col - 1] = mark
+    lines = ["".join(row) for row in reversed(grid)]  # top row first
+    legend = ", ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(plan.group_names)
+    )
+    return "\n".join(lines) + f"\n[{legend}]"

@@ -1,0 +1,252 @@
+"""The Fig. 1 search flow: find the placed PRR for a PRM on a device.
+
+"In order to produce the lowest internal fragmentation and lowest partial
+bitstream size for a PRM, H should start at H = 1 and verify if it is
+possible to distribute the CLBs, DSPs, and BRAMs in W contiguous columns
+(no IOB or CLK columns in the PRR) using (2) to (6) for the target device.
+The search for a PRR starts at the bottom of the device fabric (row = 1)
+...  If it is not possible to find a PRR for the current H, H is
+incremented and W_CLB, W_DSP (or H_DSP), and W_BRAM ... are recalculated
+and the search for the PRR starts again from the bottom of the device
+fabric."
+
+The flow therefore enumerates candidate geometries over H = 1..R, checks
+each for a physically contiguous column window (any column order), and —
+since Table V reports "the smallest PRR size and the highest RU" (e.g.
+FIR/LX110T selects H = 5, size 15, over the also-feasible H = 4, size 16) —
+keeps the feasible candidate minimizing the selected objective:
+
+* ``"size"`` (default): smallest ``PRR_size``, ties broken by smaller H,
+  then bottom-most row, then left-most column;
+* ``"bitstream"``: smallest estimated partial bitstream (eq. (18)); for
+  the paper's six PRM/device cases the two objectives agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Literal, Sequence
+
+from ..devices.fabric import Device, Region
+from .bitstream_model import bitstream_size_bytes
+from .params import PRMRequirements
+from .prr_model import (
+    InfeasibleGeometryError,
+    PRRGeometry,
+    prr_geometry_for_rows,
+)
+from .utilization import UtilizationReport, utilization
+
+__all__ = [
+    "PlacedPRR",
+    "PlacementNotFoundError",
+    "iter_feasible_placements",
+    "find_prr",
+    "SearchTrace",
+    "search_with_trace",
+]
+
+Objective = Literal["size", "bitstream"]
+
+
+class PlacementNotFoundError(LookupError):
+    """No feasible PRR placement exists on the device for the PRM(s)."""
+
+
+@dataclass(frozen=True, slots=True)
+class PlacedPRR:
+    """A feasible PRR: geometry + concrete fabric location.
+
+    ``region`` pins the PRR at fabric row ``r`` and leftmost column ``c``
+    such that ``r + H - 1 <= R`` (Section III.B).
+    """
+
+    device: Device
+    geometry: PRRGeometry
+    region: Region
+
+    def __post_init__(self) -> None:
+        if self.region.height != self.geometry.rows:
+            raise ValueError("region height must equal geometry rows")
+        if self.region.width != self.geometry.width:
+            raise ValueError("region width must equal geometry width")
+        if self.device.region_column_counts(self.region) != self.geometry.columns:
+            raise ValueError("region column mix does not match geometry")
+
+    @property
+    def size(self) -> int:
+        return self.geometry.size
+
+    @property
+    def bitstream_bytes(self) -> int:
+        """Eq. (18) estimate for this PRR."""
+        return bitstream_size_bytes(self.geometry)
+
+    def utilization_for(self, requirements: PRMRequirements) -> UtilizationReport:
+        return utilization(requirements, self.geometry)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlacedPRR({self.device.name}, H={self.geometry.rows}, "
+            f"W={self.geometry.width}, row={self.region.row}, "
+            f"col={self.region.col})"
+        )
+
+
+def iter_feasible_placements(
+    device: Device,
+    requirements: PRMRequirements | Sequence[PRMRequirements],
+    *,
+    max_rows: int | None = None,
+    forbidden: Sequence[Region] = (),
+) -> Iterator[PlacedPRR]:
+    """Yield one placement per feasible H, in increasing-H order.
+
+    For each H the bottom-most/left-most window avoiding ``forbidden``
+    regions (already-allocated PRRs or the static region) is yielded.
+    """
+    limit = device.rows if max_rows is None else min(max_rows, device.rows)
+    for rows in range(1, limit + 1):
+        try:
+            geometry = prr_geometry_for_rows(
+                requirements,
+                device.family,
+                rows,
+                single_dsp_column=device.has_single_dsp_column,
+            )
+        except InfeasibleGeometryError:
+            continue
+        placement = _place_geometry(device, geometry, forbidden)
+        if placement is not None:
+            yield placement
+
+
+def _place_geometry(
+    device: Device, geometry: PRRGeometry, forbidden: Sequence[Region]
+) -> PlacedPRR | None:
+    """Bottom-up, left-to-right scan for a window matching the geometry."""
+    if geometry.rows > device.rows:
+        return None
+    for row in range(1, device.rows - geometry.rows + 2):
+        start_col = 1
+        while True:
+            col = device.find_column_window(geometry.columns, start_col=start_col)
+            if col is None:
+                break
+            region = Region(
+                row=row, col=col, height=geometry.rows, width=geometry.width
+            )
+            if not any(region.overlaps(other) for other in forbidden):
+                return PlacedPRR(device=device, geometry=geometry, region=region)
+            start_col = col + 1
+    return None
+
+
+def find_prr(
+    device: Device,
+    requirements: PRMRequirements | Sequence[PRMRequirements],
+    *,
+    objective: Objective = "size",
+    max_rows: int | None = None,
+    forbidden: Sequence[Region] = (),
+) -> PlacedPRR:
+    """Run the Fig. 1 flow and return the best feasible placed PRR.
+
+    Raises :class:`PlacementNotFoundError` when the device cannot host any
+    feasible geometry (e.g. too few rows for a single-DSP-column demand, or
+    no contiguous column window with the right mix).
+    """
+    best: PlacedPRR | None = None
+    best_key: tuple[int, int, int, int] | None = None
+    for candidate in iter_feasible_placements(
+        device, requirements, max_rows=max_rows, forbidden=forbidden
+    ):
+        primary = (
+            candidate.size if objective == "size" else candidate.bitstream_bytes
+        )
+        key = (
+            primary,
+            candidate.geometry.rows,
+            candidate.region.row,
+            candidate.region.col,
+        )
+        if best_key is None or key < best_key:
+            best, best_key = candidate, key
+    if best is None:
+        names = _names(requirements)
+        raise PlacementNotFoundError(
+            f"no feasible PRR on {device.name} for {names} "
+            f"(objective={objective})"
+        )
+    return best
+
+
+def _names(requirements: PRMRequirements | Sequence[PRMRequirements]) -> str:
+    if isinstance(requirements, PRMRequirements):
+        return requirements.name
+    return "+".join(prm.name for prm in requirements)
+
+
+@dataclass(frozen=True, slots=True)
+class SearchTrace:
+    """Record of the Fig. 1 flow for one PRM: every H examined.
+
+    ``steps`` holds ``(H, geometry_or_None, placed)`` triples —
+    ``geometry_or_None`` is ``None`` when eq. (4) made the H infeasible,
+    and ``placed`` is ``False`` when no contiguous window existed.
+    Used by the Fig. 1 benchmark and the ``repro-fpga trace`` CLI command.
+    """
+
+    device_name: str
+    prm_name: str
+    steps: tuple[tuple[int, PRRGeometry | None, bool], ...]
+    selected: PlacedPRR
+
+    def render(self) -> str:
+        lines = [f"Fig. 1 search: {self.prm_name} on {self.device_name}"]
+        for rows, geometry, placed in self.steps:
+            if geometry is None:
+                lines.append(f"  H={rows}: infeasible (single-DSP-column rule)")
+                continue
+            status = "placed" if placed else "no contiguous window"
+            lines.append(
+                f"  H={rows}: W_CLB={geometry.columns.clb} "
+                f"W_DSP={geometry.columns.dsp} W_BRAM={geometry.columns.bram} "
+                f"W={geometry.width} size={geometry.size} -> {status}"
+            )
+        sel = self.selected
+        lines.append(
+            f"  selected: H={sel.geometry.rows} W={sel.geometry.width} "
+            f"size={sel.size} at row={sel.region.row}, col={sel.region.col}"
+        )
+        return "\n".join(lines)
+
+
+def search_with_trace(
+    device: Device,
+    requirements: PRMRequirements | Sequence[PRMRequirements],
+    *,
+    objective: Objective = "size",
+) -> SearchTrace:
+    """Run :func:`find_prr` while recording every H step (Fig. 1 replay)."""
+    steps: list[tuple[int, PRRGeometry | None, bool]] = []
+    for rows in range(1, device.rows + 1):
+        try:
+            geometry = prr_geometry_for_rows(
+                requirements,
+                device.family,
+                rows,
+                single_dsp_column=device.has_single_dsp_column,
+            )
+        except InfeasibleGeometryError:
+            steps.append((rows, None, False))
+            continue
+        placed = _place_geometry(device, geometry, ()) is not None
+        steps.append((rows, geometry, placed))
+    selected = find_prr(device, requirements, objective=objective)
+    return SearchTrace(
+        device_name=device.name,
+        prm_name=_names(requirements),
+        steps=tuple(steps),
+        selected=selected,
+    )

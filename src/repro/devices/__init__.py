@@ -1,0 +1,80 @@
+"""FPGA device fabric substrate.
+
+Everything the cost models need to know about a physical device: resource
+kinds and arithmetic (:mod:`~repro.devices.resources`), device-family
+constants — the paper's Tables II and IV (:mod:`~repro.devices.family`),
+row/column fabric layouts (:mod:`~repro.devices.fabric`), a catalog of
+concrete parts including the two evaluation devices
+(:mod:`~repro.devices.catalog`) and configuration frame addressing
+(:mod:`~repro.devices.frames`).
+"""
+
+from .family import (
+    FAMILIES,
+    SERIES7,
+    SPARTAN6,
+    VIRTEX4,
+    VIRTEX5,
+    VIRTEX6,
+    DeviceFamily,
+    get_family,
+)
+from .fabric import Device, Region, column_kind_counts
+from .catalog import (
+    DEVICES,
+    XC4VLX60,
+    XC5VLX50T,
+    XC5VLX110T,
+    XC6SLX45,
+    XC6VLX75T,
+    XC7Z020,
+    get_device,
+    make_device,
+    parse_layout,
+    synthetic_device,
+)
+from .frames import (
+    BLOCK_TYPE_BRAM_CONTENT,
+    BLOCK_TYPE_CONFIG,
+    FrameAddress,
+    RegionFrameCounts,
+    frames_in_column,
+    iter_region_frame_addresses,
+    region_frame_counts,
+)
+from .resources import PRR_COLUMN_KINDS, ColumnKind, ResourceVector
+
+__all__ = [
+    "ColumnKind",
+    "ResourceVector",
+    "PRR_COLUMN_KINDS",
+    "DeviceFamily",
+    "VIRTEX4",
+    "VIRTEX5",
+    "VIRTEX6",
+    "SERIES7",
+    "SPARTAN6",
+    "FAMILIES",
+    "get_family",
+    "Device",
+    "Region",
+    "column_kind_counts",
+    "DEVICES",
+    "get_device",
+    "make_device",
+    "parse_layout",
+    "synthetic_device",
+    "XC5VLX110T",
+    "XC6VLX75T",
+    "XC5VLX50T",
+    "XC4VLX60",
+    "XC7Z020",
+    "XC6SLX45",
+    "FrameAddress",
+    "RegionFrameCounts",
+    "BLOCK_TYPE_CONFIG",
+    "BLOCK_TYPE_BRAM_CONTENT",
+    "frames_in_column",
+    "region_frame_counts",
+    "iter_region_frame_addresses",
+]

@@ -1,0 +1,215 @@
+"""Catalog of concrete devices used in the paper and for portability tests.
+
+Column layouts are written as compact strings — one letter per column:
+``C`` = CLB, ``D`` = DSP, ``B`` = BRAM, ``I`` = IOB, ``K`` = clock — with an
+optional ``*n`` run-length repeat after a letter ("C*8" = eight CLB
+columns).
+
+The two evaluation devices reproduce the structural facts the paper relies
+on:
+
+* **XC5VLX110T** — 8 fabric rows and *exactly one DSP column* (the paper:
+  "since the Virtex-5 LX110T has only one DSP column in the device fabric,
+  we use (4) instead of (3)"); 54 CLB columns x 20 CLBs x 8 rows = 8640
+  CLBs (17280 slices, the real part's count) and 64 DSP48Es (exact).
+* **XC6VLX75T** — 3 fabric rows, multiple DSP columns; 288 DSP48E1s
+  (exact) and ~6000 CLBs (real part: 5820 — CLB/BRAM column counts are
+  approximate because exact column maps are not in the paper).
+
+Layouts place DSP and BRAM columns inside CLB runs the way real parts do,
+so every PRR geometry from the paper's Table V has a feasible contiguous
+column window.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .fabric import Device
+from .family import (
+    DeviceFamily,
+    SERIES7,
+    SPARTAN6,
+    VIRTEX4,
+    VIRTEX5,
+    VIRTEX6,
+)
+from .resources import ColumnKind
+
+__all__ = [
+    "parse_layout",
+    "make_device",
+    "synthetic_device",
+    "XC5VLX110T",
+    "XC6VLX75T",
+    "XC5VLX50T",
+    "XC4VLX60",
+    "XC7Z020",
+    "XC6SLX45",
+    "DEVICES",
+    "get_device",
+]
+
+_LETTER_TO_KIND = {
+    "C": ColumnKind.CLB,
+    "D": ColumnKind.DSP,
+    "B": ColumnKind.BRAM,
+    "I": ColumnKind.IOB,
+    "K": ColumnKind.CLK,
+}
+
+_TOKEN_RE = re.compile(r"([CDBIK])(?:\*(\d+))?")
+
+
+def parse_layout(spec: str) -> tuple[ColumnKind, ...]:
+    """Expand a compact layout spec into a column-kind tuple.
+
+    >>> parse_layout("I C*3 D I")[:2]
+    (ColumnKind.IOB, ColumnKind.CLB)
+    """
+    columns: list[ColumnKind] = []
+    cleaned = spec.replace(",", " ")
+    pos = 0
+    for token in cleaned.split():
+        match = _TOKEN_RE.fullmatch(token)
+        if not match:
+            raise ValueError(f"bad layout token {token!r} in {spec!r}")
+        letter, repeat = match.groups()
+        columns.extend([_LETTER_TO_KIND[letter]] * (int(repeat) if repeat else 1))
+        pos += 1
+    if not columns:
+        raise ValueError("layout spec expanded to zero columns")
+    return tuple(columns)
+
+
+def make_device(
+    name: str,
+    family: DeviceFamily,
+    rows: int,
+    layout: str,
+    description: str = "",
+) -> Device:
+    """Build a :class:`Device` from a compact layout spec."""
+    return Device(
+        name=name,
+        family=family,
+        rows=rows,
+        columns=parse_layout(layout),
+        description=description,
+    )
+
+
+#: Virtex-5 LX110T: 8 rows, single DSP column (evaluation device #1).
+XC5VLX110T = make_device(
+    "xc5vlx110t",
+    VIRTEX5,
+    rows=8,
+    layout="I C*6 B C*8 B C*6 D C*8 B K C*8 B C*8 B C*10 I",
+    description="Virtex-5 LX110T: 8 rows; 54 CLB cols; 1 DSP col; 5 BRAM cols.",
+)
+
+#: Virtex-6 LX75T: 3 rows, paired DSP columns (evaluation device #2).
+XC6VLX75T = make_device(
+    "xc6vlx75t",
+    VIRTEX6,
+    rows=3,
+    layout=(
+        "I C*4 B C*6 D D C*6 B C*6 D D C*6 B C*2 K "
+        "C*2 B C*6 D D C*6 B C*6 B I"
+    ),
+    description="Virtex-6 LX75T: 3 rows; 50 CLB cols; 6 DSP cols; 6 BRAM cols.",
+)
+
+#: A smaller Virtex-5 part for scaling studies.
+XC5VLX50T = make_device(
+    "xc5vlx50t",
+    VIRTEX5,
+    rows=6,
+    layout="I C*4 B C*6 B C*6 D C*6 B K C*6 B C*6 I",
+    description="Virtex-5 LX50T-like: 6 rows; 28 CLB cols; 1 DSP col.",
+)
+
+#: A Virtex-4 part exercising the Table II/IV Virtex-4 constants.
+XC4VLX60 = make_device(
+    "xc4vlx60",
+    VIRTEX4,
+    rows=8,
+    layout="I C*4 B C*8 B C*7 B D C*8 B K C*8 B C*8 C*3 I",
+    description="Virtex-4 LX60-like: 8 rows; 46 CLB cols; 1 DSP col "
+    "adjacent to a BRAM col (as on real LX parts).",
+)
+
+#: A Zynq-7000 programmable-logic fabric (7-series constants).
+XC7Z020 = make_device(
+    "xc7z020",
+    SERIES7,
+    rows=3,
+    layout=(
+        "I C*5 B C*6 D C*6 B C*6 D C*5 K C*5 D C*6 B C*6 D C*5 B I"
+    ),
+    description="Zynq-7020 PL-like fabric: 3 rows; 44 CLB cols; 4 DSP cols.",
+)
+
+#: A Spartan-6 part exercising the 16-bit-word (Bytes_word = 2) path.
+XC6SLX45 = make_device(
+    "xc6slx45",
+    SPARTAN6,
+    rows=4,
+    layout="I C*4 B C*6 D D C*6 B K C*6 C*6 B I",
+    description="Spartan-6 LX45-like: 4 rows; paired DSP columns; "
+    "16-bit configuration words.",
+)
+
+DEVICES: dict[str, Device] = {
+    device.name: device
+    for device in (XC5VLX110T, XC6VLX75T, XC5VLX50T, XC4VLX60, XC7Z020, XC6SLX45)
+}
+
+
+def get_device(name: str) -> Device:
+    """Look up a catalog device by (case-insensitive) part name."""
+    key = name.lower()
+    if key not in DEVICES:
+        raise KeyError(f"unknown device {name!r}; known: {sorted(DEVICES)}")
+    return DEVICES[key]
+
+
+def synthetic_device(
+    *,
+    rows: int,
+    clb_runs: "tuple[int, ...]",
+    dsp_positions: "tuple[int, ...]" = (),
+    bram_positions: "tuple[int, ...]" = (),
+    family: DeviceFamily = VIRTEX5,
+    name: str = "synthetic",
+) -> Device:
+    """Build a synthetic device from CLB run lengths and insert positions.
+
+    The fabric is IOB-bounded with one central CLK column.  ``clb_runs``
+    gives the CLB run lengths between special columns; ``dsp_positions``
+    and ``bram_positions`` are indices into the run boundaries (0 = after
+    the first run) where a DSP/BRAM column is inserted.  Used by property
+    tests to exercise the placement flow on arbitrary layouts.
+    """
+    if rows < 1:
+        raise ValueError("rows must be >= 1")
+    if not clb_runs or any(run < 1 for run in clb_runs):
+        raise ValueError("clb_runs must be non-empty positive lengths")
+    boundaries = len(clb_runs) - 1
+    for label, positions in (("dsp", dsp_positions), ("bram", bram_positions)):
+        for position in positions:
+            if not 0 <= position <= max(boundaries - 1, 0):
+                raise ValueError(f"{label} position {position} out of range")
+
+    tokens = ["I"]
+    for index, run in enumerate(clb_runs):
+        tokens.append(f"C*{run}")
+        if index < boundaries:
+            if index in dsp_positions:
+                tokens.append("D")
+            if index in bram_positions:
+                tokens.append("B")
+    middle = len(tokens) // 2 + 1
+    tokens.insert(middle, "K")
+    tokens.append("I")
+    return make_device(name, family, rows=rows, layout=" ".join(tokens))

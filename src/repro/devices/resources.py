@@ -1,0 +1,182 @@
+"""Resource kinds and resource-count arithmetic for FPGA fabrics.
+
+The cost models in :mod:`repro.core` reason about three reconfigurable
+resource kinds — CLBs, DSP blocks and BRAM blocks — plus the two column
+kinds (IOB and clock) that the Xilinx tools exclude from partially
+reconfigurable regions (PRRs).  This module defines the shared vocabulary:
+
+* :class:`ColumnKind` — the type of a fabric column.
+* :class:`ResourceVector` — an immutable (CLB, DSP, BRAM) count triple with
+  elementwise arithmetic, used for PRM requirements, PRR capacities and
+  utilization math throughout the library.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+
+class ColumnKind(enum.Enum):
+    """Kind of a physical fabric column.
+
+    ``CLB``, ``DSP`` and ``BRAM`` columns may be included in a PRR.  ``IOB``
+    and ``CLK`` columns may not (Section III.A of the paper: "Input/output
+    blocks (IOBs) and clock (CLK) resources are not supported as part of the
+    PRRs").
+    """
+
+    CLB = "CLB"
+    DSP = "DSP"
+    BRAM = "BRAM"
+    IOB = "IOB"
+    CLK = "CLK"
+
+    @property
+    def reconfigurable(self) -> bool:
+        """Whether a column of this kind may be part of a PRR."""
+        return self in _RECONFIGURABLE_KINDS
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ColumnKind.{self.name}"
+
+
+_RECONFIGURABLE_KINDS = frozenset(
+    {ColumnKind.CLB, ColumnKind.DSP, ColumnKind.BRAM}
+)
+
+#: Column kinds that may appear inside a PRR, in canonical order.
+PRR_COLUMN_KINDS: tuple[ColumnKind, ...] = (
+    ColumnKind.CLB,
+    ColumnKind.DSP,
+    ColumnKind.BRAM,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceVector:
+    """Immutable (clb, dsp, bram) count triple with elementwise arithmetic.
+
+    Used for PRM requirements (``CLB_req``, ``DSP_req``, ``BRAM_req``), PRR
+    capacities (``CLB_avail`` etc.) and column-count vectors
+    (``W_CLB``/``W_DSP``/``W_BRAM``).
+
+    >>> ResourceVector(clb=2, dsp=1) + ResourceVector(clb=1, bram=3)
+    ResourceVector(clb=3, dsp=1, bram=3)
+    """
+
+    clb: int = 0
+    dsp: int = 0
+    bram: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("clb", "dsp", "bram"):
+            value = getattr(self, name)
+            if not isinstance(value, int):
+                raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+
+    # -- conversions ------------------------------------------------------
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[ColumnKind | str, int]) -> "ResourceVector":
+        """Build from a mapping keyed by :class:`ColumnKind` or kind name."""
+        counts = {"clb": 0, "dsp": 0, "bram": 0}
+        for key, value in mapping.items():
+            kind = ColumnKind(key.upper()) if isinstance(key, str) else key
+            if not kind.reconfigurable:
+                raise ValueError(f"{kind} is not a PRR resource kind")
+            counts[kind.value.lower()] += value
+        return cls(**counts)
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view, useful for report rendering."""
+        return {"clb": self.clb, "dsp": self.dsp, "bram": self.bram}
+
+    def get(self, kind: ColumnKind) -> int:
+        """Count for a single PRR resource kind."""
+        if not kind.reconfigurable:
+            raise ValueError(f"{kind} is not a PRR resource kind")
+        return getattr(self, kind.value.lower())
+
+    # -- arithmetic -------------------------------------------------------
+
+    def __add__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.clb + other.clb, self.dsp + other.dsp, self.bram + other.bram
+        )
+
+    def __sub__(self, other: "ResourceVector") -> "ResourceVector":
+        return ResourceVector(
+            self.clb - other.clb, self.dsp - other.dsp, self.bram - other.bram
+        )
+
+    def __mul__(self, factor: int) -> "ResourceVector":
+        if not isinstance(factor, int):
+            return NotImplemented
+        return ResourceVector(self.clb * factor, self.dsp * factor, self.bram * factor)
+
+    __rmul__ = __mul__
+
+    def ceil_div(self, divisor: "ResourceVector") -> "ResourceVector":
+        """Elementwise ceiling division; a zero divisor requires a zero count.
+
+        This is the column-count step shared by eqs. (2), (3) and (5) of the
+        paper: ``W_x = ceil(x_req / (H * x_col))``.
+        """
+        out = {}
+        for name in ("clb", "dsp", "bram"):
+            need = getattr(self, name)
+            per = getattr(divisor, name)
+            if per == 0:
+                if need != 0:
+                    raise ZeroDivisionError(
+                        f"cannot place {need} {name.upper()}s with zero {name} capacity"
+                    )
+                out[name] = 0
+            else:
+                out[name] = math.ceil(need / per)
+        return ResourceVector(**out)
+
+    def dominates(self, other: "ResourceVector") -> bool:
+        """True when every count is >= the corresponding count of *other*."""
+        return (
+            self.clb >= other.clb and self.dsp >= other.dsp and self.bram >= other.bram
+        )
+
+    def max(self, other: "ResourceVector") -> "ResourceVector":
+        """Elementwise maximum — the multi-PRM sharing rule of Section III.B."""
+        return ResourceVector(
+            max(self.clb, other.clb),
+            max(self.dsp, other.dsp),
+            max(self.bram, other.bram),
+        )
+
+    @classmethod
+    def elementwise_max(cls, vectors: Iterable["ResourceVector"]) -> "ResourceVector":
+        """Elementwise maximum over an iterable (empty -> zero vector)."""
+        result = cls()
+        for vector in vectors:
+            result = result.max(vector)
+        return result
+
+    # -- misc -------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Sum of all counts (e.g. W = W_CLB + W_DSP + W_BRAM, eq. (6))."""
+        return self.clb + self.dsp + self.bram
+
+    def is_zero(self) -> bool:
+        return self.total == 0
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.clb
+        yield self.dsp
+        yield self.bram
+
+    def __repr__(self) -> str:
+        return f"ResourceVector(clb={self.clb}, dsp={self.dsp}, bram={self.bram})"

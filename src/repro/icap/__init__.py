@@ -1,0 +1,36 @@
+"""Reconfiguration substrate: controllers, storage media, simulation."""
+
+from .controllers import (
+    DmaIcapController,
+    FarmController,
+    IcapController,
+    PCController,
+    ReconfigController,
+)
+from .reconfig import ReconfigSimResult, simulate_reconfiguration
+from .storage import (
+    BRAM_CACHE,
+    COMPACT_FLASH,
+    DDR_SDRAM,
+    PLATFORM_FLASH,
+    STORAGE_MEDIA,
+    SYSTEM_ACE,
+    StorageMedium,
+)
+
+__all__ = [
+    "ReconfigController",
+    "PCController",
+    "IcapController",
+    "DmaIcapController",
+    "FarmController",
+    "StorageMedium",
+    "COMPACT_FLASH",
+    "SYSTEM_ACE",
+    "PLATFORM_FLASH",
+    "DDR_SDRAM",
+    "BRAM_CACHE",
+    "STORAGE_MEDIA",
+    "ReconfigSimResult",
+    "simulate_reconfiguration",
+]

@@ -1,0 +1,175 @@
+"""Reconfiguration controller models.
+
+The paper (Section I): "PRR reconfiguration is flexible and can be
+executed dynamically using either the internal configuration access port
+(ICAP) on the FPGA, or an external controller, such as a host PC".  Each
+controller model turns a byte count into a configuration-port write time;
+:mod:`repro.icap.reconfig` composes it with a storage medium.
+
+Models provided (matching the paper's related-work landscape):
+
+* :class:`PCController` — host-PC/JTAG download (slow serial path);
+* :class:`IcapController` — processor-driven ICAP writes: the port runs
+  at ``width x clock`` but the CPU feeds it with limited efficiency;
+* :class:`DmaIcapController` — Liu et al.'s DMA design: burst transfers
+  at near-theoretical ICAP throughput after a setup cost;
+* :class:`FarmController` — Duhem et al.'s FaRM: DMA plus a preload FIFO
+  and optional bitstream compression.
+
+All ICAP-based controllers accept a Claus-style ``busy_factor`` modelling
+shared-port contention.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+__all__ = [
+    "ReconfigController",
+    "PCController",
+    "IcapController",
+    "DmaIcapController",
+    "FarmController",
+]
+
+
+class ReconfigController(abc.ABC):
+    """Base controller: maps bytes to configuration-port write seconds."""
+
+    name: str
+
+    @abc.abstractmethod
+    def write_seconds(self, nbytes: int) -> float:
+        """Time to push *nbytes* through the configuration port."""
+
+    @property
+    @abc.abstractmethod
+    def peak_bytes_per_s(self) -> float:
+        """Peak sustained throughput (for overlap modelling)."""
+
+    @staticmethod
+    def _check(nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class PCController(ReconfigController):
+    """Host-PC download over JTAG/serial."""
+
+    name: str = "pc_jtag"
+    bytes_per_s: float = 0.75e6
+    setup_s: float = 10e-3
+
+    def write_seconds(self, nbytes: int) -> float:
+        self._check(nbytes)
+        return self.setup_s + nbytes / self.bytes_per_s
+
+    @property
+    def peak_bytes_per_s(self) -> float:
+        return self.bytes_per_s
+
+
+@dataclass(frozen=True)
+class IcapController(ReconfigController):
+    """Processor-driven ICAP (e.g. OPB/XPS HWICAP).
+
+    ``efficiency`` models the CPU copy loop (HWICAP cores historically
+    reach only 5–20% of the port's theoretical bandwidth).
+    """
+
+    name: str = "cpu_icap"
+    width_bytes: int = 4
+    clock_hz: float = 100e6
+    efficiency: float = 0.10
+    busy_factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+        if not 0 <= self.busy_factor < 1:
+            raise ValueError("busy_factor must be in [0, 1)")
+
+    @property
+    def peak_bytes_per_s(self) -> float:
+        return (
+            self.width_bytes
+            * self.clock_hz
+            * self.efficiency
+            * (1 - self.busy_factor)
+        )
+
+    def write_seconds(self, nbytes: int) -> float:
+        self._check(nbytes)
+        return nbytes / self.peak_bytes_per_s
+
+
+@dataclass(frozen=True)
+class DmaIcapController(ReconfigController):
+    """Liu et al.'s DMA-fed ICAP: near-theoretical burst throughput."""
+
+    name: str = "dma_icap"
+    width_bytes: int = 4
+    clock_hz: float = 100e6
+    efficiency: float = 0.95
+    setup_s: float = 2e-6
+    busy_factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+        if not 0 <= self.busy_factor < 1:
+            raise ValueError("busy_factor must be in [0, 1)")
+
+    @property
+    def peak_bytes_per_s(self) -> float:
+        return (
+            self.width_bytes
+            * self.clock_hz
+            * self.efficiency
+            * (1 - self.busy_factor)
+        )
+
+    def write_seconds(self, nbytes: int) -> float:
+        self._check(nbytes)
+        return self.setup_s + nbytes / self.peak_bytes_per_s
+
+
+@dataclass(frozen=True)
+class FarmController(ReconfigController):
+    """Duhem et al.'s FaRM: DMA + preload FIFO + optional compression.
+
+    ``compression_ratio`` is the compressed/original size ratio in
+    (0, 1]; the port only carries the compressed bytes.
+    """
+
+    name: str = "farm"
+    width_bytes: int = 4
+    clock_hz: float = 100e6
+    efficiency: float = 1.0
+    setup_s: float = 1e-6
+    compression_ratio: float = 1.0
+    busy_factor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.compression_ratio <= 1:
+            raise ValueError("compression_ratio must be in (0, 1]")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+        if not 0 <= self.busy_factor < 1:
+            raise ValueError("busy_factor must be in [0, 1)")
+
+    @property
+    def peak_bytes_per_s(self) -> float:
+        return (
+            self.width_bytes
+            * self.clock_hz
+            * self.efficiency
+            * (1 - self.busy_factor)
+        )
+
+    def write_seconds(self, nbytes: int) -> float:
+        self._check(nbytes)
+        effective = nbytes * self.compression_ratio
+        return self.setup_s + effective / self.peak_bytes_per_s

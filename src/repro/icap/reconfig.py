@@ -1,0 +1,68 @@
+"""Reconfiguration-time simulation: storage fetch + port write.
+
+A PRR reconfiguration streams the partial bitstream out of its storage
+medium and into the configuration port.  With a double-buffered
+controller the two stages overlap (total ≈ max of the stage times); a
+simple copy loop serializes them.  This simulator is the "measured"
+reference that the analytical models in :mod:`repro.core.reconfig_model`
+and :mod:`repro.baselines` are validated against in the Ablation C bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .controllers import ReconfigController
+from .storage import StorageMedium
+
+__all__ = ["ReconfigSimResult", "simulate_reconfiguration"]
+
+
+@dataclass(frozen=True, slots=True)
+class ReconfigSimResult:
+    """Timing breakdown of one simulated PRR reconfiguration."""
+
+    bitstream_bytes: int
+    fetch_seconds: float  #: storage streaming time
+    write_seconds: float  #: configuration-port time
+    overlapped: bool
+    total_seconds: float
+
+    @property
+    def effective_bytes_per_s(self) -> float:
+        return (
+            self.bitstream_bytes / self.total_seconds
+            if self.total_seconds > 0
+            else float("inf")
+        )
+
+    @property
+    def total_microseconds(self) -> float:
+        return self.total_seconds * 1e6
+
+
+def simulate_reconfiguration(
+    bitstream_bytes: int,
+    controller: ReconfigController,
+    medium: StorageMedium,
+    *,
+    overlap: bool = True,
+) -> ReconfigSimResult:
+    """Simulate reconfiguring one PRR from *medium* through *controller*.
+
+    ``overlap=True`` models a pipelined (double-buffered) datapath where
+    only the slower stage bounds throughput; ``overlap=False`` models a
+    fetch-then-write copy loop.
+    """
+    if bitstream_bytes < 0:
+        raise ValueError("bitstream_bytes must be non-negative")
+    fetch = medium.fetch_seconds(bitstream_bytes)
+    write = controller.write_seconds(bitstream_bytes)
+    total = max(fetch, write) if overlap else fetch + write
+    return ReconfigSimResult(
+        bitstream_bytes=bitstream_bytes,
+        fetch_seconds=fetch,
+        write_seconds=write,
+        overlapped=overlap,
+        total_seconds=total,
+    )

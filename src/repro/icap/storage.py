@@ -1,0 +1,68 @@
+"""Bitstream storage media models.
+
+Papadimitriou et al. (ref. [7] of the paper) showed measured PRR
+reconfiguration throughput is usually dominated by where the partial
+bitstream is *stored*, not by the ICAP itself.  Each
+:class:`StorageMedium` models a storage location with a sustained read
+bandwidth and a fixed access latency; the catalog covers the media their
+survey considers (compact flash / System ACE, platform flash, DDR SDRAM,
+on-chip BRAM cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "StorageMedium",
+    "COMPACT_FLASH",
+    "SYSTEM_ACE",
+    "PLATFORM_FLASH",
+    "DDR_SDRAM",
+    "BRAM_CACHE",
+    "STORAGE_MEDIA",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class StorageMedium:
+    """A bitstream storage location."""
+
+    name: str
+    read_bytes_per_s: float  #: sustained sequential read bandwidth
+    access_latency_s: float  #: fixed per-transfer setup latency
+
+    def __post_init__(self) -> None:
+        if self.read_bytes_per_s <= 0:
+            raise ValueError("read bandwidth must be positive")
+        if self.access_latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+    def fetch_seconds(self, nbytes: int) -> float:
+        """Time to stream *nbytes* out of this medium."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.access_latency_s + nbytes / self.read_bytes_per_s
+
+
+#: CompactFlash card behind the System ACE controller's slow path.
+COMPACT_FLASH = StorageMedium("compact_flash", 2.0e6, 2.0e-3)
+#: System ACE streaming interface.
+SYSTEM_ACE = StorageMedium("system_ace", 30.0e6, 0.5e-3)
+#: Xilinx platform flash (XCF parts).
+PLATFORM_FLASH = StorageMedium("platform_flash", 10.0e6, 0.2e-3)
+#: External DDR SDRAM via a memory controller.
+DDR_SDRAM = StorageMedium("ddr_sdram", 800.0e6, 5.0e-6)
+#: Bitstream preloaded into on-chip BRAM (FaRM-style).
+BRAM_CACHE = StorageMedium("bram_cache", 1.6e9, 0.1e-6)
+
+STORAGE_MEDIA: dict[str, StorageMedium] = {
+    medium.name: medium
+    for medium in (
+        COMPACT_FLASH,
+        SYSTEM_ACE,
+        PLATFORM_FLASH,
+        DDR_SDRAM,
+        BRAM_CACHE,
+    )
+}

@@ -1,0 +1,234 @@
+"""Event-driven hardware-multitasking simulator.
+
+Simulates PRMs time-multiplexing PRRs (the paper's Section I motivation):
+jobs arrive, the scheduler dispatches each to a PRR whose geometry fits
+its PRM, pays the reconfiguration time (partial bitstream size / port
+throughput) whenever the PRR currently holds a different PRM, then runs
+the job.  Two system models are compared:
+
+* **PR system** — one or more PRRs reconfigure independently while the
+  rest of the device keeps running; reconfiguration cost is per-PRR,
+  proportional to the *partial* bitstream.
+* **non-PR baseline** — "full reconfiguration ... halts the entire FPGA's
+  execution": any module switch reconfigures the whole device (full
+  bitstream) and nothing executes meanwhile, i.e. one exclusive context.
+
+The scheduler is deterministic FCFS with an idle-PRR affinity heuristic
+(prefer a PRR already holding the PRM — zero reconfiguration).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from ..core.bitstream_model import (
+    bitstream_size_bytes,
+    full_device_bitstream_bytes,
+)
+from ..core.prr_model import PRRGeometry
+from ..devices.fabric import Device
+from .tasks import Job
+
+__all__ = ["PRRState", "CompletedJob", "ScheduleResult", "simulate_pr", "simulate_full_reconfig"]
+
+
+@dataclass
+class PRRState:
+    """Mutable state of one PRR during simulation."""
+
+    index: int
+    geometry: PRRGeometry
+    loaded_prm: str | None = None
+    busy_until: float = 0.0
+    reconfig_count: int = 0
+    reconfig_seconds: float = 0.0
+    busy_seconds: float = 0.0
+
+    @property
+    def partial_bitstream_bytes(self) -> int:
+        return bitstream_size_bytes(self.geometry)
+
+
+@dataclass(frozen=True, slots=True)
+class CompletedJob:
+    """Timing record of one finished job."""
+
+    job_id: int
+    task_name: str
+    prr_index: int
+    arrival: float
+    start: float
+    reconfig_seconds: float
+    finish: float
+
+    @property
+    def response_seconds(self) -> float:
+        return self.finish - self.arrival
+
+    @property
+    def waiting_seconds(self) -> float:
+        return self.start - self.arrival
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one simulation run."""
+
+    system: str
+    completed: list[CompletedJob] = field(default_factory=list)
+    makespan_seconds: float = 0.0
+    total_reconfig_seconds: float = 0.0
+    reconfig_count: int = 0
+    halted_seconds: float = 0.0  #: time the whole device was halted
+    icap_busy_seconds: float = 0.0  #: time the configuration port was busy
+
+    @property
+    def mean_response_seconds(self) -> float:
+        if not self.completed:
+            return 0.0
+        return sum(j.response_seconds for j in self.completed) / len(self.completed)
+
+    @property
+    def reconfig_overhead_fraction(self) -> float:
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return self.total_reconfig_seconds / self.makespan_seconds
+
+    @property
+    def icap_busy_factor(self) -> float:
+        """Fraction of the run the configuration port spent busy — the
+        realized Claus busy factor."""
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return min(1.0, self.icap_busy_seconds / self.makespan_seconds)
+
+    def summary(self) -> str:
+        return (
+            f"{self.system}: {len(self.completed)} jobs, makespan "
+            f"{self.makespan_seconds:.3f}s, mean response "
+            f"{self.mean_response_seconds * 1e3:.2f}ms, reconfig "
+            f"{self.reconfig_count}x / {self.total_reconfig_seconds * 1e3:.2f}ms"
+        )
+
+
+def simulate_pr(
+    jobs: list[Job],
+    prrs: list[PRRGeometry],
+    *,
+    port_bytes_per_s: float = 400e6,
+    icap_exclusive: bool = False,
+) -> ScheduleResult:
+    """Simulate the PR system: FCFS over independently reconfiguring PRRs.
+
+    ``icap_exclusive=True`` models the single shared ICAP: only one PRR
+    can reconfigure at a time, so concurrent reconfigurations serialize —
+    the contention the Claus busy-factor model (ref. [1]) abstracts.  The
+    result's ``icap_busy_seconds`` lets callers derive the realized busy
+    factor.
+    """
+    if not prrs:
+        raise ValueError("need at least one PRR")
+    states = [PRRState(index=i, geometry=g) for i, g in enumerate(prrs)]
+    result = ScheduleResult(system="pr")
+    counter = itertools.count()
+    # (ready_time, tiebreak, state) heap of PRR availability.
+    ready: list[tuple[float, int, PRRState]] = [
+        (0.0, next(counter), s) for s in states
+    ]
+    heapq.heapify(ready)
+    icap_free_at = 0.0
+
+    for job in sorted(jobs, key=lambda j: (j.arrival_seconds, j.job_id)):
+        fitting = [s for s in states if _fits(job, s.geometry)]
+        if not fitting:
+            raise ValueError(
+                f"no PRR fits task {job.task.name!r} "
+                f"(needs {job.task.prm.lut_ff_pairs} pairs)"
+            )
+        # Affinity first: an already-loaded, earliest-free PRR; otherwise
+        # the earliest-free fitting PRR.
+        loaded = [s for s in fitting if s.loaded_prm == job.task.name]
+        candidates = loaded or fitting
+        state = min(candidates, key=lambda s: (s.busy_until, s.index))
+
+        start_ready = max(state.busy_until, job.arrival_seconds)
+        reconfig = 0.0
+        if state.loaded_prm != job.task.name:
+            reconfig = state.partial_bitstream_bytes / port_bytes_per_s
+            if icap_exclusive:
+                start_ready = max(start_ready, icap_free_at)
+                icap_free_at = start_ready + reconfig
+            state.loaded_prm = job.task.name
+            state.reconfig_count += 1
+            state.reconfig_seconds += reconfig
+        start = start_ready + reconfig
+        finish = start + job.task.exec_seconds
+        state.busy_until = finish
+        state.busy_seconds += job.task.exec_seconds
+        result.completed.append(
+            CompletedJob(
+                job_id=job.job_id,
+                task_name=job.task.name,
+                prr_index=state.index,
+                arrival=job.arrival_seconds,
+                start=start,
+                reconfig_seconds=reconfig,
+                finish=finish,
+            )
+        )
+
+    result.makespan_seconds = max((j.finish for j in result.completed), default=0.0)
+    result.total_reconfig_seconds = sum(s.reconfig_seconds for s in states)
+    result.reconfig_count = sum(s.reconfig_count for s in states)
+    result.icap_busy_seconds = result.total_reconfig_seconds
+    return result
+
+
+def simulate_full_reconfig(
+    jobs: list[Job],
+    device: Device,
+    *,
+    port_bytes_per_s: float = 400e6,
+) -> ScheduleResult:
+    """Simulate the non-PR baseline: the whole device is one context.
+
+    Every module switch loads the full bitstream and halts everything;
+    jobs run one at a time (the device hosts one hardware task per
+    configuration, as in a module-per-bitstream non-PR design).
+    """
+    full_bytes = full_device_bitstream_bytes(device)
+    full_reconfig = full_bytes / port_bytes_per_s
+    result = ScheduleResult(system="full_reconfig")
+    now = 0.0
+    loaded: str | None = None
+    for job in sorted(jobs, key=lambda j: (j.arrival_seconds, j.job_id)):
+        start_ready = max(now, job.arrival_seconds)
+        reconfig = 0.0
+        if loaded != job.task.name:
+            reconfig = full_reconfig
+            loaded = job.task.name
+            result.reconfig_count += 1
+            result.total_reconfig_seconds += reconfig
+            result.halted_seconds += reconfig
+        start = start_ready + reconfig
+        finish = start + job.task.exec_seconds
+        now = finish
+        result.completed.append(
+            CompletedJob(
+                job_id=job.job_id,
+                task_name=job.task.name,
+                prr_index=0,
+                arrival=job.arrival_seconds,
+                start=start,
+                reconfig_seconds=reconfig,
+                finish=finish,
+            )
+        )
+    result.makespan_seconds = max((j.finish for j in result.completed), default=0.0)
+    return result
+
+
+def _fits(job: Job, geometry: PRRGeometry) -> bool:
+    return geometry.fits(job.task.prm)

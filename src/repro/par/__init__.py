@@ -1,0 +1,54 @@
+"""Place & route substrate.
+
+AREA_GROUP floorplan constraints (:mod:`floorplan`), implementation-time
+optimization passes (:mod:`optimizer`), constrained placement
+(:mod:`placer`), the calibrated routability model (:mod:`router`) and the
+flow drivers — including the paper's re-tighten experiment
+(:mod:`flow`).
+"""
+
+from .floorplan import AreaGroup, render_ucf
+from .flow import (
+    ImplementationResult,
+    RetightenOutcome,
+    implement,
+    retighten,
+    simulated_implementation_seconds,
+)
+from .optimizer import OptimizedDesign, optimize
+from .partition_pins import (
+    InterfaceEstimate,
+    apply_partition_pins,
+    interface_width,
+    proxy_overhead,
+)
+from .placer import PlacementError, PlacementResult, place
+from .router import (
+    DEFAULT_ROUTING_CAPACITY,
+    ROUTING_CAPACITY,
+    RoutingResult,
+    route,
+)
+
+__all__ = [
+    "AreaGroup",
+    "render_ucf",
+    "OptimizedDesign",
+    "optimize",
+    "InterfaceEstimate",
+    "interface_width",
+    "proxy_overhead",
+    "apply_partition_pins",
+    "PlacementError",
+    "PlacementResult",
+    "place",
+    "ROUTING_CAPACITY",
+    "DEFAULT_ROUTING_CAPACITY",
+    "RoutingResult",
+    "route",
+    "ImplementationResult",
+    "implement",
+    "simulated_implementation_seconds",
+    "RetightenOutcome",
+    "retighten",
+]

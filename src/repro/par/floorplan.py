@@ -1,0 +1,82 @@
+"""Floorplanning constraints: the AREA_GROUP mechanism of the PR flow.
+
+Section IV validates the PRR model by "specif[ying] area constraints
+(using the AREA_GROUP attribute in the user constraint file (*.ucf))
+considering the position, size, and resource organization for an area on
+the target device (similar procedure as manual PRR floorplanning)".
+
+:class:`AreaGroup` binds a named constraint to a fabric
+:class:`~repro.devices.fabric.Region`; :func:`render_ucf` emits the
+UCF-style text a designer would paste, with SLICE/DSP48/RAMB ranges
+derived from the region's actual columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.fabric import Device, Region
+from ..devices.resources import ColumnKind
+
+__all__ = ["AreaGroup", "render_ucf"]
+
+
+@dataclass(frozen=True, slots=True)
+class AreaGroup:
+    """A named area constraint over a device region."""
+
+    name: str
+    device: Device
+    region: Region
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("area group needs a name")
+        # Validate bounds and the no-IOB/CLK rule up front.
+        self.device.region_column_counts(self.region)
+
+    @property
+    def slice_range(self) -> tuple[int, int, int, int]:
+        """(x0, y0, x1, y1) in slice coordinates.
+
+        Slice X counts two slices per CLB column left-to-right over CLB
+        columns only; slice Y counts CLBs bottom-up.
+        """
+        fam = self.device.family
+        clb_cols_before = sum(
+            1
+            for col in range(1, self.region.col)
+            if self.device.column_kind(col) is ColumnKind.CLB
+        )
+        clb_cols_inside = self.device.region_column_counts(self.region).clb
+        x0 = clb_cols_before * 2
+        x1 = x0 + max(clb_cols_inside * 2 - 1, 0)
+        y0 = (self.region.row - 1) * fam.clb_per_col
+        y1 = y0 + self.region.height * fam.clb_per_col - 1
+        return (x0, y0, x1, y1)
+
+
+def render_ucf(group: AreaGroup, *, instance: str = "u_prm") -> str:
+    """UCF text pinning *instance* into the area group."""
+    x0, y0, x1, y1 = group.slice_range
+    counts = group.device.region_column_counts(group.region)
+    lines = [
+        f'INST "{instance}" AREA_GROUP = "{group.name}";',
+        f'AREA_GROUP "{group.name}" RANGE = SLICE_X{x0}Y{y0}:SLICE_X{x1}Y{y1};',
+    ]
+    if counts.dsp:
+        lines.append(
+            f'AREA_GROUP "{group.name}" RANGE = '
+            f"DSP48_X0Y{(group.region.row - 1) * group.device.family.dsp_per_col}:"
+            f"DSP48_X{counts.dsp - 1}"
+            f"Y{group.region.row * group.device.family.dsp_per_col * group.region.height - 1};"
+        )
+    if counts.bram:
+        lines.append(
+            f'AREA_GROUP "{group.name}" RANGE = '
+            f"RAMB36_X0Y{(group.region.row - 1) * group.device.family.bram_per_col}:"
+            f"RAMB36_X{counts.bram - 1}"
+            f"Y{group.region.row * group.device.family.bram_per_col * group.region.height - 1};"
+        )
+    lines.append(f'AREA_GROUP "{group.name}" MODE = RECONFIG;')
+    return "\n".join(lines) + "\n"

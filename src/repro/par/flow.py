@@ -1,0 +1,165 @@
+"""The implementation flow driver: optimize → place → route.
+
+:func:`implement` reproduces the paper's validation procedure — "Each PRM
+was considered as an entire design, and we used Xilinx ISE to place and
+route the PRM in the target device" under an AREA_GROUP constraint —
+returning post-implementation counts, the placement, the routing verdict
+and a modelled wall time for Table VIII.
+
+:func:`retighten` reproduces the paper's follow-up experiment: "we
+further tested our PRR size/organization cost model with the LUT_FF_req,
+DSP_req, and BRAM_req parameters from Table VI" — i.e. re-derive the PRR
+from *post*-implementation counts, re-place and re-route once, and report
+the columns saved (or the failure, as happens for MIPS on Virtex-6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.placement_search import PlacementNotFoundError, find_prr
+from ..devices.fabric import Device, Region
+from ..synth.report import SynthesisReport
+from .optimizer import OptimizedDesign, optimize
+from .placer import PlacementError, PlacementResult, place
+from .router import RoutingResult, route
+
+__all__ = [
+    "ImplementationResult",
+    "implement",
+    "simulated_implementation_seconds",
+    "RetightenOutcome",
+    "retighten",
+]
+
+#: Fixed MAP/PAR start-up cost, seconds.
+_T_BASE = 100.0
+#: Per-LUT-FF-pair placement cost, seconds.
+_T_PAIR = 0.06
+#: Congestion cost scale (quadratic in pair utilization), seconds.
+_T_CONGESTION = 150.0
+
+
+def simulated_implementation_seconds(pairs: int, pair_utilization: float) -> float:
+    """Modelled ISE MAP+PAR wall time (Table VIII's "Implementation")."""
+    if pairs < 0:
+        raise ValueError("pairs must be non-negative")
+    if not 0.0 <= pair_utilization <= 1.0:
+        raise ValueError("pair_utilization must be in [0, 1]")
+    return _T_BASE + _T_PAIR * pairs + _T_CONGESTION * pair_utilization**2
+
+
+@dataclass(frozen=True, slots=True)
+class ImplementationResult:
+    """Everything the implementation flow produced for one PRM/region."""
+
+    design: OptimizedDesign
+    placement: PlacementResult
+    routing: RoutingResult
+    simulated_seconds: float
+
+    @property
+    def succeeded(self) -> bool:
+        return self.routing.routed
+
+    def summary(self) -> str:
+        verdict = "routed" if self.succeeded else "ROUTING FAILED"
+        return (
+            f"{self.design.design_name} in {self.placement.region}: "
+            f"pairs={self.design.post.lut_ff_pairs} "
+            f"util={self.placement.pair_utilization:.1%} -> {verdict}"
+        )
+
+
+def implement(
+    report: SynthesisReport, device: Device, region: Region
+) -> ImplementationResult:
+    """Run the full implementation flow inside an area constraint.
+
+    Raises :class:`~repro.par.placer.PlacementError` when the design
+    simply does not fit; routing failure is reported in the result (the
+    tools finish with an unroutable design, they do not crash).
+    """
+    if report.family_name != device.family.name:
+        raise ValueError(
+            f"report synthesized for {report.family_name!r} cannot implement "
+            f"on a {device.family.name!r} device"
+        )
+    design = optimize(report)
+    placement = place(design, device, region)
+    routing = route(placement, device.family.name)
+    return ImplementationResult(
+        design=design,
+        placement=placement,
+        routing=routing,
+        simulated_seconds=simulated_implementation_seconds(
+            design.post.lut_ff_pairs, placement.pair_utilization
+        ),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class RetightenOutcome:
+    """Result of the post-implementation PRR re-derivation experiment."""
+
+    design_name: str
+    device_name: str
+    original_region: Region
+    retightened_region: Region | None  #: None when no placement exists
+    implementation: ImplementationResult | None
+    clb_column_rows_saved: int  #: CLB column-cells saved (H*W_CLB delta)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.implementation is not None and self.implementation.succeeded
+
+    @property
+    def unchanged(self) -> bool:
+        return (
+            self.retightened_region is not None
+            and self.retightened_region.height == self.original_region.height
+            and self.retightened_region.width == self.original_region.width
+        )
+
+
+def retighten(
+    report: SynthesisReport,
+    device: Device,
+    original_region: Region,
+) -> RetightenOutcome:
+    """Re-derive the PRR from post-implementation counts and re-implement.
+
+    One attempt, exactly as the paper describes — no widening retries.
+    """
+    baseline = implement(report, device, original_region)
+    post_requirements = baseline.design.requirements
+
+    try:
+        placed = find_prr(device, post_requirements)
+    except PlacementNotFoundError:
+        return RetightenOutcome(
+            design_name=report.design_name,
+            device_name=device.name,
+            original_region=original_region,
+            retightened_region=None,
+            implementation=None,
+            clb_column_rows_saved=0,
+        )
+
+    original_clb_cells = (
+        device.region_column_counts(original_region).clb * original_region.height
+    )
+    new_clb_cells = placed.geometry.columns.clb * placed.geometry.rows
+
+    try:
+        result = implement(report, device, placed.region)
+    except PlacementError:
+        result = None
+    return RetightenOutcome(
+        design_name=report.design_name,
+        device_name=device.name,
+        original_region=original_region,
+        retightened_region=placed.region,
+        implementation=result,
+        clb_column_rows_saved=original_clb_cells - new_clb_cells,
+    )

@@ -1,0 +1,108 @@
+"""Implementation-time optimizations: the Table VI effect.
+
+"The Xilinx tools perform optimizations to reduce the PRMs' resource
+requirements during place and route, resulting in fewer resources for the
+associated PRMs as compared to the resources included in the synthesis
+reports" (Section IV) — and sometimes *more* of a resource (Table VI shows
+FF increases for FIR/V5 and LUT increases for SDRAM, from fanout
+replication and route-thru insertion respectively).
+
+The optimizer applies the four passes whose magnitudes the netlist's
+:class:`~repro.synth.netlist.OptimizationHints` expose:
+
+1. **LUT combining** — dual-output LUT6_2 merging and restructuring
+   removes ``combinable_luts``;
+2. **route-thru insertion** — the router burns ``routethru_luts`` LUTs as
+   wire;
+3. **FF duplication** — the placer replicates ``duplicable_ffs`` high-
+   fanout registers;
+4. **cross-pair packing** — placement co-locates ``crosspackable_pairs``
+   LUT-only/FF-only pairs into full pairs, shrinking ``LUT_FF_req``.
+
+DSP and BRAM counts never change ("0% change with respect to values in
+Table V").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.params import PRMRequirements
+from ..synth.netlist import OptimizationHints
+from ..synth.packer import PairBreakdown
+from ..synth.report import SynthesisReport
+
+__all__ = ["OptimizedDesign", "optimize"]
+
+
+@dataclass(frozen=True, slots=True)
+class OptimizedDesign:
+    """Post-MAP/PAR resource counts for one PRM."""
+
+    design_name: str
+    family_name: str
+    pre: PairBreakdown
+    post: PairBreakdown
+    dsps: int
+    brams: int
+    control_sets: int
+
+    @property
+    def requirements(self) -> PRMRequirements:
+        """Post-implementation Table I scalars (the Table VI rows)."""
+        return PRMRequirements(
+            name=self.design_name,
+            lut_ff_pairs=self.post.lut_ff_pairs,
+            luts=self.post.luts,
+            ffs=self.post.ffs,
+            dsps=self.dsps,
+            brams=self.brams,
+        )
+
+    def savings_percent(self) -> dict[str, float]:
+        """Table VI's parenthesized numbers: (pre - post) / pre * 100.
+
+        Positive = savings, negative = increase; resources at zero pre
+        report 0.0.
+        """
+
+        def pct(pre: int, post: int) -> float:
+            return 0.0 if pre == 0 else (pre - post) / pre * 100.0
+
+        return {
+            "LUT_FF_req": pct(self.pre.lut_ff_pairs, self.post.lut_ff_pairs),
+            "LUT_req": pct(self.pre.luts, self.post.luts),
+            "FF_req": pct(self.pre.ffs, self.post.ffs),
+            "DSP_req": 0.0,
+            "BRAM_req": 0.0,
+        }
+
+
+def optimize(report: SynthesisReport) -> OptimizedDesign:
+    """Apply the implementation-time passes to a synthesis report."""
+    hints: OptimizationHints = report.hints
+    pre = report.pairs
+
+    if hints.combinable_luts > pre.luts:
+        raise ValueError(
+            f"{report.design_name}: combinable_luts ({hints.combinable_luts}) "
+            f"exceeds synthesized LUTs ({pre.luts})"
+        )
+
+    luts = pre.luts - hints.combinable_luts + hints.routethru_luts
+    ffs = pre.ffs + hints.duplicable_ffs
+    full = min(pre.full_pairs + hints.crosspackable_pairs, luts, ffs)
+    post = PairBreakdown(
+        full_pairs=full,
+        lut_only_pairs=luts - full,
+        ff_only_pairs=ffs - full,
+    )
+    return OptimizedDesign(
+        design_name=report.design_name,
+        family_name=report.family_name,
+        pre=pre,
+        post=post,
+        dsps=report.dsps,
+        brams=report.brams,
+        control_sets=report.control_sets,
+    )

@@ -1,0 +1,116 @@
+"""Partition pins (proxy logic): the PRM interface overhead of the PR flow.
+
+Every signal crossing a PRR boundary needs a fixed anchor so the static
+region's routing stays valid across reconfigurations.  The Xilinx PR flow
+inserts a *proxy LUT* (a route-through LUT1, the "partition pin") inside
+the PRR for each boundary signal — a per-interface overhead the synthesis
+report of a standalone PRM does not include, and one reason the paper's
+Table VI observes implementation-time LUT-count changes.
+
+This module quantifies the effect:
+
+* :func:`interface_width` — boundary signal count of a PRM netlist,
+  estimated from its structural components (bus ports of memories,
+  datapath widths, control signals);
+* :func:`proxy_overhead` — proxy-LUT count and the adjusted requirements;
+* :func:`apply_partition_pins` — fold the overhead into a
+  :class:`~repro.core.params.PRMRequirements` for conservative early
+  sizing (the paper's models can then be run on the adjusted numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.params import PRMRequirements
+from ..synth.netlist import (
+    FSM,
+    Adder,
+    Comparator,
+    GlueLogic,
+    LogicCloud,
+    Memory,
+    Multiplier,
+    Mux,
+    Netlist,
+    RegisterBank,
+    ShiftRegister,
+)
+
+__all__ = ["InterfaceEstimate", "interface_width", "proxy_overhead",
+           "apply_partition_pins"]
+
+#: Control signals every PRM interface carries (clock enable, reset,
+#: start/done handshake).
+_BASE_CONTROL_SIGNALS = 4
+
+
+def interface_width(netlist: Netlist) -> int:
+    """Estimate the PRM's boundary signal count.
+
+    Heuristic: the widest datapath component bounds the data bus (in and
+    out), memories contribute address buses, plus fixed control signals.
+    Deliberately conservative — early sizing should over-provision pins.
+    """
+    data_width = 1
+    address_width = 0
+    for component in netlist.iter_components():
+        if isinstance(component, RegisterBank):
+            continue  # internal state (pipeline/pad capture), not a port
+        if isinstance(component, (LogicCloud, Mux)):
+            data_width = max(data_width, component.width)
+        elif isinstance(component, (Adder, Comparator)):
+            data_width = max(data_width, component.width)
+        elif isinstance(component, Multiplier):
+            data_width = max(
+                data_width, component.a_width + component.b_width
+            )
+        elif isinstance(component, ShiftRegister):
+            data_width = max(data_width, component.width)
+        elif isinstance(component, Memory):
+            address_width = max(
+                address_width, max(component.depth - 1, 1).bit_length()
+            )
+            data_width = max(data_width, component.width)
+        elif isinstance(component, FSM):
+            data_width = max(data_width, component.outputs)
+        elif isinstance(component, GlueLogic):
+            pass  # glue is internal by construction
+    return 2 * data_width + address_width + _BASE_CONTROL_SIGNALS
+
+
+@dataclass(frozen=True, slots=True)
+class InterfaceEstimate:
+    """Proxy-logic overhead of one PRM interface."""
+
+    signals: int
+    proxy_luts: int  #: one LUT1 route-through per boundary signal
+
+    @property
+    def proxy_pairs(self) -> int:
+        """Each proxy LUT occupies a LUT–FF pair site (FF unused)."""
+        return self.proxy_luts
+
+
+def proxy_overhead(netlist: Netlist) -> InterfaceEstimate:
+    """Proxy-LUT overhead for *netlist*'s interface."""
+    signals = interface_width(netlist)
+    return InterfaceEstimate(signals=signals, proxy_luts=signals)
+
+
+def apply_partition_pins(
+    requirements: PRMRequirements, estimate: InterfaceEstimate
+) -> PRMRequirements:
+    """Return requirements inflated by the proxy logic.
+
+    Proxy LUTs are LUT-only pairs: both ``LUT_req`` and ``LUT_FF_req``
+    grow by the proxy count; FFs, DSPs and BRAMs are untouched.
+    """
+    return PRMRequirements(
+        name=f"{requirements.name}+pins",
+        lut_ff_pairs=requirements.lut_ff_pairs + estimate.proxy_luts,
+        luts=requirements.luts + estimate.proxy_luts,
+        ffs=requirements.ffs,
+        dsps=requirements.dsps,
+        brams=requirements.brams,
+    )

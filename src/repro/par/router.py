@@ -1,0 +1,64 @@
+"""Routability model.
+
+"High RUs lead to densely packed PRRs that may eventually cause routing
+problems in the PRR ... Also, since the Xilinx tools allow the static
+region's nets to cross the PRRs, routing problems may arise if nets from
+the static region try to cross a densely packed PRR" (Section IV).
+
+The model: routing succeeds when the placed design's LUT–FF *pair
+utilization* stays at or below the family's routing capacity.  Capacities
+are calibrated against the paper's four re-implementation outcomes
+(DESIGN.md §6): Virtex-6's taller columns (40 CLBs per column-row vs 20)
+concentrate twice the logic per vertical routing track of a one-row PRR,
+so its capacity is markedly lower.  With these constants the model
+reproduces the paper's Table VI original implementations (all succeed)
+and the headline MIPS-on-Virtex-6 re-implementation failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .placer import PlacementResult
+
+__all__ = ["ROUTING_CAPACITY", "DEFAULT_ROUTING_CAPACITY", "RoutingResult", "route"]
+
+#: Family → maximum routable pair utilization (calibrated, see DESIGN.md §6).
+ROUTING_CAPACITY: dict[str, float] = {
+    "virtex4": 0.95,
+    "virtex5": 0.98,
+    "virtex6": 0.91,
+    "series7": 0.95,
+    "spartan6": 0.92,
+}
+
+#: Capacity for families without a calibrated entry.
+DEFAULT_ROUTING_CAPACITY = 0.95
+
+
+@dataclass(frozen=True, slots=True)
+class RoutingResult:
+    """Outcome of the routing attempt."""
+
+    design_name: str
+    routed: bool
+    pair_utilization: float
+    capacity: float
+
+    @property
+    def headroom(self) -> float:
+        """Capacity margin (negative when routing failed)."""
+        return self.capacity - self.pair_utilization
+
+
+def route(
+    placement: PlacementResult, family_name: str
+) -> RoutingResult:
+    """Decide routability of a placed design."""
+    capacity = ROUTING_CAPACITY.get(family_name, DEFAULT_ROUTING_CAPACITY)
+    return RoutingResult(
+        design_name=placement.design_name,
+        routed=placement.pair_utilization <= capacity,
+        pair_utilization=placement.pair_utilization,
+        capacity=capacity,
+    )

@@ -1,0 +1,125 @@
+"""On-chip context save and restore — the authors' FCCM'13 work [5].
+
+Preempting a hardware task means capturing its live state (FF values and
+BRAM contents, which the GCAPTURE command folds into the configuration
+frames), storing it, and later restoring it — possibly into a different
+compatible PRR, which composes with :mod:`repro.relocation.relocate`.
+
+:class:`TaskContext` is the saved snapshot; :func:`save_context` performs
+capture + readback from a :class:`~repro.relocation.memory.ConfigMemory`;
+:func:`restore_context` regenerates the restoring partial bitstream
+(GRESTORE transfers the frame values back into the flip-flops).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bitgen.generator import PartialBitstream, generate_partial_bitstream
+from ..devices.fabric import Device, Region
+from ..devices.frames import (
+    BLOCK_TYPE_BRAM_CONTENT,
+    BLOCK_TYPE_CONFIG,
+    FrameAddress,
+)
+from .memory import ConfigMemory
+from .relocate import RelocationError, compatible_regions
+
+__all__ = ["TaskContext", "save_context", "restore_context"]
+
+
+@dataclass(frozen=True)
+class TaskContext:
+    """A saved hardware-task context: every frame of its PRR."""
+
+    task_name: str
+    device_name: str
+    region: Region
+    frames: tuple[tuple[int, tuple[int, ...]], ...]  #: (encoded FAR, words)
+
+    @property
+    def frame_count(self) -> int:
+        return len(self.frames)
+
+    @property
+    def size_bytes(self) -> int:
+        """Storage footprint of the snapshot."""
+        if not self.frames:
+            return 0
+        words_per_frame = len(self.frames[0][1])
+        return self.frame_count * words_per_frame * 4
+
+    def payload_map(self) -> dict[int, tuple[int, ...]]:
+        return dict(self.frames)
+
+
+def save_context(
+    memory: ConfigMemory, region: Region, *, task_name: str
+) -> TaskContext:
+    """Capture and read back every frame of *region* (GCAPTURE + FDRO)."""
+    if not memory.device.is_valid_prr(region):
+        raise ValueError(f"{region} is not a valid PRR on {memory.device.name}")
+    frames: list[tuple[int, tuple[int, ...]]] = []
+    for block_type in (BLOCK_TYPE_CONFIG, BLOCK_TYPE_BRAM_CONTENT):
+        for far, words in memory.region_frames(region, block_type):
+            frames.append((far.encode(), words))
+    return TaskContext(
+        task_name=task_name,
+        device_name=memory.device.name,
+        region=region,
+        frames=tuple(frames),
+    )
+
+
+def restore_context(
+    device: Device,
+    context: TaskContext,
+    *,
+    target: Region | None = None,
+) -> PartialBitstream:
+    """Build the partial bitstream restoring *context*.
+
+    With ``target=None`` the context restores in place; otherwise it is
+    relocated to the (compatibility-checked) target region — preempt on
+    one PRR, resume on another.
+    """
+    if device.name != context.device_name:
+        raise RelocationError(
+            f"context saved on {context.device_name} cannot restore on "
+            f"{device.name}"
+        )
+    destination = target if target is not None else context.region
+    if destination != context.region and not compatible_regions(
+        device, context.region, destination
+    ):
+        raise RelocationError(
+            f"target {destination} is not compatible with the context's "
+            f"region {context.region}"
+        )
+
+    payloads = context.payload_map()
+    row_offset = destination.row - context.region.row
+    col_offset = destination.col - context.region.col
+
+    def payload_fn(block_type: int, far_word: int) -> list[int]:
+        far = FrameAddress.decode(far_word)
+        source_far = FrameAddress(
+            block_type=far.block_type,
+            row=far.row - row_offset,
+            major=far.major - col_offset,
+            minor=far.minor,
+            top=far.top,
+        )
+        try:
+            return list(payloads[source_far.encode()])
+        except KeyError:
+            raise RelocationError(
+                f"context for {context.task_name!r} lacks frame {source_far}"
+            ) from None
+
+    return generate_partial_bitstream(
+        device,
+        destination,
+        design_name=f"{context.task_name}@restore",
+        payload_fn=payload_fn,
+    )

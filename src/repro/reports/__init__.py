@@ -1,0 +1,37 @@
+"""Paper table and figure regeneration."""
+
+from .experiments import generate_report
+from .figures import fig1_traces, fig2_structure, render_fig2
+from .tables import (
+    EVALUATION_CASES,
+    paper_workload_reports,
+    render_grid,
+    retighten_outcomes,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+
+__all__ = [
+    "generate_report",
+    "EVALUATION_CASES",
+    "paper_workload_reports",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "retighten_outcomes",
+    "render_grid",
+    "fig1_traces",
+    "fig2_structure",
+    "render_fig2",
+]

@@ -1,0 +1,226 @@
+"""Regenerate every table of the paper from live library code.
+
+Each ``tableN()`` function returns structured data (lists of dicts /
+nested dicts) and ``render(tableN())``-style helpers produce aligned text.
+The benchmark suite calls these functions — one bench per table — and
+EXPERIMENTS.md records their output against the paper's cells.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..bitgen.generator import generate_partial_bitstream
+from ..core.api import CostModelResult, evaluate_prm
+from ..core.params import TABLE1_PARAMETERS, TABLE3_PARAMETERS
+from ..core.placement_search import find_prr
+from ..devices.catalog import XC5VLX110T, XC6VLX75T
+from ..devices.fabric import Device
+from ..devices.family import VIRTEX4, VIRTEX5, VIRTEX6, DeviceFamily
+from ..par.flow import RetightenOutcome, implement, retighten
+from ..synth.report import SynthesisReport
+from ..synth.xst import synthesize
+from ..workloads import build_fir, build_mips, build_sdram
+
+__all__ = [
+    "EVALUATION_CASES",
+    "paper_workload_reports",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "retighten_outcomes",
+    "render_grid",
+]
+
+#: The paper's six evaluation cases: (device, workload builder) pairs.
+EVALUATION_CASES: tuple[tuple[Device, Any], ...] = (
+    (XC5VLX110T, build_fir),
+    (XC5VLX110T, build_mips),
+    (XC5VLX110T, build_sdram),
+    (XC6VLX75T, build_fir),
+    (XC6VLX75T, build_mips),
+    (XC6VLX75T, build_sdram),
+)
+
+_TABLE2_FIELDS = ("clb_per_col", "dsp_per_col", "bram_per_col", "luts_per_clb", "ffs_per_clb")
+_TABLE2_LABELS = ("CLB_col", "DSP_col", "BRAM_col", "LUT_CLB", "FF_CLB")
+_TABLE4_FIELDS = (
+    "cf_clb",
+    "cf_dsp",
+    "cf_bram",
+    "df_bram",
+    "frame_words",
+    "initial_words",
+    "final_words",
+    "far_fdri_words",
+    "bytes_per_word",
+)
+_TABLE4_LABELS = (
+    "CF_CLB",
+    "CF_DSP",
+    "CF_BRAM",
+    "DF_BRAM",
+    "FR_size",
+    "IW",
+    "FW",
+    "FAR_FDRI",
+    "Bytes_word",
+)
+
+
+def paper_workload_reports() -> dict[tuple[str, str], SynthesisReport]:
+    """Synthesis reports for all six (workload, device) evaluation cases."""
+    reports: dict[tuple[str, str], SynthesisReport] = {}
+    for device, builder in EVALUATION_CASES:
+        report = synthesize(builder(device.family), device.family)
+        reports[(report.design_name, device.name)] = report
+    return reports
+
+
+def table1() -> list[dict[str, str]]:
+    """Table I: PRR-model parameter glossary."""
+    return [
+        {"parameter": name, "description": desc} for name, desc in TABLE1_PARAMETERS
+    ]
+
+
+def table3() -> list[dict[str, str]]:
+    """Table III: bitstream-model parameter glossary."""
+    return [
+        {"parameter": name, "description": desc} for name, desc in TABLE3_PARAMETERS
+    ]
+
+
+def _family_grid(
+    families: Sequence[DeviceFamily],
+    fields: Sequence[str],
+    labels: Sequence[str],
+) -> list[dict[str, Any]]:
+    rows = []
+    for field_name, label in zip(fields, labels):
+        row: dict[str, Any] = {"parameter": label}
+        for family in families:
+            row[family.name] = getattr(family, field_name)
+        rows.append(row)
+    return rows
+
+
+def table2() -> list[dict[str, Any]]:
+    """Table II: Virtex-4/-5/-6 fabric geometry constants."""
+    return _family_grid((VIRTEX4, VIRTEX5, VIRTEX6), _TABLE2_FIELDS, _TABLE2_LABELS)
+
+
+def table4() -> list[dict[str, Any]]:
+    """Table IV: Virtex-4/-5/-6 bitstream constants."""
+    return _family_grid((VIRTEX4, VIRTEX5, VIRTEX6), _TABLE4_FIELDS, _TABLE4_LABELS)
+
+
+def _evaluation_results() -> dict[tuple[str, str], CostModelResult]:
+    results: dict[tuple[str, str], CostModelResult] = {}
+    for device, builder in EVALUATION_CASES:
+        report = synthesize(builder(device.family), device.family)
+        results[(report.design_name, device.name)] = evaluate_prm(
+            report.requirements, device
+        )
+    return results
+
+
+def table5() -> dict[tuple[str, str], dict[str, int]]:
+    """Table V: the PRR size/organization cost model on all six cases.
+
+    Keys are (workload, device); values are the paper's Table V rows.
+    """
+    return {
+        key: result.table5_row() for key, result in _evaluation_results().items()
+    }
+
+
+def table6() -> dict[tuple[str, str], dict[str, Any]]:
+    """Table VI: post-implementation counts and savings percentages."""
+    rows: dict[tuple[str, str], dict[str, Any]] = {}
+    for device, builder in EVALUATION_CASES:
+        report = synthesize(builder(device.family), device.family)
+        placed = find_prr(device, report.requirements)
+        impl = implement(report, device, placed.region)
+        post = impl.design.post
+        savings = impl.design.savings_percent()
+        clb_pre = -(-report.pairs.lut_ff_pairs // device.family.luts_per_clb)
+        clb_post = -(-post.lut_ff_pairs // device.family.luts_per_clb)
+        rows[(report.design_name, device.name)] = {
+            "LUT_FF_req": post.lut_ff_pairs,
+            "LUT_req": post.luts,
+            "FF_req": post.ffs,
+            "DSP_req": impl.design.dsps,
+            "BRAM_req": impl.design.brams,
+            "CLB_req": clb_post,
+            "savings_pct": {
+                **{k: round(v, 1) for k, v in savings.items()},
+                "CLB_req": round((clb_pre - clb_post) / clb_pre * 100, 1),
+            },
+            "routed": impl.succeeded,
+        }
+    return rows
+
+
+def table7() -> dict[tuple[str, str], dict[str, int]]:
+    """Table VII: partial bitstream sizes (model + generated/measured)."""
+    rows: dict[tuple[str, str], dict[str, int]] = {}
+    for key, result in _evaluation_results().items():
+        _, device_name = key
+        device = XC5VLX110T if device_name == XC5VLX110T.name else XC6VLX75T
+        generated = generate_partial_bitstream(
+            device, result.placement.region, design_name=key[0]
+        )
+        rows[key] = {
+            "model_bytes": result.bitstream.total_bytes,
+            "generated_bytes": generated.size_bytes,
+        }
+    return rows
+
+
+def table8() -> dict[tuple[str, str], dict[str, float]]:
+    """Table VIII: synthesis and implementation (modelled) runtimes."""
+    rows: dict[tuple[str, str], dict[str, float]] = {}
+    for device, builder in EVALUATION_CASES:
+        report = synthesize(builder(device.family), device.family)
+        placed = find_prr(device, report.requirements)
+        impl = implement(report, device, placed.region)
+        rows[(report.design_name, device.name)] = {
+            "synthesis_seconds": report.simulated_seconds,
+            "implementation_seconds": impl.simulated_seconds,
+        }
+    return rows
+
+
+def retighten_outcomes() -> dict[tuple[str, str], RetightenOutcome]:
+    """The Section IV re-tightening experiment on all six cases."""
+    outcomes: dict[tuple[str, str], RetightenOutcome] = {}
+    for device, builder in EVALUATION_CASES:
+        report = synthesize(builder(device.family), device.family)
+        placed = find_prr(device, report.requirements)
+        outcomes[(report.design_name, device.name)] = retighten(
+            report, device, placed.region
+        )
+    return outcomes
+
+
+def render_grid(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Aligned-text rendering of a list of homogeneous dict rows."""
+    if not rows:
+        return "(empty)"
+    headers = list(rows[0].keys())
+    table = [[str(row.get(h, "")) for h in headers] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(line[i]) for line in table))
+        for i in range(len(headers))
+    ]
+    out = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    out.append("  ".join("-" * w for w in widths))
+    for line in table:
+        out.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(out)

@@ -1,0 +1,70 @@
+"""XST-like synthesis substrate.
+
+Pipeline: :mod:`netlist` IR → :mod:`mapper` (technology mapping) →
+:mod:`packer` (LUT–FF pairing) → :mod:`report` (`.syr`-style report, also
+parseable from real Xilinx output) — driven by :func:`synthesize`.
+"""
+
+from .library import PrimitiveLibrary, library_for
+from .mapper import MappedCounts, luts_for_fanin, map_component, map_netlist
+from .netlist import (
+    FSM,
+    Adder,
+    Comparator,
+    Component,
+    GlueLogic,
+    LogicCloud,
+    Memory,
+    Module,
+    Multiplier,
+    Mux,
+    Netlist,
+    OptimizationHints,
+    RegisterBank,
+    ShiftRegister,
+)
+from .packer import PairBreakdown, pack
+from .timing import TimingEstimate, estimate_timing, logic_levels
+from .report import SynthesisReport, SyrParseError, parse_syr, render_syr
+from .xst import (
+    SynthesisRun,
+    simulated_synthesis_seconds,
+    synthesize,
+    synthesize_timed,
+)
+
+__all__ = [
+    "Component",
+    "LogicCloud",
+    "Adder",
+    "Comparator",
+    "Mux",
+    "Multiplier",
+    "RegisterBank",
+    "ShiftRegister",
+    "Memory",
+    "FSM",
+    "GlueLogic",
+    "OptimizationHints",
+    "Module",
+    "Netlist",
+    "PrimitiveLibrary",
+    "library_for",
+    "MappedCounts",
+    "map_component",
+    "map_netlist",
+    "luts_for_fanin",
+    "PairBreakdown",
+    "pack",
+    "SynthesisReport",
+    "render_syr",
+    "parse_syr",
+    "SyrParseError",
+    "synthesize",
+    "synthesize_timed",
+    "simulated_synthesis_seconds",
+    "SynthesisRun",
+    "TimingEstimate",
+    "estimate_timing",
+    "logic_levels",
+]

@@ -1,0 +1,128 @@
+"""Target primitive library: family-specific mapping parameters.
+
+The mapper needs a handful of facts about the target family's primitives —
+LUT input count, SRL depth, DSP operand widths, BRAM capacity/shapes,
+LUTRAM geometry.  :class:`PrimitiveLibrary` bundles them;
+:func:`library_for` picks the right bundle for a
+:class:`~repro.devices.family.DeviceFamily`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.family import DeviceFamily
+
+__all__ = ["PrimitiveLibrary", "library_for"]
+
+
+@dataclass(frozen=True, slots=True)
+class PrimitiveLibrary:
+    """Mapping-relevant primitive parameters for one device family."""
+
+    family_name: str
+    lut_inputs: int  #: K of the K-input LUT (4 for Virtex-4, 6 for 5/6/7)
+    srl_depth: int  #: max depth of a single-LUT shift register
+    dsp_a_width: int  #: DSP multiplier port A width (signed)
+    dsp_b_width: int  #: DSP multiplier port B width (signed)
+    bram_kbits: int  #: usable bits of one BRAM block (data, excl. parity)
+    bram_widths: tuple[int, ...]  #: supported data-port widths
+    lutram_depth: int  #: addresses of a single-LUT distributed RAM
+    luts_per_lutram_bit: int  #: LUTs per bit lane of dual-port LUTRAM
+
+    def __post_init__(self) -> None:
+        if self.lut_inputs < 2:
+            raise ValueError("lut_inputs must be >= 2")
+        if not self.bram_widths:
+            raise ValueError("bram_widths must be non-empty")
+
+    def mux_luts_per_bit(self, ways: int) -> int:
+        """LUTs per output bit of a ways:1 mux.
+
+        A K-input LUT implements a ``(K-2)``-ish way mux stage: LUT6 does a
+        4:1 mux (2 selects + 4 data... bounded by inputs: 4 data + 2 select
+        = 6); LUT4 does 2:1.  Wide muxes cascade through F7/F8 muxes, which
+        are free, so the LUT count is the first-stage count.
+        """
+        if ways < 2:
+            raise ValueError("ways must be >= 2")
+        stage = max(2, self.lut_inputs - 2)
+        # first stage of stage:1 muxes over `ways` inputs
+        return -(-(ways - 1) // (stage - 1)) if stage > 1 else ways - 1
+
+
+_VIRTEX4_LIB = PrimitiveLibrary(
+    family_name="virtex4",
+    lut_inputs=4,
+    srl_depth=16,
+    dsp_a_width=18,
+    dsp_b_width=18,
+    bram_kbits=18 * 1024,
+    bram_widths=(1, 2, 4, 9, 18, 36),
+    lutram_depth=16,
+    luts_per_lutram_bit=2,
+)
+
+_VIRTEX5_LIB = PrimitiveLibrary(
+    family_name="virtex5",
+    lut_inputs=6,
+    srl_depth=32,
+    dsp_a_width=25,
+    dsp_b_width=18,
+    bram_kbits=36 * 1024,
+    bram_widths=(1, 2, 4, 9, 18, 36, 72),
+    lutram_depth=64,
+    luts_per_lutram_bit=2,
+)
+
+_VIRTEX6_LIB = PrimitiveLibrary(
+    family_name="virtex6",
+    lut_inputs=6,
+    srl_depth=32,
+    dsp_a_width=25,
+    dsp_b_width=18,
+    bram_kbits=36 * 1024,
+    bram_widths=(1, 2, 4, 9, 18, 36, 72),
+    lutram_depth=64,
+    luts_per_lutram_bit=2,
+)
+
+_SERIES7_LIB = PrimitiveLibrary(
+    family_name="series7",
+    lut_inputs=6,
+    srl_depth=32,
+    dsp_a_width=25,
+    dsp_b_width=18,
+    bram_kbits=36 * 1024,
+    bram_widths=(1, 2, 4, 9, 18, 36, 72),
+    lutram_depth=64,
+    luts_per_lutram_bit=2,
+)
+
+_SPARTAN6_LIB = PrimitiveLibrary(
+    family_name="spartan6",
+    lut_inputs=6,
+    srl_depth=32,
+    dsp_a_width=18,
+    dsp_b_width=18,
+    bram_kbits=18 * 1024,
+    bram_widths=(1, 2, 4, 9, 18, 36),
+    lutram_depth=64,
+    luts_per_lutram_bit=2,
+)
+
+_LIBRARIES = {
+    lib.family_name: lib
+    for lib in (_VIRTEX4_LIB, _VIRTEX5_LIB, _VIRTEX6_LIB, _SERIES7_LIB, _SPARTAN6_LIB)
+}
+
+
+def library_for(family: DeviceFamily) -> PrimitiveLibrary:
+    """The primitive library matching a device family."""
+    try:
+        return _LIBRARIES[family.name]
+    except KeyError:
+        raise KeyError(
+            f"no primitive library for family {family.name!r}; "
+            f"known: {sorted(_LIBRARIES)}"
+        ) from None

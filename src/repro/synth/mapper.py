@@ -1,0 +1,209 @@
+"""Technology mapping: netlist components → primitive counts.
+
+Each component type lowers to (LUTs, FFs, paired FFs, DSPs, BRAMs) using
+the target family's :class:`~repro.synth.library.PrimitiveLibrary`.
+"Paired FFs" are flip-flops whose data input is driven by one of the same
+component's LUTs — the packer places those in the same slice LUT–FF pair,
+which is what makes ``LUT_FF_req < LUT_req + FF_req``.
+
+Mapping rules (classic XST behaviour at the macro level):
+
+* logic cloud — per output, a tree of K-input LUTs covering the fanin:
+  ``ceil((fanin - 1) / (K - 1))`` LUTs;
+* adder — one LUT + carry-chain stage per bit;
+* comparator — each LUT absorbs ``K/2`` bit-pairs;
+* mux — first mux stage in LUTs, wide stages via free F7/F8 muxes;
+* multiplier — DSP tiles covering the operand rectangle (or a LUT
+  partial-product array when ``use_dsp=False``);
+* shift register — SRL LUTs (untapped) or discrete FFs (tapped);
+* memory — LUTRAM below the distributed threshold, else BRAM blocks
+  chosen over the legal width shapes;
+* FSM — one-hot state register plus next-state/output LUTs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .library import PrimitiveLibrary
+from .netlist import (
+    FSM,
+    Adder,
+    Comparator,
+    Component,
+    GlueLogic,
+    LogicCloud,
+    Memory,
+    Multiplier,
+    Mux,
+    Netlist,
+    RegisterBank,
+    ShiftRegister,
+)
+
+__all__ = ["MappedCounts", "map_component", "map_netlist", "luts_for_fanin"]
+
+
+@dataclass(frozen=True, slots=True)
+class MappedCounts:
+    """Primitive totals for a component or a whole netlist."""
+
+    luts: int = 0
+    ffs: int = 0
+    paired_ffs: int = 0  #: FFs sharing a pair with one of these LUTs
+    dsps: int = 0
+    brams: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.luts, self.ffs, self.paired_ffs, self.dsps, self.brams) < 0:
+            raise ValueError("mapped counts must be non-negative")
+        if self.paired_ffs > min(self.luts, self.ffs):
+            raise ValueError("paired_ffs cannot exceed min(luts, ffs)")
+
+    def __add__(self, other: "MappedCounts") -> "MappedCounts":
+        return MappedCounts(
+            self.luts + other.luts,
+            self.ffs + other.ffs,
+            self.paired_ffs + other.paired_ffs,
+            self.dsps + other.dsps,
+            self.brams + other.brams,
+        )
+
+    @property
+    def lut_ff_pairs(self) -> int:
+        """LUT_FF_req: every LUT and FF occupies a pair; paired ones share."""
+        return self.luts + self.ffs - self.paired_ffs
+
+
+def luts_for_fanin(fanin: int, lut_inputs: int) -> int:
+    """LUTs in a tree covering one *fanin*-input function."""
+    if fanin < 1:
+        raise ValueError("fanin must be >= 1")
+    if fanin <= lut_inputs:
+        return 1
+    return math.ceil((fanin - 1) / (lut_inputs - 1))
+
+
+def _map_logic(component: LogicCloud, lib: PrimitiveLibrary) -> MappedCounts:
+    luts = component.width * luts_for_fanin(component.fanin, lib.lut_inputs)
+    ffs = component.width if component.registered else 0
+    return MappedCounts(luts=luts, ffs=ffs, paired_ffs=min(ffs, luts))
+
+
+def _map_adder(component: Adder, lib: PrimitiveLibrary) -> MappedCounts:
+    luts = component.width
+    ffs = component.width if component.registered else 0
+    return MappedCounts(luts=luts, ffs=ffs, paired_ffs=ffs)
+
+
+def _map_comparator(component: Comparator, lib: PrimitiveLibrary) -> MappedCounts:
+    bits_per_lut = max(1, lib.lut_inputs // 2)
+    return MappedCounts(luts=math.ceil(component.width / bits_per_lut))
+
+
+def _map_mux(component: Mux, lib: PrimitiveLibrary) -> MappedCounts:
+    luts = component.width * lib.mux_luts_per_bit(component.ways)
+    ffs = component.width if component.registered else 0
+    return MappedCounts(luts=luts, ffs=ffs, paired_ffs=min(ffs, luts))
+
+
+def _map_multiplier(component: Multiplier, lib: PrimitiveLibrary) -> MappedCounts:
+    if component.use_dsp:
+        tiles_a = math.ceil(component.a_width / lib.dsp_a_width)
+        tiles_b = math.ceil(component.b_width / lib.dsp_b_width)
+        return MappedCounts(dsps=tiles_a * tiles_b)
+    # LUT multiplier: partial-product array, ~a*b/2 LUTs after carry merge.
+    luts = math.ceil(component.a_width * component.b_width / 2)
+    ffs = (
+        component.a_width + component.b_width if component.registered else 0
+    )
+    return MappedCounts(luts=luts, ffs=ffs, paired_ffs=min(ffs, luts))
+
+
+def _map_register_bank(component: RegisterBank, lib: PrimitiveLibrary) -> MappedCounts:
+    return MappedCounts(ffs=component.width)
+
+
+def _map_shift_register(
+    component: ShiftRegister, lib: PrimitiveLibrary
+) -> MappedCounts:
+    if component.tapped:
+        return MappedCounts(ffs=component.depth * component.width)
+    srls_per_lane = math.ceil(component.depth / lib.srl_depth)
+    luts = component.width * srls_per_lane
+    ffs = component.width  # registered SRL output
+    return MappedCounts(luts=luts, ffs=ffs, paired_ffs=ffs)
+
+
+def _bram_blocks(component: Memory, lib: PrimitiveLibrary) -> int:
+    """Blocks needed, trying every legal port width shape."""
+    best = None
+    for width in lib.bram_widths:
+        depth_per_block = lib.bram_kbits // width
+        lanes = math.ceil(component.width / width)
+        depth_blocks = math.ceil(component.depth / depth_per_block)
+        blocks = lanes * depth_blocks
+        if best is None or blocks < best:
+            best = blocks
+    assert best is not None
+    return best
+
+
+def _map_memory(component: Memory, lib: PrimitiveLibrary) -> MappedCounts:
+    if not component.force_bram and component.depth <= lib.lutram_depth:
+        luts_per_bit = lib.luts_per_lutram_bit if component.dual_port else 1
+        luts = component.width * luts_per_bit
+        return MappedCounts(luts=luts)
+    return MappedCounts(brams=_bram_blocks(component, lib))
+
+
+def _map_fsm(component: FSM, lib: PrimitiveLibrary) -> MappedCounts:
+    # One-hot encoding: one FF per state; each state's next-state function
+    # sees a few states plus the inputs; outputs decode from states.
+    next_state_fanin = min(component.states, 4) + component.inputs
+    luts = component.states * luts_for_fanin(next_state_fanin, lib.lut_inputs)
+    luts += component.outputs * luts_for_fanin(
+        min(component.states, lib.lut_inputs), lib.lut_inputs
+    )
+    ffs = component.states
+    return MappedCounts(luts=luts, ffs=ffs, paired_ffs=min(ffs, luts))
+
+
+def _map_glue(component: GlueLogic, lib: PrimitiveLibrary) -> MappedCounts:
+    return MappedCounts(
+        luts=component.luts, ffs=component.ffs, paired_ffs=component.paired_ffs
+    )
+
+
+_DISPATCH = {
+    LogicCloud: _map_logic,
+    Adder: _map_adder,
+    Comparator: _map_comparator,
+    Mux: _map_mux,
+    Multiplier: _map_multiplier,
+    RegisterBank: _map_register_bank,
+    ShiftRegister: _map_shift_register,
+    Memory: _map_memory,
+    FSM: _map_fsm,
+    GlueLogic: _map_glue,
+}
+
+
+def map_component(component: Component, lib: PrimitiveLibrary) -> MappedCounts:
+    """Map one component to primitive counts."""
+    try:
+        handler = _DISPATCH[type(component)]
+    except KeyError:
+        raise TypeError(
+            f"no mapping rule for component type {type(component).__name__}"
+        ) from None
+    return handler(component, lib)
+
+
+def map_netlist(netlist: Netlist, lib: PrimitiveLibrary) -> MappedCounts:
+    """Map a whole netlist (hierarchy flattened)."""
+    total = MappedCounts()
+    for component in netlist.iter_components():
+        total = total + map_component(component, lib)
+    return total

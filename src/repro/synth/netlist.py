@@ -1,0 +1,352 @@
+"""Structural netlist IR — the input to the XST-like synthesis engine.
+
+The paper's cost models need five scalars per PRM, all derived from a
+synthesis report.  To produce those scalars from something *real*, this IR
+describes a design at the RTL-macro level: adders, multipliers, muxes,
+register banks, shift registers, memories, FSMs and generic LUT-mappable
+logic clouds, organized into modules.  The technology mapper
+(:mod:`repro.synth.mapper`) lowers each component to LUT/FF/DSP/BRAM
+primitive counts using family-specific rules, and the packer
+(:mod:`repro.synth.packer`) derives the LUT–FF pair split.
+
+Components carry two kinds of synthesis-relevant structure:
+
+* ``registered`` / ``paired`` information — whether outputs land in
+  flip-flops directly driven by this component's logic (those FFs can pack
+  into the same LUT–FF pair, reducing ``LUT_FF_req``);
+* ``control_set`` — the clock-enable/reset group of the component's
+  registers.  Distinct control sets fragment slice packing and feed the
+  router's congestion model.
+
+An :class:`OptimizationHints` bundle records how much slack the
+implementation tools can recover later (LUT combining, route-thru
+insertion, FF duplication, cross-pair packing); the place-and-route
+substrate consumes it (see DESIGN.md, "Table VI optimizer").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "Component",
+    "LogicCloud",
+    "Adder",
+    "Comparator",
+    "Mux",
+    "Multiplier",
+    "RegisterBank",
+    "ShiftRegister",
+    "Memory",
+    "FSM",
+    "GlueLogic",
+    "OptimizationHints",
+    "Module",
+    "Netlist",
+]
+
+
+class Component(abc.ABC):
+    """Base class for netlist components.
+
+    Subclasses are frozen dataclasses; the mapper dispatches on type.
+    """
+
+    #: control-set group of this component's registers ("" = none).
+    control_set: str
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """One-line human description for reports."""
+
+
+@dataclass(frozen=True, slots=True)
+class LogicCloud(Component):
+    """A cloud of random logic: *width* independent functions of *fanin*
+    inputs each, optionally registered."""
+
+    fanin: int
+    width: int
+    registered: bool = False
+    control_set: str = ""
+
+    def __post_init__(self) -> None:
+        if self.fanin < 1 or self.width < 1:
+            raise ValueError("fanin and width must be >= 1")
+
+    def describe(self) -> str:
+        reg = ", registered" if self.registered else ""
+        return f"logic cloud {self.width}x{self.fanin}-input{reg}"
+
+
+@dataclass(frozen=True, slots=True)
+class Adder(Component):
+    """A *width*-bit carry-chain adder/subtractor, optionally registered."""
+
+    width: int
+    registered: bool = False
+    control_set: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+
+    def describe(self) -> str:
+        return f"{self.width}-bit adder"
+
+
+@dataclass(frozen=True, slots=True)
+class Comparator(Component):
+    """A *width*-bit equality/magnitude comparator."""
+
+    width: int
+    control_set: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+
+    def describe(self) -> str:
+        return f"{self.width}-bit comparator"
+
+
+@dataclass(frozen=True, slots=True)
+class Mux(Component):
+    """A *ways*:1 multiplexer, *width* bits wide."""
+
+    ways: int
+    width: int
+    registered: bool = False
+    control_set: str = ""
+
+    def __post_init__(self) -> None:
+        if self.ways < 2:
+            raise ValueError("a mux needs at least 2 ways")
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+
+    def describe(self) -> str:
+        return f"{self.ways}:1 mux x{self.width}"
+
+
+@dataclass(frozen=True, slots=True)
+class Multiplier(Component):
+    """An ``a_width x b_width`` multiplier, mapped to DSP blocks by default.
+
+    ``use_dsp=False`` forces a LUT implementation (XST's ``MULT_STYLE``).
+    ``registered`` models the DSP's internal pipeline registers, which do
+    not consume fabric FFs.
+    """
+
+    a_width: int
+    b_width: int
+    use_dsp: bool = True
+    registered: bool = True
+    control_set: str = ""
+
+    def __post_init__(self) -> None:
+        if self.a_width < 1 or self.b_width < 1:
+            raise ValueError("operand widths must be >= 1")
+
+    def describe(self) -> str:
+        impl = "DSP" if self.use_dsp else "LUT"
+        return f"{self.a_width}x{self.b_width} multiplier ({impl})"
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterBank(Component):
+    """*width* flip-flops not driven by local logic (e.g. input capture)."""
+
+    width: int
+    control_set: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be >= 1")
+
+    def describe(self) -> str:
+        return f"{self.width}-bit register bank"
+
+
+@dataclass(frozen=True, slots=True)
+class ShiftRegister(Component):
+    """A *depth*-deep, *width*-wide shift register.
+
+    Untapped shift registers map to SRL LUTs (plus one output FF per bit
+    lane); tapped ones need every stage as a discrete FF.
+    """
+
+    depth: int
+    width: int
+    tapped: bool = False
+    control_set: str = ""
+
+    def __post_init__(self) -> None:
+        if self.depth < 1 or self.width < 1:
+            raise ValueError("depth and width must be >= 1")
+
+    def describe(self) -> str:
+        kind = "tapped" if self.tapped else "SRL"
+        return f"{self.depth}x{self.width} shift register ({kind})"
+
+
+@dataclass(frozen=True, slots=True)
+class Memory(Component):
+    """A *depth* x *width* RAM.
+
+    Memories small enough for LUTRAM (depth <= 64) synthesize distributed;
+    larger ones infer BRAMs.  ``force_bram`` pins the BRAM mapping.
+    """
+
+    depth: int
+    width: int
+    dual_port: bool = False
+    force_bram: bool = False
+    control_set: str = ""
+
+    def __post_init__(self) -> None:
+        if self.depth < 1 or self.width < 1:
+            raise ValueError("depth and width must be >= 1")
+
+    @property
+    def bits(self) -> int:
+        return self.depth * self.width
+
+    def describe(self) -> str:
+        port = "DP" if self.dual_port else "SP"
+        return f"{self.depth}x{self.width} RAM ({port})"
+
+
+@dataclass(frozen=True, slots=True)
+class FSM(Component):
+    """A finite-state machine: one-hot state register + next-state and
+    output logic sized from state/input/output counts."""
+
+    states: int
+    inputs: int
+    outputs: int
+    control_set: str = ""
+
+    def __post_init__(self) -> None:
+        if self.states < 2:
+            raise ValueError("an FSM needs at least 2 states")
+        if self.inputs < 0 or self.outputs < 0:
+            raise ValueError("inputs/outputs must be >= 0")
+
+    def describe(self) -> str:
+        return f"FSM ({self.states} states, {self.inputs} in, {self.outputs} out)"
+
+
+@dataclass(frozen=True, slots=True)
+class GlueLogic(Component):
+    """Explicitly sized glue logic.
+
+    The macro IR cannot express every scrap of control/interconnect logic a
+    real RTL design synthesizes to, so workload generators may add one
+    GlueLogic component with explicit primitive counts (documented per
+    workload) to match reference synthesis results.  ``paired_ffs`` of its
+    FFs share LUT–FF pairs with its LUTs.
+    """
+
+    luts: int
+    ffs: int
+    paired_ffs: int = 0
+    control_set: str = ""
+
+    def __post_init__(self) -> None:
+        if self.luts < 0 or self.ffs < 0 or self.paired_ffs < 0:
+            raise ValueError("counts must be >= 0")
+        if self.paired_ffs > min(self.luts, self.ffs):
+            raise ValueError("paired_ffs cannot exceed min(luts, ffs)")
+
+    def describe(self) -> str:
+        return f"glue logic ({self.luts} LUTs, {self.ffs} FFs)"
+
+
+@dataclass(frozen=True, slots=True)
+class OptimizationHints:
+    """Implementation-time optimization slack for the P&R optimizer.
+
+    All counts are deltas the MAP/PAR stage may realize:
+
+    * ``combinable_luts`` — LUTs removable by dual-output LUT6_2 combining
+      and logic restructuring;
+    * ``routethru_luts`` — LUTs the *router* adds as route-throughs
+    * ``duplicable_ffs`` — FFs the placer replicates for high fanout;
+    * ``crosspackable_pairs`` — LUT-only/FF-only pairs mergeable into full
+      pairs once placement co-locates them.
+    """
+
+    combinable_luts: int = 0
+    routethru_luts: int = 0
+    duplicable_ffs: int = 0
+    crosspackable_pairs: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "combinable_luts",
+            "routethru_luts",
+            "duplicable_ffs",
+            "crosspackable_pairs",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+
+@dataclass
+class Module:
+    """A named group of components plus child module instances."""
+
+    name: str
+    components: list[Component] = field(default_factory=list)
+    children: list["Module"] = field(default_factory=list)
+
+    def add(self, component: Component) -> "Module":
+        self.components.append(component)
+        return self
+
+    def instantiate(self, child: "Module") -> "Module":
+        self.children.append(child)
+        return self
+
+    def iter_components(self) -> Iterator[Component]:
+        """All components, depth-first through the hierarchy."""
+        yield from self.components
+        for child in self.children:
+            yield from child.iter_components()
+
+    def component_count(self) -> int:
+        return sum(1 for _ in self.iter_components())
+
+
+@dataclass
+class Netlist:
+    """A complete design: top module + implementation hints."""
+
+    name: str
+    top: Module
+    hints: OptimizationHints = field(default_factory=OptimizationHints)
+
+    def iter_components(self) -> Iterator[Component]:
+        return self.top.iter_components()
+
+    @property
+    def component_count(self) -> int:
+        return self.top.component_count()
+
+    @property
+    def control_sets(self) -> frozenset[str]:
+        """Distinct non-empty control-set labels in the design."""
+        return frozenset(
+            component.control_set
+            for component in self.iter_components()
+            if component.control_set
+        )
+
+    def describe(self) -> str:
+        lines = [f"netlist {self.name}: {self.component_count} components"]
+        for component in self.iter_components():
+            lines.append(f"  - {component.describe()}")
+        return "\n".join(lines)

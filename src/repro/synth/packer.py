@@ -1,0 +1,66 @@
+"""Slice packing: primitive counts → LUT–FF pair breakdown.
+
+A Virtex-5-class slice holds LUT–FF *pairs* (one LUT site + one FF site).
+Given mapped primitive counts, the packer derives the three pair classes
+the paper's Section III.B enumerates:
+
+* *fully used* pairs — a LUT and the FF it drives, packed together;
+* *LUT-only* pairs — "LUT FF pairs with unused FFs (only LUTs)";
+* *FF-only* pairs — "LUT FF pairs with unused LUTs (only FFs)";
+
+with ``LUT_FF_req`` = full + LUT-only + FF-only, ``LUT_req`` = full +
+LUT-only and ``FF_req`` = full + FF-only — exactly the identities the
+paper states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .mapper import MappedCounts
+
+__all__ = ["PairBreakdown", "pack"]
+
+
+@dataclass(frozen=True, slots=True)
+class PairBreakdown:
+    """LUT–FF pair classes after packing."""
+
+    full_pairs: int
+    lut_only_pairs: int
+    ff_only_pairs: int
+
+    def __post_init__(self) -> None:
+        if min(self.full_pairs, self.lut_only_pairs, self.ff_only_pairs) < 0:
+            raise ValueError("pair counts must be non-negative")
+
+    @property
+    def lut_ff_pairs(self) -> int:
+        """LUT_FF_req — total occupied pairs."""
+        return self.full_pairs + self.lut_only_pairs + self.ff_only_pairs
+
+    @property
+    def luts(self) -> int:
+        """LUT_req — "pairs with full use ... and with unused FFs"."""
+        return self.full_pairs + self.lut_only_pairs
+
+    @property
+    def ffs(self) -> int:
+        """FF_req — "pairs with unused LUTs and with full use"."""
+        return self.full_pairs + self.ff_only_pairs
+
+
+def pack(counts: MappedCounts) -> PairBreakdown:
+    """Pack mapped primitives into LUT–FF pairs.
+
+    Only FFs *driven by a same-component LUT* pack into shared pairs at
+    synthesis time (``counts.paired_ffs``); the implementation tools can
+    recover more sharing later (the ``crosspackable_pairs`` optimization
+    hint consumed by :mod:`repro.par.optimizer`).
+    """
+    full = min(counts.paired_ffs, counts.luts, counts.ffs)
+    return PairBreakdown(
+        full_pairs=full,
+        lut_only_pairs=counts.luts - full,
+        ff_only_pairs=counts.ffs - full,
+    )

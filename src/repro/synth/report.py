@@ -1,0 +1,190 @@
+"""Synthesis reports: the structured result of synthesis, plus `.syr` I/O.
+
+:class:`SynthesisReport` carries everything downstream stages consume:
+
+* the five cost-model scalars (→ :class:`~repro.core.params.PRMRequirements`);
+* the pair breakdown (full / LUT-only / FF-only);
+* control-set and optimization-hint metadata for the P&R substrate;
+* a deterministic simulated runtime (Table VIII).
+
+:func:`render_syr` writes the classic XST "Device utilization summary"
+text; :func:`parse_syr` reads one back — including *real* Xilinx `.syr`
+files, which lets users of this library feed actual vendor synthesis
+results into the cost models (the paper's intended workflow).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..core.params import PRMRequirements
+from .netlist import OptimizationHints
+from .packer import PairBreakdown
+
+__all__ = ["SynthesisReport", "render_syr", "parse_syr", "SyrParseError"]
+
+
+@dataclass(frozen=True, slots=True)
+class SynthesisReport:
+    """Result of synthesizing one PRM for one device family."""
+
+    design_name: str
+    family_name: str
+    pairs: PairBreakdown
+    dsps: int
+    brams: int
+    control_sets: int = 1
+    hints: OptimizationHints = field(default_factory=OptimizationHints)
+    simulated_seconds: float = 0.0  #: modelled XST wall time (Table VIII)
+
+    def __post_init__(self) -> None:
+        if self.dsps < 0 or self.brams < 0:
+            raise ValueError("dsps/brams must be non-negative")
+        if self.control_sets < 0:
+            raise ValueError("control_sets must be non-negative")
+
+    # -- cost-model bridge ---------------------------------------------------
+
+    @property
+    def requirements(self) -> PRMRequirements:
+        """The five Table I scalars as cost-model input."""
+        return PRMRequirements(
+            name=self.design_name,
+            lut_ff_pairs=self.pairs.lut_ff_pairs,
+            luts=self.pairs.luts,
+            ffs=self.pairs.ffs,
+            dsps=self.dsps,
+            brams=self.brams,
+        )
+
+    def summary(self) -> str:
+        return (
+            f"{self.design_name} [{self.family_name}]: "
+            f"pairs={self.pairs.lut_ff_pairs} LUTs={self.pairs.luts} "
+            f"FFs={self.pairs.ffs} DSPs={self.dsps} BRAMs={self.brams}"
+        )
+
+
+_SYR_TEMPLATE = """\
+Release 12.4 - xst (repro synthetic)
+Copyright (c) repro contributors.
+
+=========================================================================
+*                            Final Report                               *
+=========================================================================
+
+Top Level Output File Name         : {design}.ngc
+Target Device                      : {family}
+
+Device utilization summary:
+---------------------------
+
+Slice Logic Utilization:
+ Number of Slice Registers:            {ffs}
+ Number of Slice LUTs:                 {luts}
+
+Slice Logic Distribution:
+ Number of LUT Flip Flop pairs used:   {pairs}
+   Number with an unused Flip Flop:    {lut_only}
+   Number with an unused LUT:          {ff_only}
+   Number of fully used LUT-FF pairs:  {full}
+
+Specific Feature Utilization:
+ Number of Block RAM/FIFO:             {brams}
+ Number of DSP48Es:                    {dsps}
+
+Number of control sets               : {control_sets}
+"""
+
+
+def render_syr(report: SynthesisReport) -> str:
+    """Render the report as XST-style `.syr` text."""
+    pairs = report.pairs
+    return _SYR_TEMPLATE.format(
+        design=report.design_name,
+        family=report.family_name,
+        ffs=pairs.ffs,
+        luts=pairs.luts,
+        pairs=pairs.lut_ff_pairs,
+        lut_only=pairs.lut_only_pairs,
+        ff_only=pairs.ff_only_pairs,
+        full=pairs.full_pairs,
+        brams=report.brams,
+        dsps=report.dsps,
+        control_sets=report.control_sets,
+    )
+
+
+class SyrParseError(ValueError):
+    """A `.syr` text lacked a required utilization line."""
+
+
+# Patterns tolerate the punctuation drift across ISE releases and also
+# match the "Number of DSP48E1s"/"RAMB36E1" spellings of later families.
+_PATTERNS: dict[str, re.Pattern[str]] = {
+    "ffs": re.compile(r"Number of Slice Registers\s*:?\s+(\d+)"),
+    "luts": re.compile(r"Number of Slice LUTs\s*:?\s+(\d+)"),
+    "pairs": re.compile(r"Number of LUT Flip Flop pairs used\s*:?\s+(\d+)"),
+    "lut_only": re.compile(r"Number with an unused Flip Flop\s*:?\s+(\d+)"),
+    "ff_only": re.compile(r"Number with an unused LUT\s*:?\s+(\d+)"),
+    "full": re.compile(r"Number of fully used LUT-FF pairs\s*:?\s+(\d+)"),
+    "brams": re.compile(r"Number of Block RAM/FIFO\s*:?\s+(\d+)"),
+    "dsps": re.compile(r"Number of DSP48E?\d?s?\s*:?\s+(\d+)"),
+    "control_sets": re.compile(r"Number of control sets\s*:?\s+(\d+)"),
+}
+
+_DESIGN_RE = re.compile(r"Top Level Output File Name\s*:?\s+(\S+?)(?:\.ngc)?\s*$",
+                        re.MULTILINE)
+_FAMILY_RE = re.compile(r"Target Device\s*:?\s+(\S+)")
+
+
+def parse_syr(text: str, *, design_name: str | None = None) -> SynthesisReport:
+    """Parse `.syr` text (ours or Xilinx's) into a :class:`SynthesisReport`.
+
+    Missing optional sections (DSP/BRAM/control sets) default to zero; the
+    mandatory slice-logic lines raise :class:`SyrParseError` when absent.
+    The pair split is cross-checked for internal consistency.
+    """
+    values: dict[str, int] = {}
+    for key, pattern in _PATTERNS.items():
+        match = pattern.search(text)
+        if match:
+            values[key] = int(match.group(1))
+
+    for required in ("luts", "ffs"):
+        if required not in values:
+            raise SyrParseError(f"missing slice logic line for {required!r}")
+
+    luts, ffs = values["luts"], values["ffs"]
+    if "full" in values:
+        full = values["full"]
+    elif "pairs" in values:
+        full = luts + ffs - values["pairs"]
+    else:
+        full = 0  # conservative: no pair sharing known
+    if full < 0 or full > min(luts, ffs):
+        raise SyrParseError(
+            f"inconsistent pair split: full={full}, luts={luts}, ffs={ffs}"
+        )
+    pairs = PairBreakdown(
+        full_pairs=full, lut_only_pairs=luts - full, ff_only_pairs=ffs - full
+    )
+    if "pairs" in values and pairs.lut_ff_pairs != values["pairs"]:
+        raise SyrParseError(
+            f"pair total {values['pairs']} does not match breakdown "
+            f"{pairs.lut_ff_pairs}"
+        )
+
+    if design_name is None:
+        match = _DESIGN_RE.search(text)
+        design_name = match.group(1) if match else "parsed_design"
+    family_match = _FAMILY_RE.search(text)
+    return SynthesisReport(
+        design_name=design_name,
+        family_name=family_match.group(1) if family_match else "unknown",
+        pairs=pairs,
+        dsps=values.get("dsps", 0),
+        brams=values.get("brams", 0),
+        control_sets=values.get("control_sets", 1),
+    )

@@ -1,0 +1,155 @@
+"""Static timing estimation: logic depth + PRR-size-dependent routing.
+
+Section I motivates right-sizing PRRs with a timing argument: "oversized
+PRRs impose longer routing delays and reconfiguration time ... and thus
+potentially worse performance than a non-PR system".  This model
+quantifies it:
+
+    t_critical = t_clk_q + levels * (t_lut + t_net(region)) + t_setup
+
+where the per-hop net delay grows with the placed region's half-perimeter
+(wires stretch across whatever area the PRR spans) and with congestion
+(pair utilization approaching the routing capacity inflates detours).
+
+Delays are calibrated to Virtex-5 speed-grade-1-ish numbers; the point is
+the *shape*: frequency falls as the PRR is oversized, which the Ablation J
+benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..devices.fabric import Device, Region
+from .library import PrimitiveLibrary, library_for
+from .mapper import luts_for_fanin
+from .netlist import (
+    FSM,
+    Adder,
+    Comparator,
+    GlueLogic,
+    LogicCloud,
+    Memory,
+    Multiplier,
+    Mux,
+    Netlist,
+    RegisterBank,
+    ShiftRegister,
+)
+
+__all__ = ["TimingEstimate", "logic_levels", "estimate_timing"]
+
+#: Clock-to-out of a slice FF, seconds.
+T_CLK_Q = 0.45e-9
+#: One LUT6 propagation delay, seconds.
+T_LUT = 0.9e-9
+#: FF setup time, seconds.
+T_SETUP = 0.4e-9
+#: Base per-hop net delay in an uncongested, minimal region, seconds.
+T_NET_BASE = 0.6e-9
+#: Extra per-hop net delay per unit of region half-perimeter, seconds.
+T_NET_SPAN = 0.035e-9
+#: Congestion detour multiplier strength.
+CONGESTION_GAIN = 1.5
+
+
+def logic_levels(netlist: Netlist, lib: PrimitiveLibrary) -> int:
+    """Worst-case LUT levels between registers in the netlist.
+
+    Per component: the LUT-tree depth its mapping implies (registered
+    components end the path).  Components are independent datapath
+    stages, so the design's level count is the maximum.
+    """
+    worst = 1
+    for component in netlist.iter_components():
+        worst = max(worst, _component_levels(component, lib))
+    return worst
+
+
+def _component_levels(component, lib: PrimitiveLibrary) -> int:
+    k = lib.lut_inputs
+    if isinstance(component, LogicCloud):
+        return _tree_depth(luts_for_fanin(component.fanin, k), k)
+    if isinstance(component, Adder):
+        # Carry chains are fast: one LUT level plus the chain (folded into
+        # the net term); count as 2 levels past 16 bits.
+        return 1 if component.width <= 16 else 2
+    if isinstance(component, Comparator):
+        return _tree_depth(math.ceil(component.width / max(1, k // 2)), k)
+    if isinstance(component, Mux):
+        return max(1, math.ceil(math.log(component.ways, 4)))
+    if isinstance(component, Multiplier):
+        if component.use_dsp:
+            return 1  # registered DSP column
+        return 2 + _tree_depth(
+            math.ceil(component.a_width * component.b_width / 2), k
+        )
+    if isinstance(component, (RegisterBank, ShiftRegister, Memory)):
+        return 1
+    if isinstance(component, FSM):
+        fanin = min(component.states, 4) + component.inputs
+        return _tree_depth(luts_for_fanin(fanin, k), k)
+    if isinstance(component, GlueLogic):
+        # Glue is interface logic: shallow.
+        return 2 if component.luts else 1
+    return 1
+
+
+def _tree_depth(n_luts: int, k: int) -> int:
+    """Depth of a balanced K-ary LUT tree of *n_luts* LUTs."""
+    if n_luts <= 1:
+        return 1
+    return 1 + math.ceil(math.log(n_luts, k))
+
+
+@dataclass(frozen=True, slots=True)
+class TimingEstimate:
+    """Critical path breakdown and achievable frequency."""
+
+    levels: int
+    region_half_perimeter: int
+    congestion_factor: float  #: >= 1; detour inflation
+    critical_path_s: float
+
+    @property
+    def fmax_hz(self) -> float:
+        return 1.0 / self.critical_path_s
+
+    @property
+    def fmax_mhz(self) -> float:
+        return self.fmax_hz / 1e6
+
+
+def estimate_timing(
+    netlist: Netlist,
+    device: Device,
+    region: Region,
+    *,
+    pair_utilization: float = 0.5,
+) -> TimingEstimate:
+    """Estimate the critical path of *netlist* placed in *region*.
+
+    ``pair_utilization`` is the placed density (from
+    :class:`repro.par.placer.PlacementResult`); values near the family's
+    routing capacity inflate net delays (detours around congestion).
+    """
+    if not 0.0 <= pair_utilization <= 1.0:
+        raise ValueError("pair_utilization must be in [0, 1]")
+    device.region_column_counts(region)  # validates the region
+
+    lib = library_for(device.family)
+    levels = logic_levels(netlist, lib)
+
+    # Half-perimeter in CLB units: width in columns + height in CLB rows.
+    half_perimeter = region.width + region.height * device.family.clb_per_col
+    congestion = 1.0 + CONGESTION_GAIN * pair_utilization**4
+    per_hop_net = (T_NET_BASE + T_NET_SPAN * half_perimeter) * congestion
+
+    critical = T_CLK_Q + levels * (T_LUT + per_hop_net) + T_SETUP
+    return TimingEstimate(
+        levels=levels,
+        region_half_perimeter=half_perimeter,
+        congestion_factor=congestion,
+        critical_path_s=critical,
+    )

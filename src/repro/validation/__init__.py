@@ -1,0 +1,10 @@
+"""Model-vs-measured comparison helpers used by tests and benchmarks."""
+
+from .compare import (
+    mape,
+    percent_error,
+    signed_percent_error,
+    within_percent,
+)
+
+__all__ = ["percent_error", "signed_percent_error", "mape", "within_percent"]

@@ -1,0 +1,37 @@
+"""Error metrics for paper-vs-measured comparisons."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["signed_percent_error", "percent_error", "mape", "within_percent"]
+
+
+def signed_percent_error(measured: float, reference: float) -> float:
+    """(measured - reference) / reference * 100; reference must be nonzero."""
+    if reference == 0:
+        raise ZeroDivisionError("reference value is zero")
+    return (measured - reference) / reference * 100.0
+
+
+def percent_error(measured: float, reference: float) -> float:
+    """Absolute percent error."""
+    return abs(signed_percent_error(measured, reference))
+
+
+def mape(measured: Sequence[float], reference: Sequence[float]) -> float:
+    """Mean absolute percentage error over paired sequences."""
+    if len(measured) != len(reference):
+        raise ValueError("sequences must have equal length")
+    if not measured:
+        raise ValueError("sequences must be non-empty")
+    return sum(
+        percent_error(m, r) for m, r in zip(measured, reference)
+    ) / len(measured)
+
+
+def within_percent(measured: float, reference: float, tolerance: float) -> bool:
+    """True when measured is within ±tolerance% of reference."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    return percent_error(measured, reference) <= tolerance

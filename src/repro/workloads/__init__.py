@@ -1,0 +1,39 @@
+"""PRM (PR module) generators.
+
+The three paper workloads — :func:`build_fir`, :func:`build_mips`,
+:func:`build_sdram` — build structural netlists calibrated to the
+reference synthesis counts of the paper's evaluation (see DESIGN.md §5);
+``calibrated=False`` gives the raw structure for sweeps.  The extras
+(:func:`build_aes`, :func:`build_fft`, :func:`build_matmul`,
+:func:`build_uart`) are structure-only PRMs for exploration and
+multitasking studies.
+"""
+
+from .common import CalibrationError, SynthesisTargets, calibrate
+from .extras import build_aes, build_fft, build_matmul, build_uart
+from .fir import FIR_TARGETS, build_fir
+from .mips import MIPS_TARGETS, build_mips
+from .sdram import SDRAM_TARGETS, build_sdram
+
+__all__ = [
+    "SynthesisTargets",
+    "CalibrationError",
+    "calibrate",
+    "build_fir",
+    "build_mips",
+    "build_sdram",
+    "build_aes",
+    "build_fft",
+    "build_matmul",
+    "build_uart",
+    "FIR_TARGETS",
+    "MIPS_TARGETS",
+    "SDRAM_TARGETS",
+]
+
+#: The paper's three evaluation PRMs, keyed by name.
+PAPER_WORKLOADS = {
+    "fir": build_fir,
+    "mips": build_mips,
+    "sdram": build_sdram,
+}

@@ -1,0 +1,121 @@
+"""Shared machinery for calibrated workload (PRM) generators.
+
+The three paper PRMs (FIR, MIPS, SDRAM) must synthesize to the reference
+resource counts reconstructed from the paper's Tables V/VI (see DESIGN.md
+§5).  Each generator builds its real structural netlist first, then
+:func:`calibrate` measures the structural counts, verifies they fit under
+the reference targets, and appends one :class:`GlueLogic` component
+carrying the residual — modelling the interface/control logic of the
+reference RTL that the macro IR does not itemize.  The calibration is an
+explicit, validated build step, not a mapper fudge: synthesizing the
+result reproduces the targets exactly, and ``calibrated=False`` skips the
+step for structure-only studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.family import DeviceFamily
+from ..synth.library import library_for
+from ..synth.mapper import map_netlist
+from ..synth.netlist import GlueLogic, Netlist, OptimizationHints
+
+__all__ = ["SynthesisTargets", "CalibrationError", "calibrate"]
+
+
+@dataclass(frozen=True, slots=True)
+class SynthesisTargets:
+    """Reference synthesis counts for one (workload, family) pair.
+
+    ``full_pairs`` is derived: ``luts + ffs - lut_ff_pairs``.
+    """
+
+    lut_ff_pairs: int
+    luts: int
+    ffs: int
+    dsps: int
+    brams: int
+    hints: OptimizationHints = OptimizationHints()
+
+    @property
+    def full_pairs(self) -> int:
+        return self.luts + self.ffs - self.lut_ff_pairs
+
+    def __post_init__(self) -> None:
+        if self.full_pairs < 0:
+            raise ValueError(
+                "targets violate LUT_FF_req <= LUT_req + FF_req"
+            )
+        if self.lut_ff_pairs < max(self.luts, self.ffs):
+            raise ValueError(
+                "targets violate LUT_FF_req >= max(LUT_req, FF_req)"
+            )
+
+
+class CalibrationError(ValueError):
+    """Structural netlist counts exceed the reference targets.
+
+    Raised when a generator's structural parts are larger than the counts
+    the reference design synthesized to — the structure must be shrunk,
+    never silently truncated.
+    """
+
+
+def calibrate(
+    netlist: Netlist, family: DeviceFamily, targets: SynthesisTargets
+) -> Netlist:
+    """Append the glue residual so synthesis reproduces *targets* exactly.
+
+    Validates structural-count headroom (every primitive class must be at
+    or under target) and pairing feasibility of the residual.
+    """
+    counts = map_netlist(netlist, library_for(family))
+    structural_full = min(counts.paired_ffs, counts.luts, counts.ffs)
+
+    checks = (
+        ("LUTs", counts.luts, targets.luts),
+        ("FFs", counts.ffs, targets.ffs),
+        ("DSPs", counts.dsps, targets.dsps),
+        ("BRAMs", counts.brams, targets.brams),
+        ("full pairs", structural_full, targets.full_pairs),
+    )
+    for label, have, want in checks:
+        if have > want:
+            raise CalibrationError(
+                f"{netlist.name} [{family.name}]: structural {label} "
+                f"({have}) exceed reference target ({want})"
+            )
+    if counts.dsps != targets.dsps:
+        raise CalibrationError(
+            f"{netlist.name} [{family.name}]: structural DSPs "
+            f"({counts.dsps}) must equal the target ({targets.dsps}) — "
+            "DSP inference is fully structural"
+        )
+    if counts.brams != targets.brams:
+        raise CalibrationError(
+            f"{netlist.name} [{family.name}]: structural BRAMs "
+            f"({counts.brams}) must equal the target ({targets.brams}) — "
+            "BRAM inference is fully structural"
+        )
+
+    glue_luts = targets.luts - counts.luts
+    glue_ffs = targets.ffs - counts.ffs
+    glue_full = targets.full_pairs - structural_full
+    if glue_full > min(glue_luts, glue_ffs):
+        raise CalibrationError(
+            f"{netlist.name} [{family.name}]: residual full pairs "
+            f"({glue_full}) cannot exceed residual LUTs/FFs "
+            f"({glue_luts}/{glue_ffs})"
+        )
+    if glue_luts or glue_ffs:
+        netlist.top.add(
+            GlueLogic(
+                luts=glue_luts,
+                ffs=glue_ffs,
+                paired_ffs=glue_full,
+                control_set="glue",
+            )
+        )
+    netlist.hints = targets.hints
+    return netlist

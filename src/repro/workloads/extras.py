@@ -1,0 +1,113 @@
+"""Additional structural PRMs for exploration/multitasking studies.
+
+These are not paper workloads; they populate the design-space explorer
+and the hardware-multitasking simulator with realistically shaped tasks
+of varied resource mixes.  All are structure-only (no calibration).
+"""
+
+from __future__ import annotations
+
+from ..synth.netlist import (
+    FSM,
+    Adder,
+    Comparator,
+    LogicCloud,
+    Memory,
+    Module,
+    Multiplier,
+    Mux,
+    Netlist,
+    RegisterBank,
+    ShiftRegister,
+)
+
+__all__ = ["build_aes", "build_fft", "build_matmul", "build_uart"]
+
+
+def build_aes(*, rounds_unrolled: int = 2) -> Netlist:
+    """AES-128 core: BRAM S-boxes + wide XOR clouds, BRAM-heavy profile."""
+    if rounds_unrolled < 1:
+        raise ValueError("rounds_unrolled must be >= 1")
+    top = Module("aes_top")
+    for round_index in range(rounds_unrolled):
+        cs = f"round{round_index}"
+        # 16 S-box lookups share 4 dual-port BRAMs per round (256x8 each,
+        # forced to BRAM as the reference cores do for timing).
+        for _ in range(4):
+            top.add(
+                Memory(depth=256, width=32, dual_port=True, force_bram=True,
+                       control_set=cs)
+            )
+        # MixColumns + AddRoundKey XOR network.
+        top.add(LogicCloud(fanin=8, width=128, registered=True, control_set=cs))
+    # Key schedule.
+    top.add(RegisterBank(width=128, control_set="key"))
+    top.add(LogicCloud(fanin=6, width=32, registered=True, control_set="key"))
+    top.add(FSM(states=12, inputs=4, outputs=8, control_set="ctrl"))
+    return Netlist(name="aes", top=top)
+
+
+def build_fft(*, points: int = 256, width: int = 16) -> Netlist:
+    """Radix-2 pipelined FFT: DSP butterflies + BRAM delay/twiddle stores."""
+    if points < 4 or points & (points - 1):
+        raise ValueError("points must be a power of two >= 4")
+    stages = points.bit_length() - 1
+    top = Module("fft_top")
+    for stage in range(stages):
+        cs = f"stage{stage}"
+        # Complex multiply: 4 real multipliers folded to 3 DSP tiles.
+        for _ in range(3):
+            top.add(Multiplier(a_width=width, b_width=width, control_set=cs))
+        # Butterfly add/sub.
+        top.add(Adder(width=width + 1, registered=True, control_set=cs))
+        top.add(Adder(width=width + 1, registered=True, control_set=cs))
+        # Stage delay line: SRL for short stages, BRAM for long ones.
+        delay = points >> (stage + 1)
+        if delay >= 128:
+            top.add(Memory(depth=delay, width=2 * width, force_bram=True,
+                           control_set=cs))
+        elif delay >= 1:
+            top.add(ShiftRegister(depth=delay, width=2 * width, control_set=cs))
+    # Twiddle ROM.
+    top.add(Memory(depth=points // 2, width=2 * width, force_bram=True,
+                   control_set="twiddle"))
+    top.add(FSM(states=6, inputs=4, outputs=6, control_set="ctrl"))
+    return Netlist(name="fft", top=top)
+
+
+def build_matmul(*, tile: int = 4, width: int = 16) -> Netlist:
+    """Blocked matrix-multiply accelerator: a tile x tile MAC array."""
+    if tile < 1:
+        raise ValueError("tile must be >= 1")
+    top = Module("matmul_top")
+    for row in range(tile):
+        for col in range(tile):
+            cs = f"pe_{row}_{col}"
+            top.add(Multiplier(a_width=width, b_width=width, control_set=cs))
+            top.add(Adder(width=2 * width + 4, registered=True, control_set=cs))
+    # Operand buffers.
+    top.add(Memory(depth=1024, width=tile * width, force_bram=True,
+                   control_set="buf_a"))
+    top.add(Memory(depth=1024, width=tile * width, force_bram=True,
+                   control_set="buf_b"))
+    top.add(FSM(states=8, inputs=6, outputs=10, control_set="ctrl"))
+    top.add(Adder(width=12, registered=True, control_set="index"))
+    return Netlist(name="matmul", top=top)
+
+
+def build_uart(*, fifo_depth: int = 16) -> Netlist:
+    """UART with TX/RX FIFOs: a tiny CLB-only PRM."""
+    if fifo_depth < 1:
+        raise ValueError("fifo_depth must be >= 1")
+    top = Module("uart_top")
+    top.add(FSM(states=6, inputs=3, outputs=4, control_set="tx"))
+    top.add(FSM(states=6, inputs=3, outputs=4, control_set="rx"))
+    top.add(Adder(width=12, registered=True, control_set="baud"))
+    top.add(ShiftRegister(depth=10, width=1, control_set="tx"))
+    top.add(ShiftRegister(depth=10, width=1, control_set="rx"))
+    for cs in ("tx", "rx"):
+        top.add(Memory(depth=fifo_depth, width=8, dual_port=True, control_set=cs))
+        top.add(Adder(width=5, registered=True, control_set=cs))
+        top.add(Comparator(width=5, control_set=cs))
+    top.add(RegisterBank(width=8, control_set="status"))
+    return Netlist(name="uart", top=top)

@@ -1,0 +1,112 @@
+"""FIR filter PRM — "a finite impulse response (FIR) filter with 32
+coefficients" (Section IV).
+
+Structure: a coefficient LUTRAM, an SRL-based input delay line, one
+DSP-mapped multiplier per tap, a wide accumulate adder, an output register
+and a small control FSM.  The reference synthesis inferred 32 DSP48Es on
+Virtex-5 but only 27 on Virtex-6 (XST folds symmetric taps more
+aggressively there), so the tap-multiplier count is family-calibrated.
+"""
+
+from __future__ import annotations
+
+from ..devices.family import DeviceFamily, VIRTEX5, VIRTEX6
+from ..synth.netlist import (
+    FSM,
+    Adder,
+    Memory,
+    Module,
+    Multiplier,
+    Netlist,
+    OptimizationHints,
+    RegisterBank,
+    ShiftRegister,
+)
+from .common import SynthesisTargets, calibrate
+
+__all__ = ["FIR_TARGETS", "build_fir"]
+
+#: Reference synthesis counts (DESIGN.md §5) and P&R optimization slack
+#: (DESIGN.md §6) per family.
+FIR_TARGETS: dict[str, SynthesisTargets] = {
+    VIRTEX5.name: SynthesisTargets(
+        lut_ff_pairs=1300,
+        luts=1150,
+        ffs=394,
+        dsps=32,
+        brams=0,
+        hints=OptimizationHints(
+            combinable_luts=135,
+            routethru_luts=0,
+            duplicable_ffs=16,
+            crosspackable_pairs=99,
+        ),
+    ),
+    VIRTEX6.name: SynthesisTargets(
+        lut_ff_pairs=1467,
+        luts=1316,
+        ffs=394,
+        dsps=27,
+        brams=0,
+        hints=OptimizationHints(
+            combinable_luts=317,
+            routethru_luts=0,
+            duplicable_ffs=0,
+            crosspackable_pairs=151,
+        ),
+    ),
+}
+
+#: DSP-mapped tap multipliers the reference synthesis kept, per family.
+_DSP_TAPS = {VIRTEX5.name: 32, VIRTEX6.name: 27}
+
+
+def build_fir(
+    family: DeviceFamily = VIRTEX5,
+    *,
+    taps: int = 32,
+    data_width: int = 16,
+    coef_width: int = 16,
+    accumulator_width: int = 40,
+    calibrated: bool = True,
+) -> Netlist:
+    """Build the FIR PRM netlist.
+
+    With the paper's default parameters and ``calibrated=True`` (requires a
+    family with reference targets: Virtex-5 or Virtex-6), synthesis
+    reproduces the reference resource counts exactly.  ``calibrated=False``
+    returns the raw structural netlist for any family/parameters.
+    """
+    top = Module("fir_top")
+    top.add(Memory(depth=taps, width=coef_width, control_set=""))
+    top.add(
+        ShiftRegister(depth=taps, width=data_width, tapped=False, control_set="clk_en")
+    )
+    dsp_taps = _DSP_TAPS.get(family.name, taps) if calibrated else taps
+    for _ in range(dsp_taps):
+        top.add(
+            Multiplier(
+                a_width=data_width,
+                b_width=coef_width,
+                use_dsp=True,
+                control_set="clk_en",
+            )
+        )
+    top.add(Adder(width=accumulator_width, registered=True, control_set="acc_en"))
+    top.add(RegisterBank(width=accumulator_width, control_set="out_en"))
+    top.add(FSM(states=4, inputs=3, outputs=4, control_set="ctrl"))
+
+    netlist = Netlist(name="fir", top=top)
+    if not calibrated:
+        return netlist
+    if family.name not in FIR_TARGETS:
+        raise ValueError(
+            f"no FIR reference targets for family {family.name!r}; "
+            "use calibrated=False"
+        )
+    if (taps, data_width, coef_width, accumulator_width) != (32, 16, 16, 40):
+        raise ValueError(
+            "calibrated FIR requires the paper's default parameters; "
+            "use calibrated=False for custom sweeps"
+        )
+    return calibrate(netlist, family, FIR_TARGETS[family.name])

@@ -1,0 +1,119 @@
+"""MIPS PRM — "a 5-stage pipeline of MIPS R3000 32-bit processor"
+(Section IV).
+
+Structure: four pipeline register banks (IF/ID, ID/EX, EX/MEM, MEM/WB), a
+dual-port LUTRAM register file, an ALU (adder + logic cloud + result mux),
+a DSP-mapped 32x32 multiply unit (4 DSP48 tiles), BRAM instruction and
+data memories (2 + 4 RAMB36 = the reference's 6 BRAMs), branch address
+adder, hazard/forwarding comparators and a control FSM.  The many distinct
+control sets (per-stage enables, stall/flush domains) are what make MIPS
+the router's hardest customer in Table VI.
+"""
+
+from __future__ import annotations
+
+from ..devices.family import DeviceFamily, VIRTEX5, VIRTEX6
+from ..synth.netlist import (
+    FSM,
+    Adder,
+    Comparator,
+    LogicCloud,
+    Memory,
+    Module,
+    Multiplier,
+    Mux,
+    Netlist,
+    OptimizationHints,
+    RegisterBank,
+)
+from .common import SynthesisTargets, calibrate
+
+__all__ = ["MIPS_TARGETS", "build_mips"]
+
+MIPS_TARGETS: dict[str, SynthesisTargets] = {
+    VIRTEX5.name: SynthesisTargets(
+        lut_ff_pairs=2617,
+        luts=1527,
+        ffs=1592,
+        dsps=4,
+        brams=6,
+        hints=OptimizationHints(
+            combinable_luts=0,
+            routethru_luts=1,
+            duplicable_ffs=0,
+            crosspackable_pairs=435,
+        ),
+    ),
+    VIRTEX6.name: SynthesisTargets(
+        lut_ff_pairs=3239,
+        luts=2095,
+        ffs=1860,
+        dsps=4,
+        brams=6,
+        hints=OptimizationHints(
+            combinable_luts=163,
+            routethru_luts=0,
+            duplicable_ffs=0,
+            crosspackable_pairs=446,
+        ),
+    ),
+}
+
+#: Pipeline register bank widths (IF/ID, ID/EX, EX/MEM, MEM/WB).
+_PIPELINE_WIDTHS = {"if_id": 64, "id_ex": 150, "ex_mem": 107, "mem_wb": 71}
+
+
+def build_mips(
+    family: DeviceFamily = VIRTEX5,
+    *,
+    xlen: int = 32,
+    imem_words: int = 2048,
+    dmem_words: int = 4096,
+    calibrated: bool = True,
+) -> Netlist:
+    """Build the MIPS 5-stage pipeline PRM netlist."""
+    top = Module("mips_top")
+
+    # Pipeline register banks, one control set (stall/flush domain) each.
+    for stage, width in _PIPELINE_WIDTHS.items():
+        top.add(RegisterBank(width=width, control_set=f"stage_{stage}"))
+    top.add(RegisterBank(width=xlen, control_set="pc"))  # program counter
+
+    # Register file: 32 x xlen dual-port LUTRAM.
+    top.add(Memory(depth=32, width=xlen, dual_port=True, control_set="rf_we"))
+
+    # Execute stage.
+    top.add(Adder(width=xlen, registered=False))  # ALU add/sub
+    top.add(LogicCloud(fanin=12, width=xlen))  # ALU logic ops + shifter mux
+    top.add(Mux(ways=8, width=xlen))  # ALU result select
+    top.add(Adder(width=xlen, registered=False))  # branch target adder
+    top.add(
+        Multiplier(a_width=xlen, b_width=xlen, use_dsp=True, control_set="mult_en")
+    )
+
+    # Memories: 2 + 4 RAMB36 with the default sizes.
+    top.add(Memory(depth=imem_words, width=xlen, force_bram=True, control_set="imem"))
+    top.add(Memory(depth=dmem_words, width=xlen, force_bram=True, control_set="dmem"))
+
+    # Hazard detection / forwarding.
+    top.add(LogicCloud(fanin=10, width=20, control_set=""))
+    for index in range(4):
+        top.add(Comparator(width=5, control_set=""))
+
+    # Main control.
+    top.add(FSM(states=8, inputs=12, outputs=16, control_set="ctrl"))
+
+    netlist = Netlist(name="mips", top=top)
+    if not calibrated:
+        return netlist
+    if family.name not in MIPS_TARGETS:
+        raise ValueError(
+            f"no MIPS reference targets for family {family.name!r}; "
+            "use calibrated=False"
+        )
+    if (xlen, imem_words, dmem_words) != (32, 2048, 4096):
+        raise ValueError(
+            "calibrated MIPS requires the paper's default parameters; "
+            "use calibrated=False for custom sweeps"
+        )
+    return calibrate(netlist, family, MIPS_TARGETS[family.name])

@@ -1,0 +1,104 @@
+"""SDRAM controller PRM — "a 32-bit synchronous dynamic random access
+memory (SDRAM) controller" (Section IV).
+
+Structure: the command FSM (init → idle → activate → read/write →
+precharge → refresh), refresh/timing counters, row/column address mux,
+bidirectional data capture registers, bank-state comparators and command
+decode logic.  No DSPs or BRAMs — the reference design is pure
+CLB logic, which is why its Table V PRR has only CLB columns.
+"""
+
+from __future__ import annotations
+
+from ..devices.family import DeviceFamily, VIRTEX5, VIRTEX6
+from ..synth.netlist import (
+    FSM,
+    Adder,
+    Comparator,
+    LogicCloud,
+    Module,
+    Mux,
+    Netlist,
+    OptimizationHints,
+    RegisterBank,
+)
+from .common import SynthesisTargets, calibrate
+
+__all__ = ["SDRAM_TARGETS", "build_sdram"]
+
+SDRAM_TARGETS: dict[str, SynthesisTargets] = {
+    VIRTEX5.name: SynthesisTargets(
+        lut_ff_pairs=332,
+        luts=157,
+        ffs=292,
+        dsps=0,
+        brams=0,
+        hints=OptimizationHints(
+            combinable_luts=0,
+            routethru_luts=34,
+            duplicable_ffs=0,
+            crosspackable_pairs=42,
+        ),
+    ),
+    VIRTEX6.name: SynthesisTargets(
+        lut_ff_pairs=385,
+        luts=181,
+        ffs=324,
+        dsps=0,
+        brams=0,
+        hints=OptimizationHints(
+            combinable_luts=0,
+            routethru_luts=34,
+            duplicable_ffs=0,
+            crosspackable_pairs=49,
+        ),
+    ),
+}
+
+
+def build_sdram(
+    family: DeviceFamily = VIRTEX5,
+    *,
+    data_width: int = 32,
+    row_bits: int = 13,
+    calibrated: bool = True,
+) -> Netlist:
+    """Build the SDRAM controller PRM netlist."""
+    top = Module("sdram_top")
+
+    # Command state machine.
+    top.add(FSM(states=12, inputs=8, outputs=8, control_set="ctrl"))
+
+    # Timing machinery: refresh interval, precharge timer, init counter.
+    top.add(Adder(width=12, registered=True, control_set="refresh"))
+    top.add(Adder(width=8, registered=True, control_set="timer"))
+    top.add(Adder(width=16, registered=True, control_set="init"))
+
+    # Row/column/precharge address mux onto the SDRAM address bus
+    # (registered at the pads).
+    top.add(Mux(ways=3, width=row_bits, registered=True, control_set="addr"))
+
+    # Data capture: input + output registers for the DQ bus.
+    top.add(RegisterBank(width=2 * data_width, control_set="dq_ce"))
+
+    # Bank state tracking.
+    top.add(Comparator(width=12))
+    top.add(Comparator(width=12))
+
+    # Command decode (registered onto the command pins).
+    top.add(LogicCloud(fanin=6, width=8, registered=True, control_set="cmd"))
+
+    netlist = Netlist(name="sdram", top=top)
+    if not calibrated:
+        return netlist
+    if family.name not in SDRAM_TARGETS:
+        raise ValueError(
+            f"no SDRAM reference targets for family {family.name!r}; "
+            "use calibrated=False"
+        )
+    if (data_width, row_bits) != (32, 13):
+        raise ValueError(
+            "calibrated SDRAM requires the paper's default parameters; "
+            "use calibrated=False for custom sweeps"
+        )
+    return calibrate(netlist, family, SDRAM_TARGETS[family.name])

@@ -1,0 +1,126 @@
+"""Tests for prior-work cost models and their documented weaknesses."""
+
+import pytest
+
+from repro.baselines import claus, duhem_farm, liu_dma, papadimitriou
+from repro.icap.controllers import DmaIcapController
+from repro.icap.reconfig import simulate_reconfiguration
+from repro.icap.storage import COMPACT_FLASH, DDR_SDRAM
+
+
+class TestPapadimitriou:
+    def test_estimate_scales_with_size(self):
+        small = papadimitriou.estimate(10_000, COMPACT_FLASH)
+        large = papadimitriou.estimate(100_000, COMPACT_FLASH)
+        assert large.seconds == pytest.approx(10 * small.seconds)
+
+    def test_error_band(self):
+        low, high = papadimitriou.error_band(1.0)
+        assert low == pytest.approx(0.4)
+        assert high == pytest.approx(1.6)
+
+    def test_error_reproduces_survey_band(self):
+        """The survey reports 30-60% error vs measurement; the model's
+        error against our simulator lands inside that band (reproducing
+        the inaccuracy the paper's Section II cites)."""
+        nbytes = 157_272  # MIPS/V5 partial bitstream
+        model = papadimitriou.estimate(nbytes, COMPACT_FLASH).seconds
+        measured = simulate_reconfiguration(
+            nbytes, DmaIcapController(), COMPACT_FLASH
+        ).total_seconds
+        error = abs(model - measured) / measured
+        assert 0.30 <= error <= 0.60
+
+    def test_underestimates_when_media_not_bottleneck(self):
+        """With fast storage the ICAP bounds throughput and a media-only
+        model underestimates — the 'partial method' weakness."""
+        nbytes = 157_272
+        model = papadimitriou.estimate(nbytes, DDR_SDRAM).seconds
+        measured = simulate_reconfiguration(
+            nbytes, DmaIcapController(), DDR_SDRAM
+        ).total_seconds
+        assert model < measured
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            papadimitriou.estimate(-1, COMPACT_FLASH)
+        with pytest.raises(ValueError):
+            papadimitriou.error_band(-1)
+
+
+class TestClaus:
+    def test_peak_throughput(self):
+        est = claus.estimate(400_000_000)
+        assert est.seconds == pytest.approx(1.0)
+
+    def test_busy_factor(self):
+        est = claus.estimate(400_000_000, busy_factor=0.75)
+        assert est.seconds == pytest.approx(4.0)
+
+    def test_only_valid_when_icap_limits(self):
+        """The paper's criticism: with a slow medium the Claus model
+        underestimates badly."""
+        nbytes = 157_272
+        model = claus.estimate(nbytes).seconds
+        measured = simulate_reconfiguration(
+            nbytes, DmaIcapController(), COMPACT_FLASH
+        ).total_seconds
+        assert measured > 50 * model  # wildly optimistic off its domain
+        measured_fast = simulate_reconfiguration(
+            nbytes, DmaIcapController(), DDR_SDRAM
+        ).total_seconds
+        assert measured_fast < 2 * model  # fine when ICAP dominates
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            claus.estimate(-1)
+        with pytest.raises(ValueError):
+            claus.estimate(1, busy_factor=1.0)
+
+
+class TestDuhemFarm:
+    def test_overlap_mode(self):
+        est = duhem_farm.estimate(1_000_000, overlapped=True)
+        assert est.seconds == pytest.approx(
+            max(est.preload_seconds, est.write_seconds)
+        )
+
+    def test_serial_mode(self):
+        est = duhem_farm.estimate(1_000_000, overlapped=False)
+        assert est.seconds == pytest.approx(
+            est.preload_seconds + est.write_seconds
+        )
+
+    def test_compression_cuts_preload_only(self):
+        plain = duhem_farm.estimate(1_000_000, compression_ratio=1.0)
+        packed = duhem_farm.estimate(1_000_000, compression_ratio=0.5)
+        assert packed.preload_seconds == pytest.approx(
+            plain.preload_seconds / 2
+        )
+        assert packed.write_seconds == plain.write_seconds
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            duhem_farm.estimate(-1)
+        with pytest.raises(ValueError):
+            duhem_farm.estimate(1, compression_ratio=1.5)
+
+
+class TestLiuDma:
+    def test_dma_beats_cpu_beats_pc(self):
+        points = liu_dma.compare_designs(157_272)
+        order = [p.design for p in points]
+        assert order.index("dma_icap") < order.index("cpu_icap") < order.index(
+            "pc_jtag"
+        )
+
+    def test_sorted_fastest_first(self):
+        points = liu_dma.compare_designs(50_000)
+        times = [p.seconds for p in points]
+        assert times == sorted(times)
+
+    def test_throughput_property(self):
+        point = liu_dma.compare_designs(100_000)[0]
+        assert point.bytes_per_s == pytest.approx(
+            point.bitstream_bytes / point.seconds
+        )

@@ -1,0 +1,82 @@
+"""Unit tests for packet encodings."""
+
+import pytest
+
+from repro.bitgen.words import (
+    Command,
+    ConfigRegister,
+    NOOP,
+    Opcode,
+    SYNC_WORD,
+    decode_header,
+    type1_header,
+    type2_header,
+)
+
+
+class TestType1:
+    def test_roundtrip(self):
+        word = type1_header(Opcode.WRITE, ConfigRegister.FAR, 1)
+        header = decode_header(word)
+        assert header.packet_type == 1
+        assert header.opcode is Opcode.WRITE
+        assert header.register is ConfigRegister.FAR
+        assert header.word_count == 1
+
+    def test_all_registers_roundtrip(self):
+        for register in ConfigRegister:
+            word = type1_header(Opcode.WRITE, register, 5)
+            assert decode_header(word).register is register
+
+    def test_word_count_bounds(self):
+        type1_header(Opcode.WRITE, ConfigRegister.CMD, 2047)
+        with pytest.raises(ValueError):
+            type1_header(Opcode.WRITE, ConfigRegister.CMD, 2048)
+
+    def test_noop_is_type1_nop(self):
+        header = decode_header(NOOP)
+        assert header.packet_type == 1
+        assert header.opcode is Opcode.NOP
+        assert header.word_count == 0
+
+
+class TestType2:
+    def test_roundtrip(self):
+        word = type2_header(Opcode.WRITE, 1_000_000)
+        header = decode_header(word)
+        assert header.packet_type == 2
+        assert header.register is None
+        assert header.word_count == 1_000_000
+
+    def test_word_count_bounds(self):
+        type2_header(Opcode.WRITE, (1 << 27) - 1)
+        with pytest.raises(ValueError):
+            type2_header(Opcode.WRITE, 1 << 27)
+
+
+class TestDecode:
+    def test_sync_word_is_not_a_packet(self):
+        with pytest.raises(ValueError):
+            decode_header(SYNC_WORD)
+
+    def test_dummy_is_not_a_packet(self):
+        with pytest.raises(ValueError):
+            decode_header(0xFFFFFFFF)
+
+    def test_repr(self):
+        assert "FAR" in repr(decode_header(type1_header(Opcode.WRITE, ConfigRegister.FAR, 1)))
+
+
+class TestEnums:
+    def test_command_codes_match_ug191(self):
+        assert Command.WCFG == 1
+        assert Command.RCRC == 7
+        assert Command.DESYNC == 13
+        assert Command.GRESTORE == 10
+
+    def test_register_addresses_match_ug191(self):
+        assert ConfigRegister.CRC == 0
+        assert ConfigRegister.FAR == 1
+        assert ConfigRegister.FDRI == 2
+        assert ConfigRegister.CMD == 4
+        assert ConfigRegister.IDCODE == 12

@@ -1,0 +1,87 @@
+"""Tests for the design advisor."""
+
+import pytest
+
+from repro.core.advisor import Severity, advise
+from repro.core.params import PRMRequirements
+from repro.devices.catalog import XC5VLX110T, XC6VLX75T
+
+from tests.conftest import paper_requirements
+
+
+class TestAdviseFir:
+    @pytest.fixture(scope="class")
+    def advice(self):
+        return advise(paper_requirements("fir", "virtex5"), XC5VLX110T)
+
+    def test_geometry_finding(self, advice):
+        geometry_findings = [
+            f for f in advice.findings if f.topic == "geometry"
+        ]
+        assert len(geometry_findings) == 1
+        assert "H=5" in geometry_findings[0].message
+
+    def test_lshape_suggested_for_fir(self, advice):
+        assert advice.lshape is not None
+        assert any(f.topic == "shape" for f in advice.suggestions)
+
+    def test_ff_fragmentation_warned(self, advice):
+        """FIR/V5's RU_FF is 25% — the advisor flags the waste."""
+        messages = [f.message for f in advice.warnings]
+        assert any("RU_FF" in m for m in messages)
+
+    def test_render(self, advice):
+        text = advice.render()
+        assert "fir on xc5vlx110t" in text
+        assert "[warning" in text
+
+
+class TestAdviseSdram:
+    def test_no_lshape_for_single_row(self):
+        advice = advise(paper_requirements("sdram", "virtex5"), XC5VLX110T)
+        assert advice.lshape is None
+        assert not any(f.topic == "shape" for f in advice.findings)
+
+    def test_no_dsp_fragmentation_warning_without_dsps(self):
+        advice = advise(paper_requirements("sdram", "virtex5"), XC5VLX110T)
+        assert not any("RU_DSP" in f.message for f in advice.warnings)
+
+
+class TestRoutingWarnings:
+    def test_dense_prm_gets_routing_warning(self):
+        # Pairs sized to ~99% of a 1x1-CLB-column PRR (160 sites).
+        dense = PRMRequirements("dense", 159, 120, 80)
+        advice = advise(dense, XC5VLX110T)
+        assert any(f.topic == "routing" for f in advice.warnings)
+
+    def test_comfortable_prm_has_no_routing_warning(self):
+        advice = advise(paper_requirements("sdram", "virtex6"), XC6VLX75T)
+        assert not any(f.topic == "routing" for f in advice.warnings)
+
+
+class TestReconfigBudget:
+    def test_short_period_warns(self):
+        advice = advise(
+            paper_requirements("mips", "virtex6"),
+            XC6VLX75T,
+            task_period_seconds=1e-3,  # 472 us reconfig vs 1 ms period
+        )
+        assert any(
+            f.topic == "reconfiguration" and f.severity is Severity.WARNING
+            for f in advice.findings
+        )
+
+    def test_long_period_is_fine(self):
+        advice = advise(
+            paper_requirements("mips", "virtex6"),
+            XC6VLX75T,
+            task_period_seconds=1.0,
+        )
+        reconfig = [
+            f for f in advice.findings if f.topic == "reconfiguration"
+        ]
+        assert all(f.severity is Severity.INFO for f in reconfig)
+
+    def test_no_period_no_overhead_finding(self):
+        advice = advise(paper_requirements("mips", "virtex6"), XC6VLX75T)
+        assert sum(1 for f in advice.findings if f.topic == "reconfiguration") == 1

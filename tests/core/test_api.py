@@ -1,0 +1,86 @@
+"""Unit tests for the one-call convenience API."""
+
+import pytest
+
+from repro.core.api import evaluate_prm, evaluate_shared_prr
+from repro.devices.catalog import XC5VLX110T, XC6VLX75T
+
+from tests.conftest import TABLE7_BYTES, paper_requirements
+
+
+class TestEvaluatePrm:
+    def test_result_fields_consistent(self):
+        prm = paper_requirements("fir", "virtex5")
+        result = evaluate_prm(prm, XC5VLX110T)
+        assert result.prm is prm
+        assert result.device_name == "xc5vlx110t"
+        assert result.clb_req == 163
+        assert result.bitstream.total_bytes == TABLE7_BYTES[("fir", "xc5vlx110t")]
+        assert result.reconfig.bitstream_bytes == result.bitstream.total_bytes
+
+    def test_table5_row_keys(self):
+        prm = paper_requirements("mips", "virtex6")
+        row = evaluate_prm(prm, XC6VLX75T).table5_row()
+        expected_keys = {
+            "LUT_FF_req",
+            "DSP_req",
+            "BRAM_req",
+            "LUT_req",
+            "FF_req",
+            "CLB_req",
+            "H_CLB",
+            "W_CLB",
+            "H_DSP",
+            "W_DSP",
+            "H_BRAM",
+            "W_BRAM",
+            "CLB_avail",
+            "FF_avail",
+            "LUT_avail",
+            "DSP_avail",
+            "BRAM_avail",
+            "RU_CLB",
+            "RU_FF",
+            "RU_LUT",
+            "RU_DSP",
+            "RU_BRAM",
+        }
+        assert expected_keys <= set(row)
+
+    def test_summary_readable(self):
+        prm = paper_requirements("sdram", "virtex5")
+        text = evaluate_prm(prm, XC5VLX110T).summary()
+        assert "sdram" in text and "bitstream=18016" in text
+
+    def test_controller_override(self):
+        prm = paper_requirements("sdram", "virtex5")
+        slow = evaluate_prm(prm, XC5VLX110T, controller_bytes_per_s=1e6)
+        fast = evaluate_prm(prm, XC5VLX110T)
+        assert slow.reconfig.seconds > fast.reconfig.seconds
+
+
+class TestEvaluateSharedPrr:
+    def test_all_results_share_placement_and_bytes(self):
+        prms = [
+            paper_requirements("fir", "virtex6"),
+            paper_requirements("mips", "virtex6"),
+            paper_requirements("sdram", "virtex6"),
+        ]
+        results = evaluate_shared_prr(prms, XC6VLX75T)
+        assert len(results) == 3
+        first = results[0]
+        for result in results[1:]:
+            assert result.placement is first.placement
+            assert result.bitstream.total_bytes == first.bitstream.total_bytes
+
+    def test_shared_utilization_lower_for_small_prm(self):
+        prms = [
+            paper_requirements("mips", "virtex6"),
+            paper_requirements("sdram", "virtex6"),
+        ]
+        results = {r.prm.name: r for r in evaluate_shared_prr(prms, XC6VLX75T)}
+        assert results["sdram"].utilization.clb < results["mips"].utilization.clb
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_shared_prr([], XC6VLX75T)

@@ -1,0 +1,115 @@
+"""Unit tests for the bitstream size cost model (eqs. (18)-(23))."""
+
+import pytest
+
+from repro.core.bitstream_model import (
+    bitstream_size_bytes,
+    config_frames_per_row,
+    estimate_bitstream,
+    full_device_bitstream_bytes,
+    ncw_row,
+    ndw_bram,
+)
+from repro.core.prr_model import PRRGeometry
+from repro.devices.catalog import XC5VLX110T, XC6VLX75T
+from repro.devices.family import SPARTAN6, VIRTEX5, VIRTEX6
+from repro.devices.resources import ResourceVector
+
+from tests.conftest import TABLE7_BYTES
+
+
+def geo(family, rows, clb, dsp=0, bram=0):
+    return PRRGeometry(family, rows, ResourceVector(clb, dsp, bram))
+
+
+class TestEq19to22:
+    def test_ncw_row_fir_v5(self):
+        # W_CLB=2, W_DSP=1: 5 + (2*36 + 28 + 1)*41 = 4146.
+        assert ncw_row(VIRTEX5, ResourceVector(2, 1, 0)) == 4146
+
+    def test_ncw_row_mips_v5(self):
+        # 17*36 + 28 + 2*30 = 700 frames; 5 + 701*41 = 28746.
+        assert ncw_row(VIRTEX5, ResourceVector(17, 1, 2)) == 28746
+
+    def test_config_frames_per_row(self):
+        assert config_frames_per_row(VIRTEX5, ResourceVector(17, 1, 2)) == 700
+        assert config_frames_per_row(VIRTEX6, ResourceVector(11, 1, 1)) == 452
+
+
+class TestEq23:
+    def test_ndw_with_brams(self):
+        # 2 BRAM cols: 5 + (2*128 + 1)*41 = 10542.
+        assert ndw_bram(VIRTEX5, ResourceVector(17, 1, 2)) == 10542
+
+    def test_ndw_zero_without_brams(self):
+        """The BRAM guard: no BRAM columns -> no BRAM init block at all."""
+        assert ndw_bram(VIRTEX5, ResourceVector(2, 1, 0)) == 0
+
+
+class TestEq18:
+    @pytest.mark.parametrize(
+        "key,geometry",
+        [
+            (("fir", "xc5vlx110t"), geo(VIRTEX5, 5, 2, 1, 0)),
+            (("mips", "xc5vlx110t"), geo(VIRTEX5, 1, 17, 1, 2)),
+            (("sdram", "xc5vlx110t"), geo(VIRTEX5, 1, 3)),
+            (("fir", "xc6vlx75t"), geo(VIRTEX6, 1, 5, 2, 0)),
+            (("mips", "xc6vlx75t"), geo(VIRTEX6, 1, 11, 1, 1)),
+            (("sdram", "xc6vlx75t"), geo(VIRTEX6, 1, 2)),
+        ],
+    )
+    def test_table7_sizes(self, key, geometry):
+        assert bitstream_size_bytes(geometry) == TABLE7_BYTES[key]
+
+    def test_size_scales_linearly_with_rows(self):
+        one = bitstream_size_bytes(geo(VIRTEX5, 1, 3))
+        two = bitstream_size_bytes(geo(VIRTEX5, 2, 3))
+        three = bitstream_size_bytes(geo(VIRTEX5, 3, 3))
+        assert two - one == three - two  # constant per-row increment
+
+    def test_spartan6_halves_bytes_per_word(self):
+        v5 = estimate_bitstream(geo(VIRTEX5, 1, 3))
+        s6 = estimate_bitstream(geo(SPARTAN6, 1, 3))
+        assert s6.bytes_per_word == 2
+        assert s6.total_bytes == s6.total_words * 2
+        assert v5.total_bytes == v5.total_words * 4
+
+
+class TestBreakdown:
+    def test_breakdown_sums_to_total(self):
+        est = estimate_bitstream(geo(VIRTEX5, 2, 4, 1, 1))
+        parts = est.breakdown()
+        assert (
+            parts["initial"]
+            + parts["configuration"]
+            + parts["bram_initialization"]
+            + parts["final"]
+            == parts["total"]
+        )
+
+    def test_header_trailer_bytes(self):
+        est = estimate_bitstream(geo(VIRTEX5, 1, 1))
+        assert est.header_and_trailer_bytes == (16 + 14) * 4
+
+    def test_bram_bytes_zero_without_brams(self):
+        est = estimate_bitstream(geo(VIRTEX5, 3, 4, 1, 0))
+        assert est.bram_init_bytes == 0
+
+    def test_words_per_row(self):
+        est = estimate_bitstream(geo(VIRTEX5, 1, 17, 1, 2))
+        assert est.words_per_row == 28746 + 10542
+
+
+class TestFullDeviceBitstream:
+    def test_lx110t_is_megabytes(self):
+        size = full_device_bitstream_bytes(XC5VLX110T)
+        # The real LX110T full bitstream is ~3.9 MB.
+        assert 3_000_000 < size < 4_500_000
+
+    def test_full_exceeds_any_partial(self):
+        partial = bitstream_size_bytes(geo(VIRTEX5, 8, 17, 1, 2))
+        assert full_device_bitstream_bytes(XC5VLX110T) > partial
+
+    def test_lx75t(self):
+        size = full_device_bitstream_bytes(XC6VLX75T)
+        assert size > 1_000_000

@@ -1,0 +1,100 @@
+"""End-to-end reproduction of the paper's Table V from the live pipeline.
+
+netlist generators -> synthesis -> cost models -> Table V cells, asserted
+against the reference values reconstructed from the paper (DESIGN.md §5).
+"""
+
+import pytest
+
+from repro.core.api import evaluate_prm
+from repro.devices.catalog import XC5VLX110T, XC6VLX75T
+from repro.synth.xst import synthesize
+from repro.workloads import build_fir, build_mips, build_sdram
+
+from tests.conftest import PAPER_GEOMETRY, PAPER_RU, PAPER_SYNTH
+
+_BUILDERS = {"fir": build_fir, "mips": build_mips, "sdram": build_sdram}
+_DEVICES = {"xc5vlx110t": XC5VLX110T, "xc6vlx75t": XC6VLX75T}
+
+CASES = [
+    (workload, device_name)
+    for device_name in ("xc5vlx110t", "xc6vlx75t")
+    for workload in ("fir", "mips", "sdram")
+]
+
+
+@pytest.fixture(scope="module")
+def results():
+    out = {}
+    for workload, device_name in CASES:
+        device = _DEVICES[device_name]
+        report = synthesize(_BUILDERS[workload](device.family), device.family)
+        out[(workload, device_name)] = evaluate_prm(report.requirements, device)
+    return out
+
+
+class TestTable5Requirements:
+    """The requirement rows (synthesis outputs)."""
+
+    @pytest.mark.parametrize("workload,device_name", CASES)
+    def test_requirement_cells(self, results, workload, device_name):
+        family = _DEVICES[device_name].family.name
+        pairs, luts, ffs, dsps, brams = PAPER_SYNTH[(workload, family)]
+        row = results[(workload, device_name)].table5_row()
+        assert row["LUT_FF_req"] == pairs
+        assert row["LUT_req"] == luts
+        assert row["FF_req"] == ffs
+        assert row["DSP_req"] == dsps
+        assert row["BRAM_req"] == brams
+
+
+class TestTable5Geometry:
+    """The H/W geometry rows (PRR model + Fig. 1 flow outputs)."""
+
+    @pytest.mark.parametrize("workload,device_name", CASES)
+    def test_geometry_cells(self, results, workload, device_name):
+        h, w_clb, w_dsp, w_bram = PAPER_GEOMETRY[(workload, device_name)]
+        row = results[(workload, device_name)].table5_row()
+        assert row["H_CLB"] == h
+        assert row["W_CLB"] == w_clb
+        assert row["W_DSP"] == w_dsp
+        assert row["W_BRAM"] == w_bram
+
+
+class TestTable5Utilization:
+    """The RU percentage rows.
+
+    Note: MIPS/V5 RU_CLB computes to 96.47% -> 96; the paper prints 97
+    (±1 rounding discrepancy documented in EXPERIMENTS.md).  PAPER_RU in
+    conftest carries the computed value, so this asserts all 30 cells.
+    """
+
+    @pytest.mark.parametrize("workload,device_name", CASES)
+    def test_ru_cells(self, results, workload, device_name):
+        clb, ff, lut, dsp, bram = PAPER_RU[(workload, device_name)]
+        pct = results[(workload, device_name)].utilization.as_percentages()
+        assert pct["RU_CLB"] == clb
+        assert pct["RU_FF"] == ff
+        assert pct["RU_LUT"] == lut
+        assert pct["RU_DSP"] == dsp
+        assert pct["RU_BRAM"] == bram
+
+    def test_mips_v5_ru_clb_is_the_documented_rounding_case(self, results):
+        ru = results[("mips", "xc5vlx110t")].utilization
+        assert ru.clb == pytest.approx(328 / 340)
+        assert 0.96 < ru.clb < 0.97  # the paper rounded this cell to 97%
+
+
+class TestTable5Availability:
+    @pytest.mark.parametrize("workload,device_name", CASES)
+    def test_availability_consistent_with_geometry(
+        self, results, workload, device_name
+    ):
+        row = results[(workload, device_name)].table5_row()
+        family = _DEVICES[device_name].family
+        assert (
+            row["CLB_avail"]
+            == row["H_CLB"] * row["W_CLB"] * family.clb_per_col
+        )
+        assert row["FF_avail"] == row["CLB_avail"] * family.ffs_per_clb
+        assert row["LUT_avail"] == row["CLB_avail"] * family.luts_per_clb

@@ -1,0 +1,102 @@
+"""Unit tests for PRMRequirements and the parameter glossaries."""
+
+import pytest
+
+from repro.core.params import (
+    PRMRequirements,
+    TABLE1_PARAMETERS,
+    TABLE3_PARAMETERS,
+)
+from repro.devices.resources import ResourceVector
+
+
+class TestPRMRequirementsValidation:
+    def test_valid_paper_values(self):
+        prm = PRMRequirements("fir", 1300, 1150, 394, dsps=32)
+        assert prm.lut_ff_pairs == 1300
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PRMRequirements("x", 10, 5, -1)
+
+    def test_luts_cannot_exceed_pairs(self):
+        # Every used LUT occupies a pair.
+        with pytest.raises(ValueError, match="LUT_req"):
+            PRMRequirements("x", 10, 11, 5)
+
+    def test_ffs_cannot_exceed_pairs(self):
+        with pytest.raises(ValueError, match="FF_req"):
+            PRMRequirements("x", 10, 5, 11)
+
+    def test_pairs_cannot_exceed_lut_plus_ff(self):
+        with pytest.raises(ValueError, match="at least one"):
+            PRMRequirements("x", 16, 5, 10)
+
+    def test_zero_everything_allowed(self):
+        prm = PRMRequirements("empty", 0, 0, 0)
+        assert prm.full_pairs == 0
+
+
+class TestPairClassIdentities:
+    """The Section III.B pair-class identities."""
+
+    @pytest.mark.parametrize(
+        "pairs,luts,ffs",
+        [(1300, 1150, 394), (2617, 1527, 1592), (332, 157, 292), (10, 10, 10)],
+    )
+    def test_classes_sum_to_pairs(self, pairs, luts, ffs):
+        prm = PRMRequirements("x", pairs, luts, ffs)
+        assert (
+            prm.full_pairs + prm.lut_only_pairs + prm.ff_only_pairs
+            == prm.lut_ff_pairs
+        )
+
+    def test_lut_req_is_full_plus_lut_only(self):
+        prm = PRMRequirements("x", 1300, 1150, 394)
+        assert prm.full_pairs + prm.lut_only_pairs == prm.luts
+
+    def test_ff_req_is_full_plus_ff_only(self):
+        prm = PRMRequirements("x", 1300, 1150, 394)
+        assert prm.full_pairs + prm.ff_only_pairs == prm.ffs
+
+    def test_paper_full_pair_values(self):
+        assert PRMRequirements("fir", 1300, 1150, 394).full_pairs == 244
+        assert PRMRequirements("mips", 2617, 1527, 1592).full_pairs == 502
+
+
+class TestHelpers:
+    def test_requires_kind_vector(self):
+        prm = PRMRequirements("mips", 2617, 1527, 1592, dsps=4, brams=6)
+        assert prm.requires_kind_vector(328) == ResourceVector(328, 4, 6)
+
+    def test_scaled_doubles(self):
+        prm = PRMRequirements("x", 100, 80, 60, dsps=3, brams=2)
+        big = prm.scaled(2.0)
+        assert big.luts == 160 and big.ffs == 120
+        assert big.dsps == 6 and big.brams == 4
+        assert big.name == "xx2"
+
+    def test_scaled_preserves_invariants(self):
+        prm = PRMRequirements("x", 100, 80, 60)
+        for factor in (0.1, 0.33, 1.7, 10.0):
+            scaled = prm.scaled(factor)  # must not raise
+            assert scaled.lut_ff_pairs >= max(scaled.luts, scaled.ffs)
+            assert scaled.lut_ff_pairs <= scaled.luts + scaled.ffs
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            PRMRequirements("x", 1, 1, 1).scaled(0)
+
+
+class TestGlossaries:
+    def test_table1_has_all_paper_parameters(self):
+        names = {name for name, _ in TABLE1_PARAMETERS}
+        assert {"LUT_FF_req", "CLB_req", "W_CLB", "H", "W", "PRR_size"} <= names
+
+    def test_table3_has_all_paper_parameters(self):
+        names = {name for name, _ in TABLE3_PARAMETERS}
+        assert {"IW", "FW", "FAR_FDRI", "NCW_row", "NDW_BRAM", "S_bitstream"} <= names
+
+    def test_descriptions_nonempty(self):
+        for _, desc in TABLE1_PARAMETERS + TABLE3_PARAMETERS:
+            assert desc

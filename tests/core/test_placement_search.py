@@ -1,0 +1,148 @@
+"""Unit tests for the Fig. 1 placement search flow."""
+
+import pytest
+
+from repro.core.params import PRMRequirements
+from repro.core.placement_search import (
+    PlacedPRR,
+    PlacementNotFoundError,
+    find_prr,
+    iter_feasible_placements,
+    search_with_trace,
+)
+from repro.core.prr_model import prr_geometry_for_rows
+from repro.devices.catalog import XC5VLX110T, XC6VLX75T
+from repro.devices.fabric import Region
+
+from tests.conftest import PAPER_GEOMETRY, paper_requirements
+
+
+class TestPaperPlacements:
+    @pytest.mark.parametrize("workload", ["fir", "mips", "sdram"])
+    def test_lx110t_geometry(self, workload):
+        prm = paper_requirements(workload, "virtex5")
+        placed = find_prr(XC5VLX110T, prm)
+        g = placed.geometry
+        assert (
+            g.rows,
+            g.columns.clb,
+            g.columns.dsp,
+            g.columns.bram,
+        ) == PAPER_GEOMETRY[(workload, "xc5vlx110t")]
+
+    @pytest.mark.parametrize("workload", ["fir", "mips", "sdram"])
+    def test_lx75t_geometry(self, workload):
+        prm = paper_requirements(workload, "virtex6")
+        placed = find_prr(XC6VLX75T, prm)
+        g = placed.geometry
+        assert (
+            g.rows,
+            g.columns.clb,
+            g.columns.dsp,
+            g.columns.bram,
+        ) == PAPER_GEOMETRY[(workload, "xc6vlx75t")]
+
+    def test_fir_v5_prefers_h5_over_h4(self):
+        """The headline Fig. 1 behaviour: H=4 is feasible (size 16) but H=5
+        is smaller (size 15)."""
+        prm = paper_requirements("fir", "virtex5")
+        placements = {p.geometry.rows: p for p in iter_feasible_placements(XC5VLX110T, prm)}
+        assert 4 in placements and 5 in placements
+        assert placements[4].size == 16
+        assert placements[5].size == 15
+        assert find_prr(XC5VLX110T, prm).geometry.rows == 5
+
+    def test_objectives_agree_on_paper_cases(self):
+        for workload, family in (
+            ("fir", "virtex5"),
+            ("mips", "virtex5"),
+            ("sdram", "virtex5"),
+        ):
+            prm = paper_requirements(workload, family)
+            by_size = find_prr(XC5VLX110T, prm, objective="size")
+            by_bytes = find_prr(XC5VLX110T, prm, objective="bitstream")
+            assert by_size.geometry == by_bytes.geometry
+
+
+class TestPlacementMechanics:
+    def test_region_matches_geometry(self):
+        prm = paper_requirements("mips", "virtex5")
+        placed = find_prr(XC5VLX110T, prm)
+        assert placed.region.height == placed.geometry.rows
+        assert placed.region.width == placed.geometry.width
+        assert XC5VLX110T.is_valid_prr(placed.region)
+
+    def test_bottom_most_row_selected(self):
+        prm = paper_requirements("sdram", "virtex5")
+        placed = find_prr(XC5VLX110T, prm)
+        assert placed.region.row == 1
+
+    def test_forbidden_regions_respected(self):
+        prm = paper_requirements("sdram", "virtex5")
+        first = find_prr(XC5VLX110T, prm)
+        second = find_prr(XC5VLX110T, prm, forbidden=[first.region])
+        assert not second.region.overlaps(first.region)
+
+    def test_max_rows_cap(self):
+        prm = paper_requirements("fir", "virtex5")
+        # DSP demand needs H >= 4; capping below that leaves nothing.
+        with pytest.raises(PlacementNotFoundError):
+            find_prr(XC5VLX110T, prm, max_rows=3)
+
+    def test_impossible_demand_raises(self):
+        monster = PRMRequirements("monster", 10**6, 10**6, 0)
+        with pytest.raises(PlacementNotFoundError, match="monster"):
+            find_prr(XC5VLX110T, monster)
+
+    def test_placed_prr_validates_consistency(self):
+        prm = paper_requirements("sdram", "virtex5")
+        placed = find_prr(XC5VLX110T, prm)
+        with pytest.raises(ValueError):
+            PlacedPRR(
+                device=placed.device,
+                geometry=placed.geometry,
+                region=Region(
+                    row=placed.region.row,
+                    col=placed.region.col,
+                    height=placed.region.height + 1,
+                    width=placed.region.width,
+                ),
+            )
+
+    def test_shared_prr_placement(self):
+        prms = [
+            paper_requirements("fir", "virtex6"),
+            paper_requirements("sdram", "virtex6"),
+        ]
+        placed = find_prr(XC6VLX75T, prms)
+        # Shared PRR must dominate both individual column demands.
+        fir_geo = prr_geometry_for_rows(
+            prms[0], XC6VLX75T.family, placed.geometry.rows
+        )
+        assert placed.geometry.columns.dominates(fir_geo.columns)
+
+    def test_utilization_for_convenience(self):
+        prm = paper_requirements("fir", "virtex5")
+        placed = find_prr(XC5VLX110T, prm)
+        assert placed.utilization_for(prm).as_percentages()["RU_DSP"] == 80
+
+
+class TestSearchTrace:
+    def test_trace_covers_all_rows(self):
+        prm = paper_requirements("fir", "virtex5")
+        trace = search_with_trace(XC5VLX110T, prm)
+        assert len(trace.steps) == XC5VLX110T.rows
+
+    def test_trace_marks_eq4_infeasible_rows(self):
+        prm = paper_requirements("fir", "virtex5")
+        trace = search_with_trace(XC5VLX110T, prm)
+        for rows, geometry, placed in trace.steps:
+            if rows < 4:
+                assert geometry is None  # single-DSP-column rule
+            else:
+                assert geometry is not None and placed
+
+    def test_trace_render_mentions_selection(self):
+        prm = paper_requirements("sdram", "virtex6")
+        text = search_with_trace(XC6VLX75T, prm).render()
+        assert "selected" in text and "H=1" in text

@@ -1,0 +1,61 @@
+"""Unit tests for the reconfiguration-time model."""
+
+import pytest
+
+from repro.core.reconfig_model import (
+    ICAP_VIRTEX5_BYTES_PER_S,
+    estimate_reconfig_time,
+)
+
+
+class TestEstimate:
+    def test_icap_peak(self):
+        est = estimate_reconfig_time(400_000_000)
+        assert est.seconds == pytest.approx(1.0)
+
+    def test_fir_v5_microseconds(self):
+        # 83040 bytes over 400 MB/s = 207.6 us.
+        est = estimate_reconfig_time(83040)
+        assert est.microseconds == pytest.approx(207.6)
+
+    def test_media_bottleneck(self):
+        est = estimate_reconfig_time(1_000_000, media_bytes_per_s=2e6)
+        assert est.effective_bytes_per_s == 2e6
+        assert est.seconds == pytest.approx(0.5)
+
+    def test_controller_bottleneck_when_media_fast(self):
+        est = estimate_reconfig_time(1_000_000, media_bytes_per_s=1e9)
+        assert est.effective_bytes_per_s == ICAP_VIRTEX5_BYTES_PER_S
+
+    def test_busy_factor_degrades(self):
+        clean = estimate_reconfig_time(1000)
+        busy = estimate_reconfig_time(1000, busy_factor=0.5)
+        assert busy.seconds == pytest.approx(2 * clean.seconds)
+
+    def test_unit_conversions(self):
+        est = estimate_reconfig_time(400)
+        assert est.microseconds == pytest.approx(1.0)
+        assert est.milliseconds == pytest.approx(0.001)
+
+    def test_zero_bytes(self):
+        assert estimate_reconfig_time(0).seconds == 0.0
+
+
+class TestValidation:
+    def test_negative_bytes(self):
+        with pytest.raises(ValueError):
+            estimate_reconfig_time(-1)
+
+    def test_bad_controller(self):
+        with pytest.raises(ValueError):
+            estimate_reconfig_time(1, controller_bytes_per_s=0)
+
+    def test_bad_media(self):
+        with pytest.raises(ValueError):
+            estimate_reconfig_time(1, media_bytes_per_s=0)
+
+    def test_bad_busy_factor(self):
+        with pytest.raises(ValueError):
+            estimate_reconfig_time(1, busy_factor=1.0)
+        with pytest.raises(ValueError):
+            estimate_reconfig_time(1, busy_factor=-0.1)

@@ -1,0 +1,113 @@
+"""Unit tests for the device catalog and layout parsing."""
+
+import pytest
+
+from repro.devices.catalog import (
+    DEVICES,
+    XC4VLX60,
+    XC5VLX50T,
+    XC5VLX110T,
+    XC6SLX45,
+    XC6VLX75T,
+    XC7Z020,
+    get_device,
+    make_device,
+    parse_layout,
+)
+from repro.devices.family import VIRTEX5
+from repro.devices.resources import ColumnKind
+
+
+class TestParseLayout:
+    def test_single_letters(self):
+        assert parse_layout("I C D B K") == (
+            ColumnKind.IOB,
+            ColumnKind.CLB,
+            ColumnKind.DSP,
+            ColumnKind.BRAM,
+            ColumnKind.CLK,
+        )
+
+    def test_run_length(self):
+        assert parse_layout("C*3") == (ColumnKind.CLB,) * 3
+
+    def test_commas_allowed(self):
+        assert parse_layout("C, D") == (ColumnKind.CLB, ColumnKind.DSP)
+
+    def test_bad_token(self):
+        with pytest.raises(ValueError, match="bad layout token"):
+            parse_layout("C X")
+
+    def test_empty_spec(self):
+        with pytest.raises(ValueError):
+            parse_layout("   ")
+
+
+class TestEvaluationDevices:
+    def test_lx110t_row_count(self):
+        # "the Virtex-5 LX110T has 8 rows"
+        assert XC5VLX110T.rows == 8
+
+    def test_lx75t_row_count(self):
+        # "the Virtex-6 LX75T has 3 rows"
+        assert XC6VLX75T.rows == 3
+
+    def test_lx110t_single_dsp_column(self):
+        # "the Virtex-5 LX110T has only one DSP column in the device fabric"
+        assert XC5VLX110T.has_single_dsp_column
+
+    def test_lx75t_multiple_dsp_columns(self):
+        assert not XC6VLX75T.has_single_dsp_column
+        assert XC6VLX75T.dsp_column_count == 6
+
+    def test_lx110t_slice_count_matches_real_part(self):
+        # Real XC5VLX110T: 17,280 slices = 8,640 CLBs.
+        assert XC5VLX110T.total_resources.clb == 8640
+
+    def test_lx110t_dsp_count_matches_real_part(self):
+        # Real XC5VLX110T: 64 DSP48E slices.
+        assert XC5VLX110T.total_resources.dsp == 64
+
+    def test_lx75t_dsp_count_matches_real_part(self):
+        # Real XC6VLX75T: 288 DSP48E1 slices.
+        assert XC6VLX75T.total_resources.dsp == 288
+
+    def test_layouts_bounded_by_iobs(self):
+        for device in (XC5VLX110T, XC6VLX75T):
+            assert device.columns[0] is ColumnKind.IOB
+            assert device.columns[-1] is ColumnKind.IOB
+
+    def test_each_device_has_one_clk_column(self):
+        for device in DEVICES.values():
+            assert device.count_columns(ColumnKind.CLK) == 1
+
+
+class TestCatalog:
+    def test_all_devices_present(self):
+        assert set(DEVICES) == {
+            "xc5vlx110t",
+            "xc6vlx75t",
+            "xc5vlx50t",
+            "xc4vlx60",
+            "xc7z020",
+            "xc6slx45",
+        }
+
+    def test_get_device_case_insensitive(self):
+        assert get_device("XC5VLX110T") is XC5VLX110T
+
+    def test_get_device_unknown(self):
+        with pytest.raises(KeyError):
+            get_device("xc7v2000t")
+
+    def test_families_assigned(self):
+        assert XC4VLX60.family.name == "virtex4"
+        assert XC5VLX50T.family.name == "virtex5"
+        assert XC7Z020.family.name == "series7"
+        assert XC6SLX45.family.name == "spartan6"
+
+    def test_make_device(self):
+        device = make_device("custom", VIRTEX5, rows=2, layout="I C*4 D C*4 I")
+        assert device.rows == 2
+        assert device.count_columns(ColumnKind.CLB) == 8
+        assert device.has_single_dsp_column

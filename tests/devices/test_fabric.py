@@ -1,0 +1,189 @@
+"""Unit tests for the Device fabric model and Region geometry."""
+
+import pytest
+
+from repro.devices.fabric import Device, Region, column_kind_counts
+from repro.devices.family import VIRTEX5
+from repro.devices.resources import ColumnKind, ResourceVector
+
+C, D, B, I, K = (
+    ColumnKind.CLB,
+    ColumnKind.DSP,
+    ColumnKind.BRAM,
+    ColumnKind.IOB,
+    ColumnKind.CLK,
+)
+
+
+@pytest.fixture
+def tiny_device():
+    """A 2-row toy device: I C C D C B C K C I."""
+    return Device(
+        name="toy",
+        family=VIRTEX5,
+        rows=2,
+        columns=(I, C, C, D, C, B, C, K, C, I),
+    )
+
+
+class TestRegion:
+    def test_spans(self):
+        region = Region(row=2, col=3, height=2, width=4)
+        assert list(region.row_span) == [2, 3]
+        assert list(region.col_span) == [3, 4, 5, 6]
+
+    def test_size_eq7(self):
+        assert Region(1, 1, 5, 3).size == 15  # FIR/V5's PRR
+
+    def test_one_based_validation(self):
+        with pytest.raises(ValueError):
+            Region(0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            Region(1, 0, 1, 1)
+
+    def test_positive_extent_validation(self):
+        with pytest.raises(ValueError):
+            Region(1, 1, 0, 1)
+
+    def test_overlaps_true(self):
+        assert Region(1, 1, 2, 2).overlaps(Region(2, 2, 2, 2))
+
+    def test_overlaps_false_disjoint_cols(self):
+        assert not Region(1, 1, 2, 2).overlaps(Region(1, 3, 2, 2))
+
+    def test_overlaps_false_disjoint_rows(self):
+        assert not Region(1, 1, 2, 2).overlaps(Region(3, 1, 2, 2))
+
+    def test_overlap_is_symmetric(self):
+        a, b = Region(1, 1, 3, 3), Region(2, 3, 1, 1)
+        assert a.overlaps(b) == b.overlaps(a)
+
+
+class TestColumnKindCounts:
+    def test_counts(self):
+        assert column_kind_counts((C, C, D, B)) == ResourceVector(2, 1, 1)
+
+    def test_rejects_iob(self):
+        with pytest.raises(ValueError, match="cannot be part of a PRR"):
+            column_kind_counts((C, I))
+
+
+class TestDeviceBasics:
+    def test_validation(self, tiny_device):
+        with pytest.raises(ValueError):
+            Device("x", VIRTEX5, rows=0, columns=(C,))
+        with pytest.raises(ValueError):
+            Device("x", VIRTEX5, rows=1, columns=())
+
+    def test_column_kind_one_based(self, tiny_device):
+        assert tiny_device.column_kind(1) is I
+        assert tiny_device.column_kind(4) is D
+        with pytest.raises(IndexError):
+            tiny_device.column_kind(0)
+        with pytest.raises(IndexError):
+            tiny_device.column_kind(11)
+
+    def test_columns_of_kind(self, tiny_device):
+        assert tiny_device.columns_of_kind(C) == (2, 3, 5, 7, 9)
+        assert tiny_device.columns_of_kind(D) == (4,)
+
+    def test_single_dsp_column_detection(self, tiny_device):
+        assert tiny_device.has_single_dsp_column
+        assert tiny_device.dsp_column_count == 1
+
+    def test_total_resources(self, tiny_device):
+        # 5 CLB cols * 20 * 2 rows, 1 DSP col * 8 * 2, 1 BRAM col * 4 * 2.
+        assert tiny_device.total_resources == ResourceVector(200, 16, 8)
+        assert tiny_device.total_luts == 1600
+        assert tiny_device.total_ffs == 1600
+
+    def test_layout_string(self, tiny_device):
+        assert tiny_device.layout_string() == "ICCDCBCKCI"
+
+    def test_summary_mentions_counts(self, tiny_device):
+        text = tiny_device.summary()
+        assert "toy" in text and "DSPs=16" in text
+
+
+class TestRegionQueries:
+    def test_region_column_kinds(self, tiny_device):
+        region = Region(row=1, col=2, height=1, width=3)
+        assert tiny_device.region_column_kinds(region) == (C, C, D)
+
+    def test_region_column_counts(self, tiny_device):
+        # Columns 2..6 are C, C, D, C, B.
+        region = Region(row=1, col=2, height=2, width=5)
+        assert tiny_device.region_column_counts(region) == ResourceVector(3, 1, 1)
+
+    def test_region_counts_reject_iob(self, tiny_device):
+        region = Region(row=1, col=1, height=1, width=2)
+        with pytest.raises(ValueError):
+            tiny_device.region_column_counts(region)
+
+    def test_region_resources_eq8_11_12(self, tiny_device):
+        region = Region(row=1, col=2, height=2, width=5)
+        assert tiny_device.region_resources(region) == ResourceVector(
+            clb=2 * 3 * 20, dsp=2 * 1 * 8, bram=2 * 1 * 4
+        )
+
+    def test_region_out_of_bounds_rows(self, tiny_device):
+        with pytest.raises(ValueError, match="exceed device rows"):
+            tiny_device.region_column_kinds(Region(row=2, col=2, height=2, width=1))
+
+    def test_region_out_of_bounds_cols(self, tiny_device):
+        with pytest.raises(ValueError, match="exceed device columns"):
+            tiny_device.region_column_kinds(Region(row=1, col=9, height=1, width=5))
+
+    def test_is_valid_prr(self, tiny_device):
+        assert tiny_device.is_valid_prr(Region(row=1, col=2, height=2, width=3))
+        assert not tiny_device.is_valid_prr(Region(row=1, col=1, height=1, width=1))
+        assert not tiny_device.is_valid_prr(Region(row=1, col=7, height=1, width=2))
+        assert not tiny_device.is_valid_prr(Region(row=2, col=2, height=2, width=1))
+
+
+class TestWindowScanning:
+    def test_iter_windows_count(self, tiny_device):
+        windows = list(tiny_device.iter_windows(3))
+        assert len(windows) == 8
+        assert windows[0] == (1, (I, C, C))
+
+    def test_iter_windows_width_validation(self, tiny_device):
+        with pytest.raises(ValueError):
+            list(tiny_device.iter_windows(0))
+
+    def test_find_column_window_exact_match(self, tiny_device):
+        # 2 CLB + 1 DSP: window CCD starts at column 2.
+        assert tiny_device.find_column_window(ResourceVector(2, 1, 0)) == 2
+
+    def test_find_column_window_any_order(self, tiny_device):
+        # 1 CLB + 1 BRAM: window CB starts at column 5 (C at 5, B at 6).
+        assert tiny_device.find_column_window(ResourceVector(1, 0, 1)) == 5
+
+    def test_find_column_window_start_col(self, tiny_device):
+        # Only-CLB width-1 windows: 2,3,5,7,9; skipping below 6 gives 7.
+        assert (
+            tiny_device.find_column_window(ResourceVector(1, 0, 0), start_col=6) == 7
+        )
+
+    def test_find_column_window_none(self, tiny_device):
+        # 3 contiguous CLB columns do not exist in the toy layout.
+        assert tiny_device.find_column_window(ResourceVector(3, 0, 0)) is None
+
+    def test_find_column_window_rejects_empty(self, tiny_device):
+        with pytest.raises(ValueError):
+            tiny_device.find_column_window(ResourceVector())
+
+    def test_window_never_spans_clk(self, tiny_device):
+        # C K C around column 8 would match 2 CLBs otherwise.
+        assert tiny_device.find_column_window(ResourceVector(2, 0, 0)) == 2
+        found = []
+        start = 1
+        while True:
+            col = tiny_device.find_column_window(
+                ResourceVector(2, 0, 0), start_col=start
+            )
+            if col is None:
+                break
+            found.append(col)
+            start = col + 1
+        assert found == [2]  # only the C,C at 2-3; never across K or I

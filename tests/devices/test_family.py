@@ -1,0 +1,170 @@
+"""Unit tests for device-family constants (paper Tables II and IV)."""
+
+import dataclasses
+
+import pytest
+
+from repro.devices.family import (
+    FAMILIES,
+    SERIES7,
+    SPARTAN6,
+    VIRTEX4,
+    VIRTEX5,
+    VIRTEX6,
+    DeviceFamily,
+    get_family,
+)
+from repro.devices.resources import ColumnKind, ResourceVector
+
+
+class TestTable2Constants:
+    """Table II: CLB_col/DSP_col/BRAM_col/LUT_CLB/FF_CLB per family."""
+
+    def test_virtex5_row_geometry(self):
+        # Paper prose: "a CLB column has 20 CLBs, a DSP column has 8 DSPs,
+        # and a BRAM column has 4 BRAMs" per row.
+        assert VIRTEX5.clb_per_col == 20
+        assert VIRTEX5.dsp_per_col == 8
+        assert VIRTEX5.bram_per_col == 4
+
+    def test_virtex5_clb_contents(self):
+        # "Each CLB contains a pair of slices and each slice contains 4
+        # look-up tables (LUTs) and 4 FFs."
+        assert VIRTEX5.luts_per_clb == 8
+        assert VIRTEX5.ffs_per_clb == 8
+
+    def test_virtex6_row_geometry(self):
+        assert VIRTEX6.clb_per_col == 40
+        assert VIRTEX6.dsp_per_col == 16
+        assert VIRTEX6.bram_per_col == 8
+
+    def test_virtex6_has_16_ffs_per_clb(self):
+        assert VIRTEX6.luts_per_clb == 8
+        assert VIRTEX6.ffs_per_clb == 16
+
+    def test_virtex4_row_geometry(self):
+        assert VIRTEX4.clb_per_col == 16
+        assert VIRTEX4.dsp_per_col == 8
+        assert VIRTEX4.bram_per_col == 4
+
+
+class TestTable4Constants:
+    """Table IV: frame constants per family."""
+
+    def test_virtex5_frames_per_column(self):
+        # Paper prose: "CLB, DSP, BRAM, IOB, and CLK columns have 36, 28,
+        # 30, 54, and 4 configuration frames, respectively."
+        assert VIRTEX5.cf_clb == 36
+        assert VIRTEX5.cf_dsp == 28
+        assert VIRTEX5.cf_bram == 30
+        assert VIRTEX5.cf_iob == 54
+        assert VIRTEX5.cf_clk == 4
+
+    def test_virtex5_bram_data_frames(self):
+        # "Each BRAM column requires 128 data frames for BRAM
+        # initialization."
+        assert VIRTEX5.df_bram == 128
+
+    def test_virtex5_frame_size(self):
+        # "a frame contains 41 32-bit words"
+        assert VIRTEX5.frame_words == 41
+        assert VIRTEX5.bytes_per_word == 4
+        assert VIRTEX5.frame_bytes == 164
+
+    def test_virtex6_frame_size(self):
+        assert VIRTEX6.frame_words == 81
+
+    def test_spartan6_uses_16_bit_words(self):
+        # "in other devices, such as Spartan-3/6 devices, words are 16-bit"
+        assert SPARTAN6.bytes_per_word == 2
+
+    def test_header_constants_shared(self):
+        for family in (VIRTEX4, VIRTEX5, VIRTEX6):
+            assert family.initial_words == 16
+            assert family.final_words == 14
+            assert family.far_fdri_words == 5
+
+
+class TestFamilyHelpers:
+    def test_per_column_resources(self):
+        assert VIRTEX5.per_column_resources == ResourceVector(20, 8, 4)
+
+    def test_resources_per_column_kind(self):
+        assert VIRTEX6.resources_per_column(ColumnKind.DSP) == 16
+
+    def test_resources_per_column_rejects_iob(self):
+        with pytest.raises(ValueError):
+            VIRTEX5.resources_per_column(ColumnKind.IOB)
+
+    def test_config_frames_all_kinds(self):
+        assert VIRTEX5.config_frames(ColumnKind.CLB) == 36
+        assert VIRTEX5.config_frames(ColumnKind.IOB) == 54
+        assert VIRTEX5.config_frames(ColumnKind.CLK) == 4
+
+    def test_clbs_for_lut_ff_pairs_eq1(self):
+        # Eq. (1) with the paper's values.
+        assert VIRTEX5.clbs_for_lut_ff_pairs(1300) == 163
+        assert VIRTEX5.clbs_for_lut_ff_pairs(2617) == 328
+        assert VIRTEX5.clbs_for_lut_ff_pairs(332) == 42
+        assert VIRTEX6.clbs_for_lut_ff_pairs(1467) == 184
+        assert VIRTEX6.clbs_for_lut_ff_pairs(3239) == 405
+        assert VIRTEX6.clbs_for_lut_ff_pairs(385) == 49
+
+    def test_clbs_for_zero_pairs(self):
+        assert VIRTEX5.clbs_for_lut_ff_pairs(0) == 0
+
+    def test_clbs_for_negative_rejected(self):
+        with pytest.raises(ValueError):
+            VIRTEX5.clbs_for_lut_ff_pairs(-1)
+
+    def test_lut_ff_conversions(self):
+        assert VIRTEX5.luts_in_clbs(200) == 1600
+        assert VIRTEX5.ffs_in_clbs(200) == 1600
+        assert VIRTEX6.ffs_in_clbs(200) == 3200
+
+
+class TestRegistry:
+    def test_all_families_registered(self):
+        assert set(FAMILIES) == {
+            "virtex4",
+            "virtex5",
+            "virtex6",
+            "series7",
+            "spartan6",
+        }
+
+    def test_get_family_case_insensitive(self):
+        assert get_family("Virtex-5") is VIRTEX5
+        assert get_family("VIRTEX_6") is VIRTEX6
+
+    def test_get_family_unknown(self):
+        with pytest.raises(KeyError, match="unknown device family"):
+            get_family("stratix10")
+
+    def test_families_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            VIRTEX5.cf_clb = 99  # type: ignore[misc]
+
+    def test_custom_family_validation(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            DeviceFamily(
+                name="bad",
+                clb_per_col=0,
+                dsp_per_col=8,
+                bram_per_col=4,
+                luts_per_clb=8,
+                ffs_per_clb=8,
+                cf_clb=36,
+                cf_dsp=28,
+                cf_bram=30,
+                df_bram=128,
+                frame_words=41,
+                initial_words=16,
+                final_words=14,
+                far_fdri_words=5,
+                bytes_per_word=4,
+            )
+
+    def test_series7_exists_for_portability(self):
+        assert SERIES7.frame_words == 101
+        assert SERIES7.clb_per_col == 50

@@ -1,0 +1,106 @@
+"""Unit tests for FAR encoding and frame accounting."""
+
+import pytest
+
+from repro.devices.catalog import XC5VLX110T
+from repro.devices.fabric import Region
+from repro.devices.frames import (
+    BLOCK_TYPE_BRAM_CONTENT,
+    BLOCK_TYPE_CONFIG,
+    FrameAddress,
+    frames_in_column,
+    iter_region_frame_addresses,
+    region_frame_counts,
+)
+from repro.devices.resources import ColumnKind
+
+
+class TestFrameAddress:
+    def test_encode_decode_roundtrip(self):
+        far = FrameAddress(block_type=1, row=7, major=45, minor=120)
+        assert FrameAddress.decode(far.encode()) == far
+
+    def test_encode_zero(self):
+        assert FrameAddress(0, 0, 0, 0).encode() == 0
+
+    def test_field_bounds(self):
+        with pytest.raises(ValueError):
+            FrameAddress(block_type=8, row=0, major=0, minor=0)
+        with pytest.raises(ValueError):
+            FrameAddress(block_type=0, row=32, major=0, minor=0)
+        with pytest.raises(ValueError):
+            FrameAddress(block_type=0, row=0, major=256, minor=0)
+        with pytest.raises(ValueError):
+            FrameAddress(block_type=0, row=0, major=0, minor=128)
+
+    def test_decode_rejects_wide_word(self):
+        with pytest.raises(ValueError):
+            FrameAddress.decode(1 << 32)
+
+    def test_next_minor(self):
+        far = FrameAddress(0, 1, 2, 3)
+        assert far.next_minor().minor == 4
+        assert far.next_minor().major == 2
+
+    def test_fields_do_not_alias(self):
+        a = FrameAddress(block_type=1, row=0, major=0, minor=0).encode()
+        b = FrameAddress(block_type=0, row=1, major=0, minor=0).encode()
+        c = FrameAddress(block_type=0, row=0, major=1, minor=0).encode()
+        d = FrameAddress(block_type=0, row=0, major=0, minor=1).encode()
+        assert len({a, b, c, d}) == 4
+
+
+class TestFramesInColumn:
+    def test_clb_column(self):
+        clb_col = XC5VLX110T.columns_of_kind(ColumnKind.CLB)[0]
+        assert frames_in_column(XC5VLX110T, clb_col, BLOCK_TYPE_CONFIG) == 36
+        assert frames_in_column(XC5VLX110T, clb_col, BLOCK_TYPE_BRAM_CONTENT) == 0
+
+    def test_bram_column(self):
+        bram_col = XC5VLX110T.columns_of_kind(ColumnKind.BRAM)[0]
+        assert frames_in_column(XC5VLX110T, bram_col, BLOCK_TYPE_CONFIG) == 30
+        assert (
+            frames_in_column(XC5VLX110T, bram_col, BLOCK_TYPE_BRAM_CONTENT) == 128
+        )
+
+    def test_unknown_block_type(self):
+        with pytest.raises(ValueError):
+            frames_in_column(XC5VLX110T, 2, 5)
+
+
+class TestRegionFrameCounts:
+    def test_mips_prr_counts(self):
+        # MIPS/V5: 17 CLB + 1 DSP + 2 BRAM -> 17*36 + 28 + 2*30 = 700 config
+        # frames and 2*128 = 256 BRAM content frames per row.
+        from repro.core import find_prr
+        from tests.conftest import paper_requirements
+
+        placed = find_prr(XC5VLX110T, paper_requirements("mips", "virtex5"))
+        counts = region_frame_counts(XC5VLX110T, placed.region)
+        assert counts.config_frames == 700
+        assert counts.bram_content_frames == 256
+        assert counts.total == 956
+
+    def test_iter_addresses_order_and_count(self):
+        clb_col = XC5VLX110T.columns_of_kind(ColumnKind.CLB)[0]
+        region = Region(row=2, col=clb_col, height=2, width=1)
+        addresses = list(
+            iter_region_frame_addresses(XC5VLX110T, region, BLOCK_TYPE_CONFIG)
+        )
+        assert len(addresses) == 2 * 36
+        # Row-major ordering, minors increasing within a column.
+        assert addresses[0].row == 1 and addresses[0].minor == 0
+        assert addresses[35].minor == 35
+        assert addresses[36].row == 2
+
+    def test_iter_bram_content_skips_clb_columns(self):
+        clb_col = XC5VLX110T.columns_of_kind(ColumnKind.CLB)[0]
+        region = Region(row=1, col=clb_col, height=1, width=1)
+        assert (
+            list(
+                iter_region_frame_addresses(
+                    XC5VLX110T, region, BLOCK_TYPE_BRAM_CONTENT
+                )
+            )
+            == []
+        )

@@ -1,0 +1,139 @@
+"""Unit tests for resource kinds and ResourceVector arithmetic."""
+
+import pytest
+
+from repro.devices.resources import (
+    PRR_COLUMN_KINDS,
+    ColumnKind,
+    ResourceVector,
+)
+
+
+class TestColumnKind:
+    def test_reconfigurable_kinds(self):
+        assert ColumnKind.CLB.reconfigurable
+        assert ColumnKind.DSP.reconfigurable
+        assert ColumnKind.BRAM.reconfigurable
+
+    def test_non_reconfigurable_kinds(self):
+        assert not ColumnKind.IOB.reconfigurable
+        assert not ColumnKind.CLK.reconfigurable
+
+    def test_prr_column_kinds_order(self):
+        assert PRR_COLUMN_KINDS == (
+            ColumnKind.CLB,
+            ColumnKind.DSP,
+            ColumnKind.BRAM,
+        )
+
+    def test_value_roundtrip(self):
+        for kind in ColumnKind:
+            assert ColumnKind(kind.value) is kind
+
+
+class TestResourceVectorConstruction:
+    def test_defaults_to_zero(self):
+        vec = ResourceVector()
+        assert (vec.clb, vec.dsp, vec.bram) == (0, 0, 0)
+        assert vec.is_zero()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ResourceVector(clb=-1)
+
+    def test_non_int_rejected(self):
+        with pytest.raises(TypeError):
+            ResourceVector(clb=1.5)  # type: ignore[arg-type]
+
+    def test_from_mapping_with_kinds(self):
+        vec = ResourceVector.from_mapping({ColumnKind.CLB: 3, ColumnKind.DSP: 1})
+        assert vec == ResourceVector(clb=3, dsp=1)
+
+    def test_from_mapping_with_strings(self):
+        vec = ResourceVector.from_mapping({"clb": 2, "bram": 4})
+        assert vec == ResourceVector(clb=2, bram=4)
+
+    def test_from_mapping_rejects_iob(self):
+        with pytest.raises(ValueError, match="not a PRR resource"):
+            ResourceVector.from_mapping({ColumnKind.IOB: 1})
+
+    def test_as_dict(self):
+        assert ResourceVector(clb=1, dsp=2, bram=3).as_dict() == {
+            "clb": 1,
+            "dsp": 2,
+            "bram": 3,
+        }
+
+    def test_get(self):
+        vec = ResourceVector(clb=5, dsp=6, bram=7)
+        assert vec.get(ColumnKind.CLB) == 5
+        assert vec.get(ColumnKind.DSP) == 6
+        assert vec.get(ColumnKind.BRAM) == 7
+
+    def test_get_rejects_clk(self):
+        with pytest.raises(ValueError):
+            ResourceVector().get(ColumnKind.CLK)
+
+
+class TestResourceVectorArithmetic:
+    def test_add(self):
+        assert ResourceVector(1, 2, 3) + ResourceVector(4, 5, 6) == ResourceVector(
+            5, 7, 9
+        )
+
+    def test_sub(self):
+        assert ResourceVector(4, 5, 6) - ResourceVector(1, 2, 3) == ResourceVector(
+            3, 3, 3
+        )
+
+    def test_sub_below_zero_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector() - ResourceVector(clb=1)
+
+    def test_scalar_multiplication(self):
+        assert 3 * ResourceVector(1, 2, 0) == ResourceVector(3, 6, 0)
+        assert ResourceVector(1, 2, 0) * 3 == ResourceVector(3, 6, 0)
+
+    def test_ceil_div_exact(self):
+        got = ResourceVector(40, 16, 8).ceil_div(ResourceVector(20, 8, 4))
+        assert got == ResourceVector(2, 2, 2)
+
+    def test_ceil_div_rounds_up(self):
+        got = ResourceVector(41, 1, 0).ceil_div(ResourceVector(20, 8, 4))
+        assert got == ResourceVector(3, 1, 0)
+
+    def test_ceil_div_zero_capacity_with_zero_need(self):
+        got = ResourceVector(10, 0, 0).ceil_div(ResourceVector(20, 0, 0))
+        assert got == ResourceVector(1, 0, 0)
+
+    def test_ceil_div_zero_capacity_with_need_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ResourceVector(0, 5, 0).ceil_div(ResourceVector(20, 0, 4))
+
+    def test_dominates(self):
+        assert ResourceVector(2, 2, 2).dominates(ResourceVector(1, 2, 0))
+        assert not ResourceVector(2, 2, 2).dominates(ResourceVector(3, 0, 0))
+
+    def test_max(self):
+        assert ResourceVector(1, 5, 0).max(ResourceVector(3, 2, 1)) == ResourceVector(
+            3, 5, 1
+        )
+
+    def test_elementwise_max_empty(self):
+        assert ResourceVector.elementwise_max([]) == ResourceVector()
+
+    def test_elementwise_max_many(self):
+        vecs = [ResourceVector(1, 0, 9), ResourceVector(5, 2, 0)]
+        assert ResourceVector.elementwise_max(vecs) == ResourceVector(5, 2, 9)
+
+    def test_total(self):
+        assert ResourceVector(17, 1, 2).total == 20  # MIPS/V5's W
+
+    def test_iter_order(self):
+        assert list(ResourceVector(1, 2, 3)) == [1, 2, 3]
+
+    def test_hashable_and_frozen(self):
+        vec = ResourceVector(1, 2, 3)
+        assert {vec: "x"}[ResourceVector(1, 2, 3)] == "x"
+        with pytest.raises(AttributeError):
+            vec.clb = 5  # type: ignore[misc]

@@ -1,0 +1,122 @@
+"""Unit tests for storage media, controllers and reconfiguration simulation."""
+
+import pytest
+
+from repro.icap.controllers import (
+    DmaIcapController,
+    FarmController,
+    IcapController,
+    PCController,
+)
+from repro.icap.reconfig import simulate_reconfiguration
+from repro.icap.storage import (
+    BRAM_CACHE,
+    COMPACT_FLASH,
+    DDR_SDRAM,
+    STORAGE_MEDIA,
+    StorageMedium,
+)
+
+
+class TestStorage:
+    def test_catalog_complete(self):
+        assert set(STORAGE_MEDIA) == {
+            "compact_flash",
+            "system_ace",
+            "platform_flash",
+            "ddr_sdram",
+            "bram_cache",
+        }
+
+    def test_fetch_seconds(self):
+        medium = StorageMedium("m", read_bytes_per_s=1e6, access_latency_s=1e-3)
+        assert medium.fetch_seconds(1_000_000) == pytest.approx(1.001)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StorageMedium("m", read_bytes_per_s=0, access_latency_s=0)
+        with pytest.raises(ValueError):
+            StorageMedium("m", read_bytes_per_s=1, access_latency_s=-1)
+        with pytest.raises(ValueError):
+            COMPACT_FLASH.fetch_seconds(-1)
+
+    def test_bandwidth_ordering(self):
+        assert (
+            COMPACT_FLASH.read_bytes_per_s
+            < DDR_SDRAM.read_bytes_per_s
+            < BRAM_CACHE.read_bytes_per_s
+        )
+
+
+class TestControllers:
+    def test_cpu_icap_is_slow(self):
+        cpu = IcapController()
+        dma = DmaIcapController()
+        assert cpu.write_seconds(100_000) > dma.write_seconds(100_000)
+
+    def test_dma_near_theoretical(self):
+        dma = DmaIcapController()
+        assert dma.peak_bytes_per_s == pytest.approx(0.95 * 400e6)
+
+    def test_busy_factor_degrades_peak(self):
+        clean = DmaIcapController()
+        busy = DmaIcapController(busy_factor=0.5)
+        assert busy.peak_bytes_per_s == pytest.approx(clean.peak_bytes_per_s / 2)
+
+    def test_farm_compression_shrinks_time(self):
+        plain = FarmController()
+        squeezed = FarmController(compression_ratio=0.5)
+        assert squeezed.write_seconds(1_000_000) < plain.write_seconds(1_000_000)
+
+    def test_pc_is_slowest(self):
+        n = 100_000
+        assert PCController().write_seconds(n) > IcapController().write_seconds(n)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            IcapController(efficiency=0)
+        with pytest.raises(ValueError):
+            DmaIcapController(busy_factor=1.0)
+        with pytest.raises(ValueError):
+            FarmController(compression_ratio=0)
+        with pytest.raises(ValueError):
+            IcapController().write_seconds(-1)
+
+
+class TestSimulation:
+    def test_overlap_takes_max(self):
+        result = simulate_reconfiguration(
+            1_000_000, DmaIcapController(), COMPACT_FLASH, overlap=True
+        )
+        assert result.total_seconds == pytest.approx(
+            max(result.fetch_seconds, result.write_seconds)
+        )
+
+    def test_serial_takes_sum(self):
+        result = simulate_reconfiguration(
+            1_000_000, DmaIcapController(), COMPACT_FLASH, overlap=False
+        )
+        assert result.total_seconds == pytest.approx(
+            result.fetch_seconds + result.write_seconds
+        )
+
+    def test_slow_media_dominates(self):
+        result = simulate_reconfiguration(
+            1_000_000, DmaIcapController(), COMPACT_FLASH
+        )
+        assert result.fetch_seconds > result.write_seconds
+        assert result.effective_bytes_per_s < 3e6
+
+    def test_fast_media_exposes_controller(self):
+        result = simulate_reconfiguration(1_000_000, IcapController(), BRAM_CACHE)
+        assert result.write_seconds > result.fetch_seconds
+
+    def test_unit_helpers(self):
+        result = simulate_reconfiguration(400_000, DmaIcapController(), DDR_SDRAM)
+        assert result.total_microseconds == pytest.approx(
+            result.total_seconds * 1e6
+        )
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_reconfiguration(-1, DmaIcapController(), DDR_SDRAM)

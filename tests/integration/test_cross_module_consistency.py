@@ -1,0 +1,126 @@
+"""Cross-module consistency: independent implementations must agree.
+
+Several quantities are computed twice in this library by design — an
+analytical path (the paper's formulas) and a structural path (walking the
+fabric / the bitstream).  These tests pin the agreements.
+"""
+
+import pytest
+
+from repro.bitgen import generate_partial_bitstream
+from repro.core import (
+    estimate_bitstream,
+    find_prr,
+    full_device_bitstream_bytes,
+)
+from repro.core.bitstream_model import config_frames_per_row
+from repro.core.shapes import CompositePRR, composite_bitstream_bytes
+from repro.devices import XC5VLX110T, XC6VLX75T
+from repro.devices.frames import region_frame_counts
+from repro.multitask.preemptive import context_bytes
+from repro.relocation import ConfigMemory, save_context
+
+from tests.conftest import paper_requirements
+
+CASES = [
+    ("fir", XC5VLX110T),
+    ("mips", XC5VLX110T),
+    ("sdram", XC5VLX110T),
+    ("fir", XC6VLX75T),
+    ("mips", XC6VLX75T),
+    ("sdram", XC6VLX75T),
+]
+
+
+@pytest.fixture(scope="module")
+def placements():
+    return {
+        (name, device.name): find_prr(
+            device, paper_requirements(name, device.family.name)
+        )
+        for name, device in CASES
+    }
+
+
+class TestFrameAccounting:
+    @pytest.mark.parametrize("name,device", CASES, ids=lambda x: getattr(x, "name", x))
+    def test_analytical_vs_fabric_walk(self, placements, name, device):
+        """Eqs. (20)-(22) vs walking the actual columns of the region."""
+        placed = placements[(name, device.name)]
+        analytical = config_frames_per_row(
+            device.family, placed.geometry.columns
+        )
+        walked = region_frame_counts(device, placed.region)
+        assert walked.config_frames == analytical
+        assert (
+            walked.bram_content_frames
+            == placed.geometry.columns.bram * device.family.df_bram
+        )
+
+    @pytest.mark.parametrize("name,device", CASES, ids=lambda x: getattr(x, "name", x))
+    def test_context_bytes_vs_memory_snapshot(self, placements, name, device):
+        """The preemption cost model's snapshot size equals the actual
+        configuration-memory readback size."""
+        placed = placements[(name, device.name)]
+        bitstream = generate_partial_bitstream(
+            device, placed.region, design_name=name
+        )
+        memory = ConfigMemory(device)
+        memory.configure(bitstream.to_bytes())
+        context = save_context(memory, placed.region, task_name=name)
+        assert context.size_bytes == context_bytes(placed.geometry)
+
+
+class TestBitstreamAccounting:
+    @pytest.mark.parametrize("name,device", CASES, ids=lambda x: getattr(x, "name", x))
+    def test_rectangle_as_composite(self, placements, name, device):
+        """A 1-part composite prices exactly like the rectangular model."""
+        placed = placements[(name, device.name)]
+        composite = CompositePRR(device=device, parts=(placed.region,))
+        assert composite_bitstream_bytes(composite) == (
+            estimate_bitstream(placed.geometry).total_bytes
+        )
+
+    def test_full_device_exceeds_sum_of_disjoint_prrs(self, placements):
+        """The full bitstream covers strictly more than all paper PRRs of
+        a device combined (IOB/CLK frames + the rest of the fabric)."""
+        for device in (XC5VLX110T, XC6VLX75T):
+            total_partial = sum(
+                placements[(name, device.name)].bitstream_bytes
+                for name in ("fir", "mips", "sdram")
+            )
+            assert full_device_bitstream_bytes(device) > total_partial
+
+    @pytest.mark.parametrize("name,device", CASES, ids=lambda x: getattr(x, "name", x))
+    def test_reconfig_time_consistency(self, placements, name, device):
+        """core.reconfig_model and icap simulation agree when the
+        configuration port is the only stage."""
+        from repro.core import estimate_reconfig_time
+        from repro.icap import BRAM_CACHE, FarmController, simulate_reconfiguration
+
+        nbytes = placements[(name, device.name)].bitstream_bytes
+        analytical = estimate_reconfig_time(nbytes).seconds
+        simulated = simulate_reconfiguration(
+            nbytes,
+            FarmController(setup_s=0.0),  # 400 MB/s, no setup
+            BRAM_CACHE,
+        ).total_seconds
+        assert simulated == pytest.approx(analytical, rel=0.01)
+
+
+class TestRequirementsRoundTrip:
+    @pytest.mark.parametrize("name,device", CASES, ids=lambda x: getattr(x, "name", x))
+    def test_table5_row_is_self_consistent(self, placements, name, device):
+        from repro.core import evaluate_prm
+
+        prm = paper_requirements(name, device.family.name)
+        row = evaluate_prm(prm, device).table5_row()
+        # Pair identities.
+        assert row["LUT_FF_req"] >= max(row["LUT_req"], row["FF_req"])
+        assert row["LUT_FF_req"] <= row["LUT_req"] + row["FF_req"]
+        # Geometry identities (eq. (7) decomposition).
+        width = row["W_CLB"] + row["W_DSP"] + row["W_BRAM"]
+        assert width == placements[(name, device.name)].geometry.width
+        # RU never exceeds 100 for a feasible placement.
+        for key in ("RU_CLB", "RU_FF", "RU_LUT", "RU_DSP", "RU_BRAM"):
+            assert 0 <= row[key] <= 100

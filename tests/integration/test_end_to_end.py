@@ -1,0 +1,119 @@
+"""Integration tests: the full designer workflow across all subsystems."""
+
+import pytest
+
+from repro.bitgen.generator import generate_partial_bitstream
+from repro.bitgen.parser import parse_bitstream
+from repro.core.api import evaluate_prm
+from repro.core.explorer import explore, pareto_front
+from repro.core.placement_search import find_prr
+from repro.devices.catalog import XC5VLX110T, XC5VLX50T, XC6VLX75T
+from repro.icap.controllers import DmaIcapController
+from repro.icap.reconfig import simulate_reconfiguration
+from repro.icap.storage import DDR_SDRAM
+from repro.multitask.metrics import compare
+from repro.multitask.scheduler import simulate_full_reconfig, simulate_pr
+from repro.multitask.tasks import HwTask, make_task_set
+from repro.par.flow import implement
+from repro.synth.report import parse_syr, render_syr
+from repro.synth.xst import synthesize
+from repro.workloads import (
+    build_aes,
+    build_fir,
+    build_mips,
+    build_sdram,
+    build_uart,
+)
+
+
+class TestDesignerWorkflow:
+    """The paper's intended usage: synthesize once, model everything."""
+
+    def test_netlist_to_reconfig_time(self):
+        family = XC5VLX110T.family
+        report = synthesize(build_fir(family), family)
+        result = evaluate_prm(report.requirements, XC5VLX110T)
+        sim = simulate_reconfiguration(
+            result.bitstream.total_bytes, DmaIcapController(), DDR_SDRAM
+        )
+        # The analytical estimate and the simulator agree within the DMA
+        # controller's efficiency factor.
+        assert sim.total_seconds == pytest.approx(
+            result.reconfig.seconds, rel=0.10
+        )
+
+    def test_syr_text_pipeline(self):
+        """A user with only .syr text can run the whole flow."""
+        family = XC5VLX110T.family
+        text = render_syr(synthesize(build_mips(family), family))
+        report = parse_syr(text)
+        result = evaluate_prm(report.requirements, XC5VLX110T)
+        assert result.placement.geometry.columns.clb == 17
+
+    def test_model_then_implement_then_bitgen(self):
+        family = XC6VLX75T.family
+        report = synthesize(build_sdram(family), family)
+        placed = find_prr(XC6VLX75T, report.requirements)
+        impl = implement(report, XC6VLX75T, placed.region)
+        assert impl.succeeded
+        bitstream = generate_partial_bitstream(
+            XC6VLX75T, placed.region, design_name="sdram"
+        )
+        parsed = parse_bitstream(bitstream.to_bytes())
+        assert parsed.crc_ok
+        assert parsed.size_bytes == placed.bitstream_bytes
+
+
+class TestPortability:
+    """The paper's portability claim: same models, different devices."""
+
+    def test_uncalibrated_fir_on_smaller_v5_part(self):
+        family = XC5VLX50T.family
+        report = synthesize(build_fir(family, calibrated=False), family)
+        result = evaluate_prm(report.requirements, XC5VLX50T)
+        assert result.placement.geometry.columns.dsp == 1  # single DSP col
+        assert result.bitstream.total_bytes > 0
+
+    def test_extras_place_on_both_devices(self):
+        for device in (XC5VLX110T, XC6VLX75T):
+            family = device.family
+            for builder in (build_aes, build_uart):
+                report = synthesize(builder(), family)
+                placed = find_prr(device, report.requirements)
+                assert device.is_valid_prr(placed.region)
+
+
+class TestExplorationToMultitasking:
+    def test_explore_feeds_scheduler(self):
+        family = XC6VLX75T.family
+        prms = [
+            synthesize(build_fir(family), family).requirements,
+            synthesize(build_sdram(family), family).requirements,
+        ]
+        designs = explore(XC6VLX75T, prms)
+        best = pareto_front(designs)[0]
+        geometries = [a.placement.geometry for a in best.assignments]
+
+        tasks = [HwTask(prm, exec_seconds=0.001) for prm in prms]
+        jobs = make_task_set(tasks, rate_per_s=300, horizon_s=0.2, seed=11)
+        # Shared-PRR designs can schedule any task anywhere; per-task PRRs
+        # rely on the scheduler's fit check.
+        pr = simulate_pr(jobs, geometries)
+        full = simulate_full_reconfig(jobs, XC6VLX75T)
+        comparison = compare(pr, full)
+        assert comparison.makespan_speedup > 1.0
+
+    def test_mips_everywhere(self):
+        """MIPS, the heaviest PRM, exercises every subsystem at once."""
+        family = XC6VLX75T.family
+        report = synthesize(build_mips(family), family)
+        result = evaluate_prm(report.requirements, XC6VLX75T)
+        assert result.bitstream.bram_words_per_row > 0
+        impl = implement(report, XC6VLX75T, result.placement.region)
+        assert impl.succeeded
+        parsed = parse_bitstream(
+            generate_partial_bitstream(
+                XC6VLX75T, result.placement.region
+            ).to_bytes()
+        )
+        assert parsed.section_bytes()["total"] == result.bitstream.total_bytes

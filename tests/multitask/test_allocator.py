@@ -1,0 +1,122 @@
+"""Tests for the runtime PRR allocator and defragmentation."""
+
+import pytest
+
+from repro.core.params import PRMRequirements
+from repro.devices.catalog import XC5VLX110T
+from repro.multitask.allocator import AllocationFailed, PRRAllocator
+
+from tests.conftest import paper_requirements
+
+
+def small_prm(name, pairs=300):
+    return PRMRequirements(name, pairs, pairs * 3 // 4, pairs // 2)
+
+
+class TestAllocateFree:
+    def test_allocate_places_validly(self):
+        allocator = PRRAllocator(XC5VLX110T)
+        allocation = allocator.allocate("a", small_prm("a"))
+        assert XC5VLX110T.is_valid_prr(allocation.region)
+
+    def test_allocations_disjoint(self):
+        allocator = PRRAllocator(XC5VLX110T)
+        regions = [
+            allocator.allocate(f"t{i}", small_prm(f"t{i}")).region
+            for i in range(4)
+        ]
+        for i, a in enumerate(regions):
+            for b in regions[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_duplicate_name_rejected(self):
+        allocator = PRRAllocator(XC5VLX110T)
+        allocator.allocate("a", small_prm("a"))
+        with pytest.raises(ValueError, match="already exists"):
+            allocator.allocate("a", small_prm("a"))
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            PRRAllocator(XC5VLX110T).free("ghost")
+
+    def test_free_releases_space(self):
+        allocator = PRRAllocator(XC5VLX110T)
+        allocation = allocator.allocate("a", small_prm("a"))
+        allocator.free("a")
+        assert allocator.live_cells == 0
+        again = allocator.allocate("b", small_prm("b"))
+        assert again.region == allocation.region  # bottom-left reuse
+
+    def test_paper_prms_allocate_together(self):
+        allocator = PRRAllocator(XC5VLX110T)
+        for workload in ("fir", "mips", "sdram"):
+            allocator.allocate(workload, paper_requirements(workload, "virtex5"))
+        assert len(allocator.allocations) == 3
+
+    def test_impossible_demand_fails(self):
+        allocator = PRRAllocator(XC5VLX110T)
+        with pytest.raises(AllocationFailed):
+            allocator.allocate("monster", PRMRequirements("m", 10**6, 10**6, 0))
+        assert allocator.failed_allocations == 1
+
+
+class TestFragmentationAndDefrag:
+    """Scenario device: one row of 12 interchangeable CLB columns, so
+    external fragmentation is purely horizontal and every position is
+    relocation-compatible (as in a homogeneous PRR slot architecture)."""
+
+    @staticmethod
+    def _toy():
+        from repro.devices import VIRTEX5, make_device
+
+        return make_device("toy_alloc", VIRTEX5, rows=1, layout="I C*12 I")
+
+    #: Width-2 tenant: 2 cols x 20 CLBs x 8 pairs = 320 sites.
+    TENANT = PRMRequirements("tenant", 300, 225, 150)
+    #: Width-4 demand: needs 4 contiguous CLB columns.
+    WIDE = PRMRequirements("wide", 640, 480, 320)
+
+    def _fill_then_hole(self, defragment):
+        """Six width-2 tenants fill the row; freeing alternating tenants
+        leaves three width-2 holes — no width-4 window survives."""
+        allocator = PRRAllocator(self._toy(), defragment=defragment)
+        for i in range(6):
+            allocator.allocate(f"t{i}", self.TENANT)
+        for i in range(0, 6, 2):
+            allocator.free(f"t{i}")
+        return allocator
+
+    def test_fragmentation_metric_in_range(self):
+        allocator = self._fill_then_hole(defragment=False)
+        frag = allocator.external_fragmentation()
+        # 6 free cells, largest free rectangle is 2 wide -> frag = 2/3.
+        assert frag == pytest.approx(2 / 3)
+
+    def test_without_defrag_fails(self):
+        plain = self._fill_then_hole(defragment=False)
+        with pytest.raises(AllocationFailed):
+            plain.allocate("wide", self.WIDE)
+        assert plain.failed_allocations == 1
+
+    def test_defrag_compacts_and_recovers(self):
+        allocator = self._fill_then_hole(defragment=True)
+        before = allocator.external_fragmentation()
+        allocation = allocator.allocate("wide", self.WIDE)
+        assert allocation.region.width == 4
+        assert allocator.relocation_count > 0
+        assert allocator.external_fragmentation() < before
+
+    def test_compaction_keeps_allocations_disjoint(self):
+        allocator = self._fill_then_hole(defragment=True)
+        allocator.allocate("wide", self.WIDE)
+        regions = allocator.occupied_regions()
+        for i, a in enumerate(regions):
+            for b in regions[i + 1 :]:
+                assert not a.overlaps(b)
+
+    def test_moves_counted_per_allocation(self):
+        allocator = self._fill_then_hole(defragment=True)
+        allocator.allocate("wide", self.WIDE)
+        moved = [a for a in allocator.allocations.values() if a.moves]
+        assert moved
+        assert sum(a.moves for a in moved) == allocator.relocation_count

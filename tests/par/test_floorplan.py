@@ -1,0 +1,67 @@
+"""Unit tests for AREA_GROUP floorplan constraints."""
+
+import pytest
+
+from repro.core.placement_search import find_prr
+from repro.devices.catalog import XC5VLX110T
+from repro.devices.fabric import Region
+from repro.par.floorplan import AreaGroup, render_ucf
+
+from tests.conftest import paper_requirements
+
+
+@pytest.fixture(scope="module")
+def mips_group():
+    placed = find_prr(XC5VLX110T, paper_requirements("mips", "virtex5"))
+    return AreaGroup(name="pblock_mips", device=XC5VLX110T, region=placed.region)
+
+
+class TestAreaGroup:
+    def test_requires_name(self):
+        placed = find_prr(XC5VLX110T, paper_requirements("sdram", "virtex5"))
+        with pytest.raises(ValueError):
+            AreaGroup(name="", device=XC5VLX110T, region=placed.region)
+
+    def test_rejects_iob_region(self):
+        with pytest.raises(ValueError):
+            AreaGroup(
+                name="bad",
+                device=XC5VLX110T,
+                region=Region(row=1, col=1, height=1, width=2),
+            )
+
+    def test_slice_range_geometry(self, mips_group):
+        x0, y0, x1, y1 = mips_group.slice_range
+        # Bottom row: slice Y spans one row of 20 CLBs.
+        assert y0 == 0 and y1 == 19
+        # 17 CLB columns -> 34 slice columns.
+        assert x1 - x0 + 1 == 34
+
+    def test_slice_range_row_offset(self):
+        placed = find_prr(XC5VLX110T, paper_requirements("sdram", "virtex5"))
+        higher = Region(
+            row=3,
+            col=placed.region.col,
+            height=placed.region.height,
+            width=placed.region.width,
+        )
+        group = AreaGroup("g", XC5VLX110T, higher)
+        _, y0, _, _ = group.slice_range
+        assert y0 == 2 * 20
+
+
+class TestRenderUcf:
+    def test_contains_required_statements(self, mips_group):
+        text = render_ucf(mips_group, instance="u_mips")
+        assert 'INST "u_mips" AREA_GROUP = "pblock_mips";' in text
+        assert "RANGE = SLICE_X" in text
+        assert "RANGE = DSP48_X" in text  # MIPS PRR has a DSP column
+        assert "RANGE = RAMB36_X" in text  # and BRAM columns
+        assert 'MODE = RECONFIG;' in text
+
+    def test_clb_only_region_omits_dsp_bram_ranges(self):
+        placed = find_prr(XC5VLX110T, paper_requirements("sdram", "virtex5"))
+        group = AreaGroup("pblock_sdram", XC5VLX110T, placed.region)
+        text = render_ucf(group)
+        assert "DSP48" not in text
+        assert "RAMB36" not in text

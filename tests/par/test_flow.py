@@ -1,0 +1,118 @@
+"""Unit tests for the implementation flow and the re-tighten experiment."""
+
+import pytest
+
+from repro.core.placement_search import find_prr
+from repro.devices.catalog import XC5VLX110T, XC6VLX75T
+from repro.par.flow import (
+    implement,
+    retighten,
+    simulated_implementation_seconds,
+)
+from repro.synth.xst import synthesize
+from repro.workloads import build_fir, build_mips, build_sdram
+
+BUILDERS = {"fir": build_fir, "mips": build_mips, "sdram": build_sdram}
+
+
+def setup_case(workload, device):
+    report = synthesize(BUILDERS[workload](device.family), device.family)
+    placed = find_prr(device, report.requirements)
+    return report, placed
+
+
+class TestImplement:
+    def test_result_fields(self):
+        report, placed = setup_case("fir", XC5VLX110T)
+        result = implement(report, XC5VLX110T, placed.region)
+        assert result.succeeded
+        assert result.design.post.lut_ff_pairs == 1082
+        assert result.simulated_seconds > 100
+        assert "routed" in result.summary()
+
+    def test_family_mismatch_rejected(self):
+        report, _ = setup_case("fir", XC5VLX110T)
+        placed_v6 = find_prr(XC6VLX75T, report.requirements)
+        with pytest.raises(ValueError, match="cannot implement"):
+            implement(report, XC6VLX75T, placed_v6.region)
+
+    def test_runtime_model_monotone(self):
+        assert simulated_implementation_seconds(
+            1000, 0.5
+        ) < simulated_implementation_seconds(2000, 0.5)
+        assert simulated_implementation_seconds(
+            1000, 0.5
+        ) < simulated_implementation_seconds(1000, 0.9)
+
+    def test_runtime_model_validation(self):
+        with pytest.raises(ValueError):
+            simulated_implementation_seconds(-1, 0.5)
+        with pytest.raises(ValueError):
+            simulated_implementation_seconds(10, 1.5)
+
+    def test_paper_scale_implementation_minutes(self):
+        # Table VIII implementation times: 2m55s-5m50s (175-350 s).
+        for device in (XC5VLX110T, XC6VLX75T):
+            for workload in BUILDERS:
+                report, placed = setup_case(workload, device)
+                result = implement(report, device, placed.region)
+                assert 150 <= result.simulated_seconds <= 360
+
+
+class TestRetighten:
+    """Section IV's re-tightening experiment.
+
+    Paper outcomes: SDRAM unchanged on both devices; FIR saves two/one CLB
+    column-cells on Virtex-5/-6; MIPS saves columns on Virtex-5 but FAILS
+    place and route on Virtex-6.
+    """
+
+    def test_sdram_unchanged_v5(self):
+        report, placed = setup_case("sdram", XC5VLX110T)
+        outcome = retighten(report, XC5VLX110T, placed.region)
+        assert outcome.unchanged and outcome.succeeded
+        assert outcome.clb_column_rows_saved == 0
+
+    def test_sdram_unchanged_v6(self):
+        report, placed = setup_case("sdram", XC6VLX75T)
+        outcome = retighten(report, XC6VLX75T, placed.region)
+        assert outcome.unchanged and outcome.succeeded
+
+    def test_fir_v5_saves_two_clb_column_cells(self):
+        report, placed = setup_case("fir", XC5VLX110T)
+        outcome = retighten(report, XC5VLX110T, placed.region)
+        assert outcome.succeeded
+        assert outcome.clb_column_rows_saved == 2
+        # The re-derived PRR drops from H=5 to H=4 (136 CLBs fit 4 rows).
+        assert outcome.retightened_region.height == 4
+
+    def test_fir_v6_saves_one_clb_column(self):
+        report, placed = setup_case("fir", XC6VLX75T)
+        outcome = retighten(report, XC6VLX75T, placed.region)
+        assert outcome.succeeded
+        assert outcome.clb_column_rows_saved == 1
+
+    def test_mips_v5_succeeds_with_savings(self):
+        """Our model saves 3 CLB columns (the paper reports 2 — documented
+        divergence, see EXPERIMENTS.md)."""
+        report, placed = setup_case("mips", XC5VLX110T)
+        outcome = retighten(report, XC5VLX110T, placed.region)
+        assert outcome.succeeded
+        assert outcome.clb_column_rows_saved == 3
+
+    def test_mips_v6_fails_routing(self):
+        """The paper's headline failure: 'MIPS failed place and route on
+        the Virtex-6'."""
+        report, placed = setup_case("mips", XC6VLX75T)
+        outcome = retighten(report, XC6VLX75T, placed.region)
+        assert not outcome.succeeded
+        assert outcome.retightened_region is not None  # a window exists...
+        assert outcome.implementation is not None
+        assert not outcome.implementation.routing.routed  # ...but won't route
+
+    def test_mips_v6_failure_is_congestion_not_capacity(self):
+        report, placed = setup_case("mips", XC6VLX75T)
+        outcome = retighten(report, XC6VLX75T, placed.region)
+        routing = outcome.implementation.routing
+        assert routing.pair_utilization <= 1.0  # it *fits*
+        assert routing.pair_utilization > routing.capacity  # but won't route

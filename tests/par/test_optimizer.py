@@ -1,0 +1,113 @@
+"""Unit tests for the implementation-time optimizer (Table VI effect)."""
+
+import pytest
+
+from repro.devices.family import VIRTEX5, VIRTEX6
+from repro.par.optimizer import optimize
+from repro.synth.netlist import OptimizationHints
+from repro.synth.packer import PairBreakdown
+from repro.synth.report import SynthesisReport
+from repro.synth.xst import synthesize
+from repro.workloads import build_fir, build_mips, build_sdram
+
+from tests.conftest import PAPER_POST_IMPL
+
+BUILDERS = {"fir": build_fir, "mips": build_mips, "sdram": build_sdram}
+
+
+def make_report(pairs, hints):
+    return SynthesisReport(
+        design_name="x",
+        family_name="virtex5",
+        pairs=pairs,
+        dsps=1,
+        brams=2,
+        hints=hints,
+    )
+
+
+class TestPasses:
+    def test_lut_combining(self):
+        report = make_report(
+            PairBreakdown(10, 90, 0), OptimizationHints(combinable_luts=20)
+        )
+        assert optimize(report).post.luts == 80
+
+    def test_routethru_increases_luts(self):
+        report = make_report(
+            PairBreakdown(10, 90, 0), OptimizationHints(routethru_luts=5)
+        )
+        assert optimize(report).post.luts == 105
+
+    def test_ff_duplication(self):
+        report = make_report(
+            PairBreakdown(10, 0, 40), OptimizationHints(duplicable_ffs=16)
+        )
+        assert optimize(report).post.ffs == 66
+
+    def test_crosspacking_shrinks_pairs(self):
+        pre = PairBreakdown(full_pairs=0, lut_only_pairs=50, ff_only_pairs=50)
+        report = make_report(pre, OptimizationHints(crosspackable_pairs=30))
+        post = optimize(report).post
+        assert post.full_pairs == 30
+        assert post.lut_ff_pairs == 70
+
+    def test_crosspacking_capped_at_min(self):
+        pre = PairBreakdown(full_pairs=0, lut_only_pairs=10, ff_only_pairs=50)
+        report = make_report(pre, OptimizationHints(crosspackable_pairs=100))
+        post = optimize(report).post
+        assert post.full_pairs == 10  # capped at post LUTs
+
+    def test_combining_more_than_luts_rejected(self):
+        report = make_report(
+            PairBreakdown(0, 10, 0), OptimizationHints(combinable_luts=11)
+        )
+        with pytest.raises(ValueError, match="combinable_luts"):
+            optimize(report)
+
+    def test_dsp_bram_never_change(self):
+        report = make_report(PairBreakdown(5, 5, 5), OptimizationHints())
+        design = optimize(report)
+        assert design.dsps == report.dsps
+        assert design.brams == report.brams
+
+
+class TestTable6Reproduction:
+    @pytest.mark.parametrize("workload", ["fir", "mips", "sdram"])
+    @pytest.mark.parametrize("family", [VIRTEX5, VIRTEX6], ids=lambda f: f.name)
+    def test_post_counts(self, workload, family):
+        report = synthesize(BUILDERS[workload](family), family)
+        post = optimize(report).post
+        pairs, luts, ffs = PAPER_POST_IMPL[(workload, family.name)]
+        assert post.lut_ff_pairs == pairs
+        assert post.luts == luts
+        assert post.ffs == ffs
+
+    def test_fir_v5_savings_percentages(self):
+        """The Table VI parenthesized numbers for FIR on Virtex-5."""
+        report = synthesize(build_fir(VIRTEX5), VIRTEX5)
+        savings = optimize(report).savings_percent()
+        assert savings["LUT_FF_req"] == pytest.approx(16.8, abs=0.05)
+        assert savings["LUT_req"] == pytest.approx(11.7, abs=0.05)
+        assert savings["FF_req"] == pytest.approx(-4.1, abs=0.05)
+        assert savings["DSP_req"] == 0.0
+        assert savings["BRAM_req"] == 0.0
+
+    def test_sdram_v5_lut_increase(self):
+        """SDRAM's LUTs *increase* 21.7% from route-thrus (Table VI)."""
+        report = synthesize(build_sdram(VIRTEX5), VIRTEX5)
+        savings = optimize(report).savings_percent()
+        assert savings["LUT_req"] == pytest.approx(-21.7, abs=0.1)
+
+    def test_mips_v6_savings(self):
+        report = synthesize(build_mips(VIRTEX6), VIRTEX6)
+        savings = optimize(report).savings_percent()
+        assert savings["LUT_FF_req"] == pytest.approx(18.8, abs=0.05)
+        assert savings["LUT_req"] == pytest.approx(7.8, abs=0.05)
+        assert savings["FF_req"] == 0.0
+
+    def test_post_requirements_valid(self):
+        for family in (VIRTEX5, VIRTEX6):
+            for builder in BUILDERS.values():
+                report = synthesize(builder(family), family)
+                optimize(report).requirements  # must not raise invariants

@@ -1,0 +1,109 @@
+"""Unit tests for constrained placement and the routability model."""
+
+import pytest
+
+from repro.core.placement_search import find_prr
+from repro.devices.catalog import XC5VLX110T, XC6VLX75T
+from repro.devices.fabric import Region
+from repro.devices.resources import ColumnKind
+from repro.par.optimizer import optimize
+from repro.par.placer import PlacementError, place
+from repro.par.router import (
+    DEFAULT_ROUTING_CAPACITY,
+    ROUTING_CAPACITY,
+    route,
+)
+from repro.synth.xst import synthesize
+from repro.workloads import build_fir, build_mips, build_sdram
+
+from tests.conftest import paper_requirements
+
+
+@pytest.fixture(scope="module")
+def fir_design():
+    report = synthesize(build_fir(XC5VLX110T.family), XC5VLX110T.family)
+    return optimize(report)
+
+
+@pytest.fixture(scope="module")
+def fir_region():
+    placed = find_prr(XC5VLX110T, paper_requirements("fir", "virtex5"))
+    return placed.region
+
+
+class TestPlacer:
+    def test_successful_placement(self, fir_design, fir_region):
+        result = place(fir_design, XC5VLX110T, fir_region)
+        assert result.design_name == "fir"
+        assert 0 < result.pair_utilization <= 1
+        assert result.dsp_utilization == pytest.approx(32 / 40)
+
+    def test_column_fill_covers_demand(self, fir_design, fir_region):
+        result = place(fir_design, XC5VLX110T, fir_region)
+        assert (
+            sum(pairs for _, pairs in result.column_fill)
+            == fir_design.post.lut_ff_pairs
+        )
+        for col, _ in result.column_fill:
+            assert XC5VLX110T.column_kind(col) is ColumnKind.CLB
+
+    def test_column_fill_respects_capacity(self, fir_design, fir_region):
+        result = place(fir_design, XC5VLX110T, fir_region)
+        per_column = (
+            fir_region.height
+            * XC5VLX110T.family.clb_per_col
+            * XC5VLX110T.family.luts_per_clb
+        )
+        assert result.max_column_fill <= per_column
+
+    def test_too_small_region_raises(self, fir_design):
+        clb_col = XC5VLX110T.columns_of_kind(ColumnKind.CLB)[0]
+        tiny = Region(row=1, col=clb_col, height=1, width=1)
+        with pytest.raises(PlacementError, match="does not fit"):
+            place(fir_design, XC5VLX110T, tiny)
+
+    def test_region_without_dsps_raises(self, fir_design):
+        clb_cols = XC5VLX110T.columns_of_kind(ColumnKind.CLB)
+        # An all-CLB region big enough for the pairs but with no DSPs.
+        region = Region(row=1, col=clb_cols[0], height=6, width=6)
+        if not XC5VLX110T.is_valid_prr(region):
+            pytest.skip("layout shifted; pick a different window")
+        with pytest.raises(PlacementError, match="DSP"):
+            place(fir_design, XC5VLX110T, region)
+
+
+class TestRouter:
+    def test_capacities_calibrated(self):
+        assert ROUTING_CAPACITY["virtex5"] == pytest.approx(0.98)
+        assert ROUTING_CAPACITY["virtex6"] == pytest.approx(0.91)
+
+    def test_unknown_family_uses_default(self, fir_design, fir_region):
+        placement = place(fir_design, XC5VLX110T, fir_region)
+        result = route(placement, "nonexistent")
+        assert result.capacity == DEFAULT_ROUTING_CAPACITY
+
+    def test_fir_routes_on_v5(self, fir_design, fir_region):
+        placement = place(fir_design, XC5VLX110T, fir_region)
+        result = route(placement, "virtex5")
+        assert result.routed
+        assert result.headroom > 0
+
+    @pytest.mark.parametrize(
+        "device,builder",
+        [
+            (XC5VLX110T, build_fir),
+            (XC5VLX110T, build_mips),
+            (XC5VLX110T, build_sdram),
+            (XC6VLX75T, build_fir),
+            (XC6VLX75T, build_mips),
+            (XC6VLX75T, build_sdram),
+        ],
+        ids=lambda x: getattr(x, "name", getattr(x, "__name__", str(x))),
+    )
+    def test_all_original_implementations_route(self, device, builder):
+        """Table VI reports post-PAR numbers for all six cases — every
+        original (Table V geometry) implementation succeeded."""
+        report = synthesize(builder(device.family), device.family)
+        placed = find_prr(device, report.requirements)
+        placement = place(optimize(report), device, placed.region)
+        assert route(placement, device.family.name).routed

@@ -1,0 +1,116 @@
+"""Property-based tests: the bitstream model vs the word-exact generator.
+
+The central invariant of the reproduction: for EVERY valid PRR on the
+evaluation devices, eq. (18)'s byte count equals the generated bitstream's
+actual length, and the parser re-derives the same section split.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitgen.generator import generate_partial_bitstream
+from repro.bitgen.parser import parse_bitstream
+from repro.core.bitstream_model import estimate_bitstream, ncw_row, ndw_bram
+from repro.core.prr_model import PRRGeometry
+from repro.devices.catalog import XC4VLX60, XC5VLX110T, XC6VLX75T
+from repro.devices.fabric import Device, Region
+from repro.devices.family import VIRTEX4, VIRTEX5, VIRTEX6
+from repro.devices.resources import ResourceVector
+
+DEVICES = [XC5VLX110T, XC6VLX75T, XC4VLX60]
+
+
+@st.composite
+def placed_regions(draw) -> tuple[Device, Region]:
+    """A random valid PRR region on one of the catalog devices."""
+    device = draw(st.sampled_from(DEVICES))
+    row = draw(st.integers(1, device.rows))
+    height = draw(st.integers(1, device.rows - row + 1))
+    col = draw(st.integers(2, device.num_columns - 1))
+    max_width = device.num_columns - col
+    width = draw(st.integers(1, max(1, min(8, max_width))))
+    region = Region(row=row, col=col, height=height, width=width)
+    if not device.is_valid_prr(region):
+        # Retry by shrinking to a single known-good CLB column.
+        from repro.devices.resources import ColumnKind
+
+        clb = device.columns_of_kind(ColumnKind.CLB)[0]
+        region = Region(row=row, col=clb, height=height, width=1)
+    return device, region
+
+
+@given(placed_regions())
+@settings(max_examples=40, deadline=None)
+def test_model_equals_generated_size(case):
+    device, region = case
+    counts = device.region_column_counts(region)
+    geometry = PRRGeometry(device.family, region.height, counts)
+    model = estimate_bitstream(geometry)
+    bitstream = generate_partial_bitstream(device, region, design_name="prop")
+    assert bitstream.size_bytes == model.total_bytes
+
+
+@given(placed_regions())
+@settings(max_examples=25, deadline=None)
+def test_parser_roundtrip_sections(case):
+    device, region = case
+    counts = device.region_column_counts(region)
+    geometry = PRRGeometry(device.family, region.height, counts)
+    parsed = parse_bitstream(
+        generate_partial_bitstream(device, region).to_bytes()
+    )
+    assert parsed.crc_ok
+    assert parsed.rows == region.height
+    assert parsed.section_bytes() == estimate_bitstream(geometry).breakdown()
+
+
+@given(placed_regions())
+@settings(max_examples=25, deadline=None)
+def test_bram_blocks_iff_bram_columns(case):
+    device, region = case
+    counts = device.region_column_counts(region)
+    parsed = parse_bitstream(
+        generate_partial_bitstream(device, region).to_bytes()
+    )
+    if counts.bram:
+        assert len(parsed.bram_blocks) == region.height
+    else:
+        assert not parsed.bram_blocks
+
+
+COLUMNS = st.builds(
+    ResourceVector,
+    clb=st.integers(0, 60),
+    dsp=st.integers(0, 10),
+    bram=st.integers(0, 10),
+).filter(lambda v: not v.is_zero())
+
+
+@given(
+    COLUMNS,
+    st.integers(1, 16),
+    st.sampled_from([VIRTEX4, VIRTEX5, VIRTEX6]),
+)
+def test_model_word_identities(columns, rows, family):
+    """Eq. (18) expands exactly to IW + H*(NCW+NDW) + FW words."""
+    geometry = PRRGeometry(family, rows, columns)
+    est = estimate_bitstream(geometry)
+    expected_words = (
+        family.initial_words
+        + rows * (ncw_row(family, columns) + ndw_bram(family, columns))
+        + family.final_words
+    )
+    assert est.total_words == expected_words
+    assert est.total_bytes == expected_words * family.bytes_per_word
+
+
+@given(COLUMNS, st.integers(1, 8), st.sampled_from([VIRTEX4, VIRTEX5, VIRTEX6]))
+def test_size_monotone_in_geometry(columns, rows, family):
+    """Adding a row or a column never shrinks the bitstream."""
+    base = estimate_bitstream(PRRGeometry(family, rows, columns)).total_bytes
+    taller = estimate_bitstream(PRRGeometry(family, rows + 1, columns)).total_bytes
+    wider = estimate_bitstream(
+        PRRGeometry(family, rows, columns + ResourceVector(clb=1))
+    ).total_bytes
+    assert taller > base
+    assert wider > base

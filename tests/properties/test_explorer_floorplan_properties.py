@@ -1,0 +1,85 @@
+"""Property-based tests for the explorer and floorplanner."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.explorer import evaluate_partition, explore
+from repro.core.floorplanner import FloorplanError, floorplan
+from repro.core.params import PRMRequirements
+from repro.devices.catalog import XC5VLX110T
+
+
+@st.composite
+def small_prm_sets(draw):
+    """1-4 modest CLB/DSP/BRAM PRMs that plausibly fit the LX110T."""
+    count = draw(st.integers(1, 4))
+    prms = []
+    for index in range(count):
+        luts = draw(st.integers(50, 1500))
+        ffs = draw(st.integers(50, 1500))
+        pairs = draw(st.integers(max(luts, ffs), luts + ffs))
+        prms.append(
+            PRMRequirements(
+                f"p{index}",
+                pairs,
+                luts,
+                ffs,
+                dsps=draw(st.integers(0, 24)),
+                brams=draw(st.integers(0, 8)),
+            )
+        )
+    return prms
+
+
+@given(small_prm_sets())
+@settings(max_examples=25, deadline=None)
+def test_explorer_designs_are_complete_and_disjoint(prms):
+    designs = explore(XC5VLX110T, prms)
+    for design in designs:
+        covered = sorted(
+            prm.name for a in design.assignments for prm in a.prms
+        )
+        assert covered == sorted(p.name for p in prms)
+        regions = [a.placement.region for a in design.assignments]
+        for i, a in enumerate(regions):
+            for b in regions[i + 1 :]:
+                assert not a.overlaps(b)
+
+
+@given(small_prm_sets())
+@settings(max_examples=25, deadline=None)
+def test_explorer_shared_prrs_fit_all_members(prms):
+    designs = explore(XC5VLX110T, prms)
+    for design in designs:
+        for assignment in design.assignments:
+            for prm in assignment.prms:
+                assert assignment.placement.geometry.fits(prm)
+
+
+@given(small_prm_sets())
+@settings(max_examples=25, deadline=None)
+def test_floorplan_matches_singleton_partition(prms):
+    """A floorplan of singleton groups and the explorer's all-singleton
+    design commit the same total PR area."""
+    try:
+        plan = floorplan(XC5VLX110T, prms, optimize_static=False)
+    except FloorplanError:
+        return
+    design = evaluate_partition(XC5VLX110T, [[p] for p in prms])
+    assert design is not None
+    assert plan.total_prr_cells == design.total_prr_size
+
+
+@given(small_prm_sets())
+@settings(max_examples=25, deadline=None)
+def test_floorplan_prrs_fit_and_disjoint(prms):
+    try:
+        plan = floorplan(XC5VLX110T, prms, optimize_static=False)
+    except FloorplanError:
+        return
+    for prm, prr in zip(prms, plan.prrs):
+        assert prr.geometry.fits(prm)
+    for i, a in enumerate(plan.prrs):
+        for b in plan.prrs[i + 1 :]:
+            assert not a.region.overlaps(b.region)
+    assert 0.0 <= plan.static_fragmentation() <= 1.0

@@ -1,0 +1,69 @@
+"""Property-based tests for FAR encoding and packet headers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitgen.words import (
+    ConfigRegister,
+    Opcode,
+    decode_header,
+    type1_header,
+    type2_header,
+)
+from repro.devices.frames import FrameAddress
+
+far_addresses = st.builds(
+    FrameAddress,
+    block_type=st.integers(0, 7),
+    row=st.integers(0, 31),
+    major=st.integers(0, 255),
+    minor=st.integers(0, 127),
+    top=st.integers(0, 1),
+)
+
+
+@given(far_addresses)
+def test_far_roundtrip(far):
+    assert FrameAddress.decode(far.encode()) == far
+
+
+@given(far_addresses)
+def test_far_fits_32_bits(far):
+    assert 0 <= far.encode() < 1 << 32
+
+
+@given(far_addresses, far_addresses)
+def test_far_encoding_injective(a, b):
+    if a != b:
+        assert a.encode() != b.encode()
+
+
+@given(
+    st.sampled_from(list(Opcode)),
+    st.sampled_from(list(ConfigRegister)),
+    st.integers(0, 2047),
+)
+def test_type1_roundtrip(opcode, register, count):
+    header = decode_header(type1_header(opcode, register, count))
+    assert header.packet_type == 1
+    assert header.opcode is opcode
+    assert header.register is register
+    assert header.word_count == count
+
+
+@given(st.sampled_from(list(Opcode)), st.integers(0, (1 << 27) - 1))
+def test_type2_roundtrip(opcode, count):
+    header = decode_header(type2_header(opcode, count))
+    assert header.packet_type == 2
+    assert header.word_count == count
+
+
+@given(
+    st.sampled_from(list(ConfigRegister)),
+    st.integers(0, 2047),
+    st.integers(0, (1 << 27) - 1),
+)
+def test_type1_type2_never_collide(register, c1, c2):
+    assert type1_header(Opcode.WRITE, register, c1) != type2_header(
+        Opcode.WRITE, c2
+    )

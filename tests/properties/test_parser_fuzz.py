@@ -1,0 +1,92 @@
+"""Fuzz/robustness properties of the bitstream parser.
+
+Corrupting any byte of a valid partial bitstream must never make the
+parser misbehave silently: it either raises
+:class:`~repro.bitgen.parser.BitstreamParseError`, or parses with a
+failing CRC, or — only when the corruption hits the dead NOOP padding —
+parses cleanly with unchanged structure.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitgen import (
+    BitstreamParseError,
+    generate_partial_bitstream,
+    parse_bitstream,
+)
+from repro.core.placement_search import find_prr
+from repro.devices.catalog import XC5VLX110T
+
+from tests.conftest import paper_requirements
+
+
+@pytest.fixture(scope="module")
+def sdram_raw():
+    placed = find_prr(XC5VLX110T, paper_requirements("sdram", "virtex5"))
+    return generate_partial_bitstream(
+        XC5VLX110T, placed.region, design_name="sdram"
+    ).to_bytes()
+
+
+REFERENCE = None
+
+
+def _reference(raw):
+    global REFERENCE
+    if REFERENCE is None:
+        REFERENCE = parse_bitstream(raw)
+    return REFERENCE
+
+
+@given(data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_single_byte_corruption_never_passes_silently(data, sdram_raw):
+    reference = _reference(sdram_raw)
+    offset = data.draw(st.integers(0, len(sdram_raw) - 1))
+    flip = data.draw(st.integers(1, 255))
+    corrupted = bytearray(sdram_raw)
+    corrupted[offset] ^= flip
+    try:
+        parsed = parse_bitstream(bytes(corrupted))
+    except BitstreamParseError:
+        return  # structural detection
+    if parsed.crc_checked and not parsed.crc_ok:
+        return  # CRC detection
+    # Clean parse: only acceptable if the stream's accounting is intact
+    # (corruption landed in dead padding outside every checked field).
+    assert parsed.total_words == reference.total_words
+    assert parsed.section_bytes() == reference.section_bytes()
+
+
+@given(st.binary(min_size=0, max_size=512))
+@settings(max_examples=100, deadline=None)
+def test_arbitrary_bytes_never_crash_unexpectedly(blob):
+    """Random input either parses (improbable) or raises the parser's own
+    error type — never an arbitrary exception."""
+    padded = blob + b"\x00" * ((4 - len(blob) % 4) % 4)
+    try:
+        parse_bitstream(padded)
+    except BitstreamParseError:
+        pass
+
+
+@given(cut_words=st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_truncation_detected(cut_words, sdram_raw):
+    """Truncation is detected whenever it removes checked content.
+
+    The 4 trailing NOOPs after DESYNC are dead padding (real devices
+    ignore them too), so cutting at most those still parses; any deeper
+    cut removes the DESYNC/CRC machinery and must raise."""
+    if cut_words == 0:
+        parse_bitstream(sdram_raw)
+        return
+    truncated = sdram_raw[: -4 * cut_words]
+    if cut_words <= 4:
+        parsed = parse_bitstream(truncated)
+        assert parsed.crc_ok  # CRC word still present and checked
+    else:
+        with pytest.raises(BitstreamParseError):
+            parse_bitstream(truncated)

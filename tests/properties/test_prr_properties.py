@@ -1,0 +1,152 @@
+"""Property-based tests for the PRR size/organization model."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import PRMRequirements
+from repro.core.prr_model import (
+    InfeasibleGeometryError,
+    clb_requirement,
+    merge_geometries,
+    prr_geometry_for_rows,
+)
+from repro.core.utilization import utilization
+from repro.devices.family import VIRTEX4, VIRTEX5, VIRTEX6
+
+FAMILIES = st.sampled_from([VIRTEX4, VIRTEX5, VIRTEX6])
+
+
+@st.composite
+def requirements(draw, max_pairs=20_000):
+    """Valid PRMRequirements honouring the pair-class identities."""
+    luts = draw(st.integers(0, max_pairs))
+    ffs = draw(st.integers(0, max_pairs))
+    low, high = max(luts, ffs), luts + ffs
+    pairs = draw(st.integers(low, high))
+    dsps = draw(st.integers(0, 200))
+    brams = draw(st.integers(0, 100))
+    return PRMRequirements("prop", pairs, luts, ffs, dsps=dsps, brams=brams)
+
+
+@given(requirements(), FAMILIES)
+def test_eq1_ceiling_bounds(prm, family):
+    """CLB_req * LUT_CLB covers the pairs with less than one CLB of slack."""
+    clbs = clb_requirement(prm, family)
+    assert clbs * family.luts_per_clb >= prm.lut_ff_pairs
+    assert (clbs - 1) * family.luts_per_clb < prm.lut_ff_pairs or clbs == 0
+
+
+@given(requirements(), FAMILIES, st.integers(1, 16))
+def test_geometry_always_fits_requirement(prm, family, rows):
+    """Any geometry the model produces accommodates the demand (the paper's
+    'ensure sufficient resources' ceiling argument)."""
+    if prm.lut_ff_pairs == 0 and prm.dsps == 0 and prm.brams == 0:
+        return
+    try:
+        geometry = prr_geometry_for_rows(
+            prm, family, rows, single_dsp_column=False
+        )
+    except InfeasibleGeometryError:
+        return
+    assert geometry.fits(prm)
+
+
+@given(requirements(), FAMILIES, st.integers(1, 16))
+def test_geometry_is_tight_per_kind(prm, family, rows):
+    """One column fewer of any demanded kind would not fit — no silent
+    overprovisioning beyond the ceiling."""
+    if prm.lut_ff_pairs == 0 and prm.dsps == 0 and prm.brams == 0:
+        return
+    geometry = prr_geometry_for_rows(prm, family, rows, single_dsp_column=False)
+    cols = geometry.columns
+    if cols.clb:
+        assert (cols.clb - 1) * rows * family.clb_per_col < clb_requirement(
+            prm, family
+        )
+    if cols.dsp:
+        assert (cols.dsp - 1) * rows * family.dsp_per_col < prm.dsps
+    if cols.bram:
+        assert (cols.bram - 1) * rows * family.bram_per_col < prm.brams
+
+
+@given(requirements(), FAMILIES, st.integers(1, 8))
+def test_more_rows_never_more_columns(prm, family, rows):
+    """W is antitone in H (eq. (2)/(3)/(5) ceilings shrink)."""
+    if prm.lut_ff_pairs == 0 and prm.dsps == 0 and prm.brams == 0:
+        return
+    small = prr_geometry_for_rows(prm, family, rows, single_dsp_column=False)
+    large = prr_geometry_for_rows(prm, family, rows + 1, single_dsp_column=False)
+    assert large.columns.clb <= small.columns.clb
+    assert large.columns.dsp <= small.columns.dsp
+    assert large.columns.bram <= small.columns.bram
+
+
+@given(requirements(), FAMILIES, st.integers(1, 8))
+def test_utilization_bounded(prm, family, rows):
+    """RU in [0, 1] whenever the geometry fits (eq. (13)-(17) bounds)."""
+    if prm.lut_ff_pairs == 0 and prm.dsps == 0 and prm.brams == 0:
+        return
+    geometry = prr_geometry_for_rows(prm, family, rows, single_dsp_column=False)
+    ru = utilization(prm, geometry)
+    for value in (ru.clb, ru.ff, ru.lut, ru.dsp, ru.bram):
+        assert 0.0 <= value <= 1.0
+
+
+@given(
+    st.lists(requirements(max_pairs=5000), min_size=1, max_size=5),
+    FAMILIES,
+    st.integers(1, 8),
+)
+@settings(max_examples=50)
+def test_shared_prr_dominates_members(prms, family, rows):
+    """A shared PRR's columns dominate each member's solo columns (the
+    Section III.B elementwise-max rule)."""
+    nonzero = [
+        p for p in prms if p.lut_ff_pairs or p.dsps or p.brams
+    ]
+    if not nonzero:
+        return
+    shared = prr_geometry_for_rows(nonzero, family, rows, single_dsp_column=False)
+    for prm in nonzero:
+        solo = prr_geometry_for_rows(prm, family, rows, single_dsp_column=False)
+        assert shared.columns.dominates(solo.columns)
+
+
+@given(
+    st.lists(requirements(max_pairs=5000), min_size=1, max_size=4),
+    FAMILIES,
+    st.integers(1, 8),
+)
+@settings(max_examples=50)
+def test_merge_geometries_matches_direct(prms, family, rows):
+    nonzero = [p for p in prms if p.lut_ff_pairs or p.dsps or p.brams]
+    if not nonzero:
+        return
+    direct = prr_geometry_for_rows(nonzero, family, rows, single_dsp_column=False)
+    merged = merge_geometries(
+        [
+            prr_geometry_for_rows(p, family, rows, single_dsp_column=False)
+            for p in nonzero
+        ]
+    )
+    assert direct.columns == merged.columns
+
+
+@given(requirements(), st.integers(1, 16))
+def test_single_dsp_column_rule(prm, rows):
+    """Eq. (4): with one DSP column, W_DSP == 1 iff the height covers the
+    demand; otherwise the geometry is infeasible."""
+    if prm.dsps == 0:
+        return
+    h_dsp = math.ceil(prm.dsps / VIRTEX5.dsp_per_col)
+    try:
+        geometry = prr_geometry_for_rows(
+            prm, VIRTEX5, rows, single_dsp_column=True
+        )
+    except InfeasibleGeometryError:
+        assert rows < h_dsp
+        return
+    assert rows >= h_dsp
+    assert geometry.columns.dsp == 1

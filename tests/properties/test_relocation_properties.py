@@ -1,0 +1,100 @@
+"""Property-based tests for configuration memory and relocation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitgen import generate_partial_bitstream, parse_bitstream
+from repro.devices.catalog import XC5VLX110T, XC6VLX75T
+from repro.devices.fabric import Region
+from repro.devices.frames import BLOCK_TYPE_BRAM_CONTENT, BLOCK_TYPE_CONFIG
+from repro.relocation import (
+    ConfigMemory,
+    compatible_regions,
+    find_compatible_regions,
+    relocate_bitstream,
+    restore_context,
+    save_context,
+)
+
+DEVICES = [XC5VLX110T, XC6VLX75T]
+
+
+@st.composite
+def valid_prrs(draw):
+    device = draw(st.sampled_from(DEVICES))
+    row = draw(st.integers(1, device.rows))
+    height = draw(st.integers(1, device.rows - row + 1))
+    col = draw(st.integers(2, device.num_columns - 4))
+    width = draw(st.integers(1, 4))
+    region = Region(row=row, col=col, height=height, width=width)
+    if not device.is_valid_prr(region):
+        from repro.devices.resources import ColumnKind
+
+        clb = device.columns_of_kind(ColumnKind.CLB)[0]
+        region = Region(row=row, col=clb, height=height, width=1)
+    return device, region
+
+
+@given(valid_prrs(), st.text(min_size=1, max_size=8))
+@settings(max_examples=20, deadline=None)
+def test_configure_then_readback_roundtrip(case, name):
+    """Writing a bitstream then reading the region back reproduces the
+    generator's frame payloads exactly."""
+    device, region = case
+    bitstream = generate_partial_bitstream(device, region, design_name=name)
+    memory = ConfigMemory(device)
+    memory.configure(bitstream.to_bytes())
+    assert memory.region_is_configured(region)
+    # Restoring from the captured context regenerates an equivalent
+    # configuration (frame-for-frame).
+    context = save_context(memory, region, task_name=name)
+    restored = restore_context(device, context)
+    fresh = ConfigMemory(device)
+    fresh.configure(restored.to_bytes())
+    assert fresh.frames == memory.frames
+
+
+@given(valid_prrs())
+@settings(max_examples=20, deadline=None)
+def test_relocation_preserves_everything(case):
+    device, region = case
+    targets = find_compatible_regions(device, region)
+    if not targets:
+        return
+    target = targets[0]
+    bitstream = generate_partial_bitstream(device, region, design_name="p")
+    moved = relocate_bitstream(device, bitstream, target)
+
+    # Size invariant: compatible regions have identical frame footprints.
+    assert moved.size_bytes == bitstream.size_bytes
+    assert parse_bitstream(moved.to_bytes()).crc_ok
+
+    src_mem, dst_mem = ConfigMemory(device), ConfigMemory(device)
+    src_mem.configure(bitstream.to_bytes())
+    dst_mem.configure(moved.to_bytes())
+    for block_type in (BLOCK_TYPE_CONFIG, BLOCK_TYPE_BRAM_CONTENT):
+        src = [w for _, w in src_mem.region_frames(region, block_type)]
+        dst = [w for _, w in dst_mem.region_frames(target, block_type)]
+        assert src == dst
+
+
+@given(valid_prrs())
+@settings(max_examples=30, deadline=None)
+def test_compatibility_is_symmetric_and_reflexive(case):
+    device, region = case
+    assert compatible_regions(device, region, region)
+    for target in find_compatible_regions(device, region)[:3]:
+        assert compatible_regions(device, target, region)
+
+
+@given(valid_prrs())
+@settings(max_examples=20, deadline=None)
+def test_double_configure_is_idempotent(case):
+    device, region = case
+    bitstream = generate_partial_bitstream(device, region, design_name="x")
+    memory = ConfigMemory(device)
+    memory.configure(bitstream.to_bytes())
+    snapshot = dict(memory.frames)
+    memory.configure(bitstream.to_bytes())
+    assert memory.frames == snapshot
+    assert memory.configure_count == 2

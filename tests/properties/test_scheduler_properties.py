@@ -1,0 +1,107 @@
+"""Property-based tests for the multitasking scheduler's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.params import PRMRequirements
+from repro.core.prr_model import PRRGeometry
+from repro.devices.catalog import XC5VLX110T
+from repro.devices.family import VIRTEX5
+from repro.devices.resources import ResourceVector
+from repro.multitask.scheduler import simulate_full_reconfig, simulate_pr
+from repro.multitask.tasks import HwTask, Job
+
+SMALL_PRMS = [
+    PRMRequirements("t0", 100, 80, 60),
+    PRMRequirements("t1", 200, 150, 120),
+    PRMRequirements("t2", 50, 40, 30),
+]
+
+#: A PRR comfortably fitting every small PRM.
+BIG_PRR = PRRGeometry(VIRTEX5, rows=1, columns=ResourceVector(clb=3))
+
+
+@st.composite
+def job_streams(draw):
+    n = draw(st.integers(1, 40))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(0, 1.0, allow_nan=False, allow_infinity=False),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    jobs = []
+    for i, t in enumerate(times):
+        task = HwTask(
+            SMALL_PRMS[draw(st.integers(0, len(SMALL_PRMS) - 1))],
+            exec_seconds=draw(st.floats(1e-4, 1e-2)),
+        )
+        jobs.append(Job(task, arrival_seconds=t, job_id=i))
+    return jobs
+
+
+@given(job_streams(), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_all_jobs_complete_exactly_once(jobs, n_prrs):
+    result = simulate_pr(jobs, [BIG_PRR] * n_prrs)
+    assert sorted(j.job_id for j in result.completed) == sorted(
+        j.job_id for j in jobs
+    )
+
+
+@given(job_streams(), st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_causality_and_nonnegative_waits(jobs, n_prrs):
+    result = simulate_pr(jobs, [BIG_PRR] * n_prrs)
+    for job in result.completed:
+        assert job.start >= job.arrival
+        assert job.waiting_seconds >= 0
+        assert job.response_seconds > 0
+
+
+@given(job_streams(), st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_no_prr_overlap(jobs, n_prrs):
+    """A PRR never runs two jobs (or a job and a reconfiguration) at once."""
+    result = simulate_pr(jobs, [BIG_PRR] * n_prrs)
+    by_prr: dict[int, list] = {}
+    for job in result.completed:
+        by_prr.setdefault(job.prr_index, []).append(job)
+    for prr_jobs in by_prr.values():
+        prr_jobs.sort(key=lambda j: j.start)
+        for a, b in zip(prr_jobs, prr_jobs[1:]):
+            assert b.start - b.reconfig_seconds >= a.finish - 1e-9
+
+
+@given(job_streams())
+@settings(max_examples=30, deadline=None)
+def test_more_prrs_never_hurt_makespan(jobs):
+    one = simulate_pr(jobs, [BIG_PRR])
+    four = simulate_pr(jobs, [BIG_PRR] * 4)
+    assert four.makespan_seconds <= one.makespan_seconds + 1e-9
+
+
+@given(job_streams())
+@settings(max_examples=30, deadline=None)
+def test_pr_reconfig_cheaper_than_full(jobs):
+    """Partial bitstreams are strictly smaller than the full-device
+    bitstream, so total PR reconfiguration time is bounded by the
+    full-reconfiguration baseline's when reconfig counts match."""
+    pr = simulate_pr(jobs, [BIG_PRR])
+    full = simulate_full_reconfig(jobs, XC5VLX110T)
+    if pr.reconfig_count <= full.reconfig_count:
+        assert pr.total_reconfig_seconds < full.total_reconfig_seconds
+
+
+@given(job_streams())
+@settings(max_examples=30, deadline=None)
+def test_makespan_bounds(jobs):
+    """Makespan >= total exec / n_prrs (work conservation lower bound) and
+    >= last arrival."""
+    result = simulate_pr(jobs, [BIG_PRR])
+    total_exec = sum(j.task.exec_seconds for j in jobs)
+    assert result.makespan_seconds >= total_exec - 1e-9
+    assert result.makespan_seconds >= max(j.arrival_seconds for j in jobs)

@@ -1,0 +1,112 @@
+"""Property-based tests for synthesis: mapping, packing, report I/O."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.family import VIRTEX4, VIRTEX5, VIRTEX6
+from repro.synth.library import library_for
+from repro.synth.mapper import luts_for_fanin, map_component, map_netlist
+from repro.synth.netlist import (
+    FSM,
+    Adder,
+    Comparator,
+    LogicCloud,
+    Memory,
+    Module,
+    Multiplier,
+    Mux,
+    Netlist,
+    RegisterBank,
+    ShiftRegister,
+)
+from repro.synth.packer import PairBreakdown, pack
+from repro.synth.report import SynthesisReport, parse_syr, render_syr
+from repro.synth.xst import synthesize
+
+FAMILIES = st.sampled_from([VIRTEX4, VIRTEX5, VIRTEX6])
+
+components = st.one_of(
+    st.builds(LogicCloud, fanin=st.integers(1, 40), width=st.integers(1, 64),
+              registered=st.booleans()),
+    st.builds(Adder, width=st.integers(1, 64), registered=st.booleans()),
+    st.builds(Comparator, width=st.integers(1, 64)),
+    st.builds(Mux, ways=st.integers(2, 32), width=st.integers(1, 64)),
+    st.builds(Multiplier, a_width=st.integers(1, 64), b_width=st.integers(1, 64),
+              use_dsp=st.booleans()),
+    st.builds(RegisterBank, width=st.integers(1, 256)),
+    st.builds(ShiftRegister, depth=st.integers(1, 128), width=st.integers(1, 32),
+              tapped=st.booleans()),
+    st.builds(Memory, depth=st.integers(1, 8192), width=st.integers(1, 72),
+              dual_port=st.booleans(), force_bram=st.booleans()),
+    st.builds(FSM, states=st.integers(2, 64), inputs=st.integers(0, 32),
+              outputs=st.integers(0, 32)),
+)
+
+
+@given(components, FAMILIES)
+def test_mapping_counts_are_consistent(component, family):
+    counts = map_component(component, library_for(family))
+    assert counts.luts >= 0 and counts.ffs >= 0
+    assert counts.paired_ffs <= min(counts.luts, counts.ffs)
+    assert counts.lut_ff_pairs == counts.luts + counts.ffs - counts.paired_ffs
+
+
+@given(st.integers(1, 200), st.sampled_from([4, 6]))
+def test_lut_tree_has_enough_inputs(fanin, k):
+    """A tree of n K-LUTs exposes n*K - (n-1) external inputs >= fanin."""
+    n = luts_for_fanin(fanin, k)
+    assert n * k - (n - 1) >= fanin
+    if n > 1:
+        assert (n - 1) * k - (n - 2) < fanin  # minimality
+
+
+@given(st.lists(components, min_size=1, max_size=12), FAMILIES)
+@settings(max_examples=50)
+def test_synthesis_report_invariants(component_list, family):
+    """Any synthesized netlist yields a report satisfying the paper's
+    pair-class identities, and .syr render/parse round-trips it."""
+    top = Module("top")
+    for component in component_list:
+        top.add(component)
+    report = synthesize(Netlist("prop", top), family)
+    pairs = report.pairs
+    assert pairs.lut_ff_pairs >= max(pairs.luts, pairs.ffs)
+    assert pairs.lut_ff_pairs <= pairs.luts + pairs.ffs
+    report.requirements  # bridges without violating PRMRequirements
+
+    parsed = parse_syr(render_syr(report))
+    assert parsed.pairs == pairs
+    assert parsed.dsps == report.dsps
+    assert parsed.brams == report.brams
+
+
+@given(st.lists(components, max_size=8), st.lists(components, max_size=8), FAMILIES)
+@settings(max_examples=40)
+def test_mapping_is_additive(list_a, list_b, family):
+    """map(A ++ B) == map(A) + map(B): no cross-component coupling."""
+    lib = library_for(family)
+
+    def build(components_list, name):
+        top = Module(name)
+        for component in components_list:
+            top.add(component)
+        return Netlist(name, top)
+
+    combined = build(list_a + list_b, "ab")
+    a, b = build(list_a, "a"), build(list_b, "b")
+    assert map_netlist(combined, lib) == map_netlist(a, lib) + map_netlist(b, lib)
+
+
+@given(
+    st.integers(0, 10_000),
+    st.integers(0, 10_000),
+    st.integers(0, 10_000),
+)
+def test_pack_preserves_totals(luts, ffs, paired):
+    from repro.synth.mapper import MappedCounts
+
+    paired = min(paired, luts, ffs)
+    pairs = pack(MappedCounts(luts=luts, ffs=ffs, paired_ffs=paired))
+    assert pairs.luts == luts
+    assert pairs.ffs == ffs
+    assert pairs.full_pairs == paired

@@ -1,0 +1,97 @@
+"""Property tests on randomized device layouts.
+
+The catalog fixes a handful of layouts; these tests generate arbitrary
+(valid) fabrics and check the placement flow's universal guarantees on
+them — placements are always in-bounds, IOB/CLK-free, resource-sufficient
+and bitstream-model-consistent with the generator.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitgen import generate_partial_bitstream
+from repro.core import (
+    PlacementNotFoundError,
+    PRMRequirements,
+    estimate_bitstream,
+    find_prr,
+)
+from repro.devices import synthetic_device
+
+
+@st.composite
+def devices(draw):
+    rows = draw(st.integers(1, 8))
+    n_runs = draw(st.integers(1, 6))
+    clb_runs = tuple(
+        draw(st.integers(1, 10)) for _ in range(n_runs)
+    )
+    boundaries = max(n_runs - 1, 0)
+    dsp_positions = tuple(
+        sorted(
+            draw(
+                st.sets(st.integers(0, boundaries - 1), max_size=boundaries)
+            )
+        )
+    ) if boundaries else ()
+    bram_positions = tuple(
+        sorted(
+            draw(
+                st.sets(st.integers(0, boundaries - 1), max_size=boundaries)
+            )
+        )
+    ) if boundaries else ()
+    return synthetic_device(
+        rows=rows,
+        clb_runs=clb_runs,
+        dsp_positions=dsp_positions,
+        bram_positions=bram_positions,
+    )
+
+
+@st.composite
+def small_demands(draw):
+    luts = draw(st.integers(1, 600))
+    ffs = draw(st.integers(0, 600))
+    pairs = draw(st.integers(max(luts, ffs), luts + ffs))
+    return PRMRequirements(
+        "prop",
+        pairs,
+        luts,
+        ffs,
+        dsps=draw(st.integers(0, 16)),
+        brams=draw(st.integers(0, 8)),
+    )
+
+
+@given(devices(), small_demands())
+@settings(max_examples=60, deadline=None)
+def test_placements_always_valid(device, prm):
+    try:
+        placed = find_prr(device, prm)
+    except PlacementNotFoundError:
+        return  # infeasibility is a legitimate outcome
+    assert device.is_valid_prr(placed.region)
+    assert placed.geometry.fits(prm)
+    # Region column mix equals the geometry's demand exactly.
+    assert device.region_column_counts(placed.region) == placed.geometry.columns
+
+
+@given(devices(), small_demands())
+@settings(max_examples=30, deadline=None)
+def test_bitstream_model_holds_on_any_fabric(device, prm):
+    try:
+        placed = find_prr(device, prm)
+    except PlacementNotFoundError:
+        return
+    bitstream = generate_partial_bitstream(device, placed.region)
+    assert bitstream.size_bytes == estimate_bitstream(placed.geometry).total_bytes
+
+
+@given(devices())
+@settings(max_examples=40, deadline=None)
+def test_synthetic_devices_are_well_formed(device):
+    assert device.columns[0].name == "IOB"
+    assert device.columns[-1].name == "IOB"
+    assert device.count_columns(type(device.columns[0]).CLK) == 1
+    assert device.total_resources.clb > 0

@@ -1,0 +1,78 @@
+"""Property-based tests for the timing model and the SEU scrubber."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitgen import generate_partial_bitstream
+from repro.core.placement_search import find_prr
+from repro.devices.catalog import XC5VLX110T
+from repro.devices.fabric import Region
+from repro.devices.family import VIRTEX5
+from repro.devices.resources import ColumnKind
+from repro.relocation import ConfigMemory, Scrubber
+from repro.relocation.scrubber import inject_upsets
+from repro.synth.library import library_for
+from repro.synth.mapper import luts_for_fanin
+from repro.synth.netlist import LogicCloud, Module, Netlist
+from repro.synth.timing import estimate_timing, logic_levels
+
+from tests.conftest import paper_requirements
+
+V5LIB = library_for(VIRTEX5)
+
+
+@given(st.integers(1, 100), st.integers(1, 100))
+def test_levels_monotone_in_fanin(small, large):
+    lo, hi = sorted((small, large))
+    shallow = Netlist("a", Module("a").add(LogicCloud(fanin=lo, width=1)))
+    deep = Netlist("b", Module("b").add(LogicCloud(fanin=hi, width=1)))
+    assert logic_levels(shallow, V5LIB) <= logic_levels(deep, V5LIB)
+
+
+@given(
+    st.integers(1, 60),
+    st.integers(1, 8),
+    st.floats(0.0, 1.0, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_delay_monotone_in_span_and_congestion(fanin, height, utilization):
+    netlist = Netlist("t", Module("t").add(LogicCloud(fanin=fanin, width=4)))
+    clb = XC5VLX110T.columns_of_kind(ColumnKind.CLB)[0]
+    small = Region(row=1, col=clb, height=1, width=1)
+    tall = Region(row=1, col=clb, height=height, width=1)
+    t_small = estimate_timing(
+        netlist, XC5VLX110T, small, pair_utilization=utilization
+    )
+    t_tall = estimate_timing(
+        netlist, XC5VLX110T, tall, pair_utilization=utilization
+    )
+    assert t_tall.critical_path_s >= t_small.critical_path_s
+    relaxed = estimate_timing(netlist, XC5VLX110T, tall, pair_utilization=0.0)
+    assert t_tall.critical_path_s >= relaxed.critical_path_s
+
+
+@given(st.integers(1, 300), st.sampled_from([4, 6]))
+def test_lut_tree_monotone_and_tight(fanin, k):
+    n = luts_for_fanin(fanin, k)
+    assert n >= luts_for_fanin(max(1, fanin - 1), k)
+    assert n * k - (n - 1) >= fanin
+
+
+@given(st.integers(1, 6), st.integers(0, 2**31))
+@settings(max_examples=15, deadline=None)
+def test_scrubber_always_detects_and_repairs(count, seed):
+    """Any number of injected upsets is detected and one scrub restores
+    the golden state (CRC32 catches all small-burst frame corruptions)."""
+    placed = find_prr(XC5VLX110T, paper_requirements("sdram", "virtex5"))
+    bitstream = generate_partial_bitstream(
+        XC5VLX110T, placed.region, design_name="sdram"
+    )
+    memory = ConfigMemory(XC5VLX110T)
+    memory.configure(bitstream.to_bytes())
+    scrubber = Scrubber.for_region(memory, placed.region, bitstream)
+
+    inject_upsets(memory, placed.region, count=count, seed=seed)
+    report = scrubber.scrub()
+    assert report.upset_detected
+    assert report.repaired
+    assert not scrubber.scan().upset_detected

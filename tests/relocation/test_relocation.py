@@ -1,0 +1,247 @@
+"""Tests for configuration memory, task relocation and context save/restore."""
+
+import pytest
+
+from repro.bitgen import generate_partial_bitstream, parse_bitstream
+from repro.core.placement_search import find_prr
+from repro.devices.catalog import XC5VLX110T, XC6VLX75T
+from repro.devices.fabric import Region
+from repro.devices.frames import (
+    BLOCK_TYPE_BRAM_CONTENT,
+    BLOCK_TYPE_CONFIG,
+    FrameAddress,
+)
+from repro.devices.resources import ColumnKind
+from repro.relocation import (
+    ConfigMemory,
+    RelocationError,
+    compatible_regions,
+    find_compatible_regions,
+    iter_burst_fars,
+    relocate_bitstream,
+    restore_context,
+    save_context,
+)
+
+from tests.conftest import paper_requirements
+
+
+@pytest.fixture(scope="module")
+def mips_placed():
+    return find_prr(XC5VLX110T, paper_requirements("mips", "virtex5"))
+
+
+@pytest.fixture(scope="module")
+def mips_bitstream(mips_placed):
+    return generate_partial_bitstream(
+        XC5VLX110T, mips_placed.region, design_name="mips"
+    )
+
+
+@pytest.fixture
+def configured_memory(mips_bitstream):
+    memory = ConfigMemory(XC5VLX110T)
+    memory.configure(mips_bitstream.to_bytes())
+    return memory
+
+
+class TestIterBurstFars:
+    def test_walks_minors_then_columns(self):
+        clb_cols = XC5VLX110T.columns_of_kind(ColumnKind.CLB)
+        start = FrameAddress(
+            block_type=BLOCK_TYPE_CONFIG, row=0, major=clb_cols[0] - 1, minor=0
+        )
+        fars = list(iter_burst_fars(XC5VLX110T, start, 40))
+        assert fars[0].minor == 0
+        assert fars[35].minor == 35  # 36 CLB frames
+        assert fars[36].major == clb_cols[0]  # next column
+        assert fars[36].minor == 0
+
+    def test_bram_content_skips_non_bram_columns(self):
+        bram_col = XC5VLX110T.columns_of_kind(ColumnKind.BRAM)[0]
+        start = FrameAddress(
+            block_type=BLOCK_TYPE_BRAM_CONTENT, row=0, major=bram_col - 1, minor=0
+        )
+        fars = list(iter_burst_fars(XC5VLX110T, start, 130))
+        assert fars[127].major == bram_col - 1
+        # frame 128 lands on the NEXT BRAM column, skipping CLB/DSP ones.
+        assert XC5VLX110T.column_kind(fars[128].major + 1) is ColumnKind.BRAM
+
+    def test_overrun_raises(self):
+        start = FrameAddress(
+            block_type=BLOCK_TYPE_CONFIG,
+            row=0,
+            major=XC5VLX110T.num_columns - 1,
+            minor=0,
+        )
+        with pytest.raises(ValueError, match="runs off"):
+            list(iter_burst_fars(XC5VLX110T, start, 10_000))
+
+
+class TestConfigMemory:
+    def test_configure_commits_all_frames(self, configured_memory, mips_placed):
+        assert configured_memory.region_is_configured(mips_placed.region)
+        # MIPS PRR: 700 config + 256 BRAM-content frames.
+        assert len(configured_memory.frames) == 956
+
+    def test_flush_frames_not_committed(self, configured_memory, mips_placed):
+        # The frame after the region's last column must stay blank.
+        beyond = Region(
+            row=mips_placed.region.row,
+            col=mips_placed.region.col + mips_placed.region.width,
+            height=1,
+            width=1,
+        )
+        assert not configured_memory.region_is_configured(beyond)
+
+    def test_readback_matches_generator_payload(
+        self, configured_memory, mips_placed
+    ):
+        from repro.bitgen.generator import frame_payload, _seed
+
+        fam = XC5VLX110T.family
+        far, words = configured_memory.region_frames(
+            mips_placed.region, BLOCK_TYPE_CONFIG
+        )[0]
+        expected = tuple(
+            frame_payload(_seed("mips"), far.encode(), fam.frame_words)
+        )
+        assert words == expected
+
+    def test_unconfigured_reads_zero(self):
+        memory = ConfigMemory(XC5VLX110T)
+        far = FrameAddress(block_type=0, row=0, major=1, minor=0)
+        assert memory.read_frame(far) == (0,) * 41
+
+    def test_clear_region(self, configured_memory, mips_placed):
+        configured_memory.clear_region(mips_placed.region)
+        assert not configured_memory.region_is_configured(mips_placed.region)
+        assert len(configured_memory.frames) == 0
+
+    def test_wrong_frame_size_rejected(self):
+        memory = ConfigMemory(XC5VLX110T)
+        far = FrameAddress(block_type=0, row=0, major=1, minor=0)
+        with pytest.raises(ValueError):
+            memory.write_frame(far, (0,) * 40)
+
+
+class TestCompatibility:
+    def test_row_shift_is_compatible(self, mips_placed):
+        source = mips_placed.region
+        shifted = Region(
+            row=source.row + 1,
+            col=source.col,
+            height=source.height,
+            width=source.width,
+        )
+        assert compatible_regions(XC5VLX110T, source, shifted)
+
+    def test_different_column_mix_incompatible(self, mips_placed):
+        source = mips_placed.region
+        moved = Region(
+            row=source.row,
+            col=source.col + 1,
+            height=source.height,
+            width=source.width,
+        )
+        # One column to the right changes the kind sequence.
+        if XC5VLX110T.is_valid_prr(moved):
+            assert XC5VLX110T.region_column_kinds(
+                moved
+            ) != XC5VLX110T.region_column_kinds(source)
+            assert not compatible_regions(XC5VLX110T, source, moved)
+
+    def test_find_targets_for_mips(self, mips_placed):
+        targets = find_compatible_regions(XC5VLX110T, mips_placed.region)
+        # Same column window, rows 2..8.
+        assert len(targets) == 7
+        assert all(t.col == mips_placed.region.col for t in targets)
+
+    def test_include_source(self, mips_placed):
+        targets = find_compatible_regions(
+            XC5VLX110T, mips_placed.region, include_source=True
+        )
+        assert mips_placed.region in targets
+
+
+class TestRelocation:
+    def test_relocated_bitstream_parses_and_matches_size(
+        self, mips_bitstream, mips_placed
+    ):
+        target = find_compatible_regions(XC5VLX110T, mips_placed.region)[0]
+        moved = relocate_bitstream(XC5VLX110T, mips_bitstream, target)
+        assert moved.size_bytes == mips_bitstream.size_bytes
+        parsed = parse_bitstream(moved.to_bytes())
+        assert parsed.crc_ok
+        assert parsed.blocks[0].far.row == target.row - 1
+
+    def test_relocation_preserves_payloads(self, mips_bitstream, mips_placed):
+        target = find_compatible_regions(XC5VLX110T, mips_placed.region)[0]
+        moved = relocate_bitstream(XC5VLX110T, mips_bitstream, target)
+
+        src_mem, dst_mem = ConfigMemory(XC5VLX110T), ConfigMemory(XC5VLX110T)
+        src_mem.configure(mips_bitstream.to_bytes())
+        dst_mem.configure(moved.to_bytes())
+        for block_type in (BLOCK_TYPE_CONFIG, BLOCK_TYPE_BRAM_CONTENT):
+            src = src_mem.region_frames(mips_placed.region, block_type)
+            dst = dst_mem.region_frames(target, block_type)
+            assert [w for _, w in src] == [w for _, w in dst]
+
+    def test_incompatible_target_rejected(self, mips_bitstream):
+        clb_col = XC5VLX110T.columns_of_kind(ColumnKind.CLB)[0]
+        bad = Region(row=1, col=clb_col, height=1, width=1)
+        with pytest.raises(RelocationError):
+            relocate_bitstream(XC5VLX110T, mips_bitstream, bad)
+
+
+class TestContextSaveRestore:
+    def test_roundtrip_in_place(self, configured_memory, mips_placed):
+        context = save_context(
+            configured_memory, mips_placed.region, task_name="mips"
+        )
+        assert context.frame_count == 956
+        restored = restore_context(XC5VLX110T, context)
+        fresh = ConfigMemory(XC5VLX110T)
+        fresh.configure(restored.to_bytes())
+        assert fresh.frames == configured_memory.frames
+
+    def test_restore_into_relocated_region(self, configured_memory, mips_placed):
+        context = save_context(
+            configured_memory, mips_placed.region, task_name="mips"
+        )
+        target = find_compatible_regions(XC5VLX110T, mips_placed.region)[-1]
+        restored = restore_context(XC5VLX110T, context, target=target)
+        fresh = ConfigMemory(XC5VLX110T)
+        fresh.configure(restored.to_bytes())
+        src = configured_memory.region_frames(
+            mips_placed.region, BLOCK_TYPE_CONFIG
+        )
+        dst = fresh.region_frames(target, BLOCK_TYPE_CONFIG)
+        assert [w for _, w in src] == [w for _, w in dst]
+
+    def test_restore_wrong_device_rejected(self, configured_memory, mips_placed):
+        context = save_context(
+            configured_memory, mips_placed.region, task_name="mips"
+        )
+        with pytest.raises(RelocationError, match="cannot restore"):
+            restore_context(XC6VLX75T, context)
+
+    def test_restore_incompatible_target_rejected(
+        self, configured_memory, mips_placed
+    ):
+        context = save_context(
+            configured_memory, mips_placed.region, task_name="mips"
+        )
+        clb_col = XC5VLX110T.columns_of_kind(ColumnKind.CLB)[0]
+        with pytest.raises(RelocationError, match="not compatible"):
+            restore_context(
+                XC5VLX110T,
+                context,
+                target=Region(row=1, col=clb_col, height=1, width=1),
+            )
+
+    def test_context_size_accounting(self, configured_memory, mips_placed):
+        context = save_context(
+            configured_memory, mips_placed.region, task_name="mips"
+        )
+        assert context.size_bytes == 956 * 41 * 4

@@ -1,0 +1,115 @@
+"""Tests for the SEU scrubber."""
+
+import pytest
+
+from repro.bitgen import generate_partial_bitstream
+from repro.core.placement_search import find_prr
+from repro.devices.catalog import XC5VLX110T
+from repro.relocation import ConfigMemory
+from repro.relocation.scrubber import (
+    Scrubber,
+    golden_signatures,
+    inject_upsets,
+)
+
+from tests.conftest import paper_requirements
+
+
+@pytest.fixture
+def scrub_setup():
+    placed = find_prr(XC5VLX110T, paper_requirements("mips", "virtex5"))
+    bitstream = generate_partial_bitstream(
+        XC5VLX110T, placed.region, design_name="mips"
+    )
+    memory = ConfigMemory(XC5VLX110T)
+    memory.configure(bitstream.to_bytes())
+    scrubber = Scrubber.for_region(memory, placed.region, bitstream)
+    return memory, placed.region, scrubber
+
+
+class TestGoldenSignatures:
+    def test_covers_every_frame(self, scrub_setup):
+        memory, region, scrubber = scrub_setup
+        assert len(scrubber.golden) == 956  # MIPS PRR frame count
+
+    def test_signatures_deterministic(self, scrub_setup):
+        memory, region, _ = scrub_setup
+        assert golden_signatures(memory, region) == golden_signatures(
+            memory, region
+        )
+
+
+class TestInjectUpsets:
+    def test_deterministic(self, scrub_setup):
+        memory, region, _ = scrub_setup
+        snapshot = dict(memory.frames)
+        first = inject_upsets(memory, region, count=3, seed=7)
+        memory.frames.clear()
+        memory.frames.update(snapshot)
+        second = inject_upsets(memory, region, count=3, seed=7)
+        assert first == second
+
+    def test_zero_count_is_noop(self, scrub_setup):
+        memory, region, scrubber = scrub_setup
+        inject_upsets(memory, region, count=0, seed=1)
+        assert not scrubber.scan().upset_detected
+
+    def test_negative_rejected(self, scrub_setup):
+        memory, region, _ = scrub_setup
+        with pytest.raises(ValueError):
+            inject_upsets(memory, region, count=-1, seed=1)
+
+
+class TestScrubber:
+    def test_clean_scan(self, scrub_setup):
+        _, _, scrubber = scrub_setup
+        report = scrubber.scan()
+        assert report.frames_scanned == 956
+        assert not report.upset_detected
+
+    def test_detects_single_upset(self, scrub_setup):
+        memory, region, scrubber = scrub_setup
+        hit = inject_upsets(memory, region, count=1, seed=42)
+        report = scrubber.scan()
+        assert report.corrupted_fars == hit
+
+    def test_scrub_repairs(self, scrub_setup):
+        memory, region, scrubber = scrub_setup
+        inject_upsets(memory, region, count=5, seed=42)
+        report = scrubber.scrub()
+        assert report.upset_detected and report.repaired
+        assert scrubber.repairs == 1
+        # The follow-up scan is clean.
+        assert not scrubber.scan().upset_detected
+
+    def test_repeated_upset_repair_cycles(self, scrub_setup):
+        memory, region, scrubber = scrub_setup
+        for seed in (1, 2, 3):
+            inject_upsets(memory, region, count=2, seed=seed)
+            assert scrubber.scrub().repaired
+        assert scrubber.repairs == 3
+        assert scrubber.scrub_count == 3  # one scan per scrub
+
+    def test_mismatched_repair_bitstream_rejected(self, scrub_setup):
+        memory, region, _ = scrub_setup
+        other = find_prr(
+            XC5VLX110T,
+            paper_requirements("sdram", "virtex5"),
+            forbidden=[region],
+        )
+        wrong = generate_partial_bitstream(XC5VLX110T, other.region)
+        with pytest.raises(ValueError, match="different region"):
+            Scrubber.for_region(memory, region, wrong)
+
+    def test_upset_outside_region_not_flagged(self, scrub_setup):
+        memory, region, scrubber = scrub_setup
+        # Configure and corrupt a second disjoint region.
+        other = find_prr(
+            XC5VLX110T,
+            paper_requirements("sdram", "virtex5"),
+            forbidden=[region],
+        )
+        other_bs = generate_partial_bitstream(XC5VLX110T, other.region)
+        memory.configure(other_bs.to_bytes())
+        inject_upsets(memory, other.region, count=2, seed=9)
+        assert not scrubber.scan().upset_detected

@@ -1,0 +1,46 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.reports.experiments import generate_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report()
+
+
+class TestGenerateReport:
+    def test_contains_every_table(self, report_text):
+        for heading in (
+            "Table II",
+            "Table IV",
+            "Table V",
+            "Table VI",
+            "Table VII",
+            "Table VIII",
+            "Fig. 1",
+            "Fig. 2",
+        ):
+            assert heading in report_text
+
+    def test_contains_headline_numbers(self, report_text):
+        # Table V geometry, Table VII size, Table VI savings.
+        assert "83040" in report_text
+        assert "188728" in report_text
+        assert "16.8" in report_text
+
+    def test_retighten_section_shows_mips_v6_failure(self, report_text):
+        lines = [
+            line
+            for line in report_text.splitlines()
+            if line.startswith("mips") and "xc6vlx75t" in line
+        ]
+        retighten_lines = [l for l in lines if "False" in l]
+        assert retighten_lines  # the routed=False row is present
+
+    def test_cli_report_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["report"]) == 0
+        assert "REPRODUCTION REPORT" in capsys.readouterr().out

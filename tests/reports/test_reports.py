@@ -1,0 +1,165 @@
+"""Tests for paper table/figure regeneration."""
+
+import pytest
+
+from repro.reports.figures import fig1_traces, fig2_structure, render_fig2
+from repro.reports.tables import (
+    render_grid,
+    retighten_outcomes,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+)
+
+from tests.conftest import (
+    PAPER_GEOMETRY,
+    PAPER_POST_IMPL,
+    PAPER_RU,
+    PAPER_SYNTH,
+    TABLE7_BYTES,
+)
+
+
+class TestStaticTables:
+    def test_table1_glossary(self):
+        rows = table1()
+        assert {"parameter", "description"} == set(rows[0])
+        assert any(r["parameter"] == "PRR_size" for r in rows)
+
+    def test_table2_values(self):
+        rows = {r["parameter"]: r for r in table2()}
+        assert rows["CLB_col"] == {
+            "parameter": "CLB_col",
+            "virtex4": 16,
+            "virtex5": 20,
+            "virtex6": 40,
+        }
+        assert rows["FF_CLB"]["virtex6"] == 16
+
+    def test_table3_glossary(self):
+        assert any(r["parameter"] == "S_bitstream" for r in table3())
+
+    def test_table4_values(self):
+        rows = {r["parameter"]: r for r in table4()}
+        assert rows["FR_size"] == {
+            "parameter": "FR_size",
+            "virtex4": 41,
+            "virtex5": 41,
+            "virtex6": 81,
+        }
+        assert rows["DF_BRAM"]["virtex5"] == 128
+
+
+@pytest.fixture(scope="module")
+def t5():
+    return table5()
+
+
+@pytest.fixture(scope="module")
+def t6():
+    return table6()
+
+
+class TestTable5:
+    def test_all_six_cases_present(self, t5):
+        assert len(t5) == 6
+
+    def test_matches_reference(self, t5):
+        for (workload, device_name), row in t5.items():
+            family = "virtex5" if "5v" in device_name else "virtex6"
+            pairs, luts, ffs, dsps, brams = PAPER_SYNTH[(workload, family)]
+            assert row["LUT_FF_req"] == pairs
+            h, w_clb, w_dsp, w_bram = PAPER_GEOMETRY[(workload, device_name)]
+            assert (row["H_CLB"], row["W_CLB"], row["W_DSP"], row["W_BRAM"]) == (
+                h,
+                w_clb,
+                w_dsp,
+                w_bram,
+            )
+            clb, ff, lut, dsp, bram = PAPER_RU[(workload, device_name)]
+            assert row["RU_CLB"] == clb and row["RU_DSP"] == dsp
+
+
+class TestTable6:
+    def test_post_counts(self, t6):
+        for (workload, device_name), row in t6.items():
+            family = "virtex5" if "5v" in device_name else "virtex6"
+            pairs, luts, ffs = PAPER_POST_IMPL[(workload, family)]
+            assert row["LUT_FF_req"] == pairs
+            assert row["LUT_req"] == luts
+            assert row["FF_req"] == ffs
+
+    def test_dsp_bram_savings_zero(self, t6):
+        for row in t6.values():
+            assert row["savings_pct"]["DSP_req"] == 0.0
+            assert row["savings_pct"]["BRAM_req"] == 0.0
+
+    def test_all_original_runs_routed(self, t6):
+        assert all(row["routed"] for row in t6.values())
+
+    def test_fir_v5_headline_savings(self, t6):
+        savings = t6[("fir", "xc5vlx110t")]["savings_pct"]
+        assert savings["LUT_FF_req"] == pytest.approx(16.8, abs=0.05)
+        assert savings["CLB_req"] == pytest.approx(16.6, abs=0.05)
+
+
+class TestTable7:
+    def test_model_values(self):
+        rows = table7()
+        for key, row in rows.items():
+            assert row["model_bytes"] == TABLE7_BYTES[key]
+            assert row["generated_bytes"] == row["model_bytes"]
+
+
+class TestTable8:
+    def test_runtimes_in_paper_range(self):
+        for row in table8().values():
+            # Table VIII: synthesis 3m20s-4m50s, implementation 2m55s-5m50s.
+            assert 150 <= row["synthesis_seconds"] <= 300
+            assert 150 <= row["implementation_seconds"] <= 360
+
+
+class TestRetightenOutcomes:
+    def test_paper_outcomes(self):
+        outcomes = retighten_outcomes()
+        assert outcomes[("sdram", "xc5vlx110t")].unchanged
+        assert outcomes[("sdram", "xc6vlx75t")].unchanged
+        assert outcomes[("fir", "xc5vlx110t")].clb_column_rows_saved == 2
+        assert outcomes[("fir", "xc6vlx75t")].clb_column_rows_saved == 1
+        assert outcomes[("mips", "xc5vlx110t")].succeeded
+        assert not outcomes[("mips", "xc6vlx75t")].succeeded
+
+
+class TestRenderGrid:
+    def test_aligned_output(self):
+        text = render_grid([{"a": 1, "bb": 22}, {"a": 333, "bb": 4}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_empty(self):
+        assert render_grid([]) == "(empty)"
+
+
+class TestFigures:
+    def test_fig1_traces_cover_cases(self):
+        traces = fig1_traces()
+        assert len(traces) == 6
+        fir_trace = traces[("fir", "xc5vlx110t")]
+        assert fir_trace.selected.geometry.rows == 5
+
+    def test_fig2_structure(self):
+        parsed = fig2_structure()
+        # Two rows, each with a config block and a BRAM-init block.
+        assert parsed.rows == 2
+        assert len(parsed.bram_blocks) == 2
+        assert parsed.crc_ok
+
+    def test_fig2_render(self):
+        text = render_fig2(fig2_structure())
+        assert "BRAM init" in text and "configuration" in text

@@ -1,0 +1,189 @@
+"""Unit tests for technology mapping and the primitive library."""
+
+import pytest
+
+from repro.devices.family import SPARTAN6, VIRTEX4, VIRTEX5, VIRTEX6
+from repro.synth.library import library_for
+from repro.synth.mapper import (
+    MappedCounts,
+    luts_for_fanin,
+    map_component,
+    map_netlist,
+)
+from repro.synth.netlist import (
+    FSM,
+    Adder,
+    Comparator,
+    GlueLogic,
+    LogicCloud,
+    Memory,
+    Module,
+    Multiplier,
+    Mux,
+    Netlist,
+    RegisterBank,
+    ShiftRegister,
+)
+
+V5 = library_for(VIRTEX5)
+V4 = library_for(VIRTEX4)
+
+
+class TestLibrary:
+    def test_lut_inputs_per_family(self):
+        assert V4.lut_inputs == 4
+        assert V5.lut_inputs == 6
+        assert library_for(VIRTEX6).lut_inputs == 6
+
+    def test_srl_depth(self):
+        assert V4.srl_depth == 16
+        assert V5.srl_depth == 32
+
+    def test_dsp_widths(self):
+        assert (V5.dsp_a_width, V5.dsp_b_width) == (25, 18)
+        assert (V4.dsp_a_width, V4.dsp_b_width) == (18, 18)
+
+    def test_unknown_family(self):
+        from dataclasses import replace
+
+        with pytest.raises(KeyError):
+            library_for(replace(VIRTEX5, name="unknown"))
+
+    def test_mux_luts_per_bit(self):
+        assert V5.mux_luts_per_bit(4) == 1  # LUT6 does 4:1
+        assert V5.mux_luts_per_bit(8) == 3
+        assert V4.mux_luts_per_bit(2) == 1
+        with pytest.raises(ValueError):
+            V5.mux_luts_per_bit(1)
+
+
+class TestLutsForFanin:
+    def test_fits_one_lut(self):
+        assert luts_for_fanin(6, 6) == 1
+        assert luts_for_fanin(1, 6) == 1
+
+    def test_tree_cover(self):
+        assert luts_for_fanin(7, 6) == 2
+        assert luts_for_fanin(11, 6) == 2
+        assert luts_for_fanin(12, 6) == 3
+
+    def test_lut4_tree(self):
+        assert luts_for_fanin(7, 4) == 2
+        assert luts_for_fanin(10, 4) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            luts_for_fanin(0, 6)
+
+
+class TestComponentMapping:
+    def test_logic_cloud(self):
+        counts = map_component(LogicCloud(fanin=12, width=32), V5)
+        assert counts == MappedCounts(luts=96)
+
+    def test_registered_logic_pairs(self):
+        counts = map_component(LogicCloud(fanin=4, width=8, registered=True), V5)
+        assert counts.luts == 8 and counts.ffs == 8 and counts.paired_ffs == 8
+
+    def test_adder_one_lut_per_bit(self):
+        counts = map_component(Adder(width=32), V5)
+        assert counts.luts == 32 and counts.ffs == 0
+
+    def test_registered_adder(self):
+        counts = map_component(Adder(width=12, registered=True), V5)
+        assert counts.ffs == 12 and counts.paired_ffs == 12
+
+    def test_comparator(self):
+        assert map_component(Comparator(width=12), V5).luts == 4
+        assert map_component(Comparator(width=12), V4).luts == 6
+
+    def test_mux(self):
+        counts = map_component(Mux(ways=8, width=32), V5)
+        assert counts.luts == 96
+
+    def test_multiplier_dsp_tiles(self):
+        assert map_component(Multiplier(16, 16), V5).dsps == 1
+        assert map_component(Multiplier(32, 32), V5).dsps == 4  # 2x2 tiles
+        assert map_component(Multiplier(32, 32), V4).dsps == 4
+
+    def test_multiplier_lut_fallback(self):
+        counts = map_component(Multiplier(16, 16, use_dsp=False), V5)
+        assert counts.dsps == 0
+        assert counts.luts == 128
+
+    def test_register_bank_unpaired(self):
+        counts = map_component(RegisterBank(width=64), V5)
+        assert counts.ffs == 64 and counts.paired_ffs == 0
+
+    def test_srl_shift_register(self):
+        counts = map_component(ShiftRegister(depth=32, width=16), V5)
+        assert counts.luts == 16 and counts.ffs == 16 and counts.paired_ffs == 16
+
+    def test_deep_srl_cascades(self):
+        counts = map_component(ShiftRegister(depth=64, width=4), V5)
+        assert counts.luts == 8  # two SRL32 per lane
+
+    def test_tapped_shift_register_uses_ffs(self):
+        counts = map_component(ShiftRegister(depth=32, width=16, tapped=True), V5)
+        assert counts.luts == 0 and counts.ffs == 512
+
+    def test_small_memory_is_lutram(self):
+        counts = map_component(Memory(depth=32, width=16), V5)
+        assert counts.brams == 0 and counts.luts == 16
+
+    def test_dual_port_lutram_doubles(self):
+        counts = map_component(Memory(depth=32, width=32, dual_port=True), V5)
+        assert counts.luts == 64
+
+    def test_large_memory_is_bram(self):
+        assert map_component(Memory(depth=2048, width=32), V5).brams == 2
+        assert map_component(Memory(depth=4096, width=32), V5).brams == 4
+
+    def test_force_bram(self):
+        assert map_component(Memory(depth=16, width=8, force_bram=True), V5).brams == 1
+
+    def test_bram_shapes_v4(self):
+        # 18Kb blocks on Virtex-4: 2048x32 needs 4 blocks (1024x18 lanes).
+        counts = map_component(Memory(depth=2048, width=32), V4)
+        assert counts.brams == 4
+
+    def test_fsm(self):
+        counts = map_component(FSM(states=8, inputs=12, outputs=16), V5)
+        assert counts.ffs == 8 and counts.paired_ffs == 8
+        assert counts.luts == 8 * 3 + 16  # next-state trees + output decode
+
+    def test_glue_passthrough(self):
+        counts = map_component(GlueLogic(luts=10, ffs=7, paired_ffs=3), V5)
+        assert counts == MappedCounts(luts=10, ffs=7, paired_ffs=3)
+
+    def test_unknown_component_type(self):
+        class Strange:
+            pass
+
+        with pytest.raises(TypeError, match="no mapping rule"):
+            map_component(Strange(), V5)  # type: ignore[arg-type]
+
+
+class TestMappedCounts:
+    def test_add(self):
+        a = MappedCounts(luts=1, ffs=2, paired_ffs=1, dsps=3, brams=4)
+        b = MappedCounts(luts=10, ffs=20, paired_ffs=2, dsps=30, brams=40)
+        assert a + b == MappedCounts(11, 22, 3, 33, 44)
+
+    def test_pairing_bound_enforced(self):
+        with pytest.raises(ValueError):
+            MappedCounts(luts=1, ffs=1, paired_ffs=2)
+
+    def test_lut_ff_pairs_identity(self):
+        counts = MappedCounts(luts=10, ffs=8, paired_ffs=5)
+        assert counts.lut_ff_pairs == 13
+
+    def test_map_netlist_sums(self):
+        top = Module("top")
+        top.add(Adder(width=4, registered=True))
+        top.add(RegisterBank(width=4))
+        counts = map_netlist(Netlist("d", top), V5)
+        assert counts == MappedCounts(luts=4, ffs=8, paired_ffs=4)
+
+    def test_spartan6_library_exists(self):
+        assert library_for(SPARTAN6).lut_inputs == 6

@@ -1,0 +1,123 @@
+"""Unit tests for the netlist IR."""
+
+import pytest
+
+from repro.synth.netlist import (
+    FSM,
+    Adder,
+    Comparator,
+    GlueLogic,
+    LogicCloud,
+    Memory,
+    Module,
+    Multiplier,
+    Mux,
+    Netlist,
+    OptimizationHints,
+    RegisterBank,
+    ShiftRegister,
+)
+
+
+class TestComponentValidation:
+    def test_logic_cloud(self):
+        with pytest.raises(ValueError):
+            LogicCloud(fanin=0, width=1)
+        with pytest.raises(ValueError):
+            LogicCloud(fanin=4, width=0)
+
+    def test_adder(self):
+        with pytest.raises(ValueError):
+            Adder(width=0)
+
+    def test_mux_needs_two_ways(self):
+        with pytest.raises(ValueError):
+            Mux(ways=1, width=8)
+
+    def test_multiplier(self):
+        with pytest.raises(ValueError):
+            Multiplier(a_width=0, b_width=8)
+
+    def test_shift_register(self):
+        with pytest.raises(ValueError):
+            ShiftRegister(depth=0, width=1)
+
+    def test_memory(self):
+        with pytest.raises(ValueError):
+            Memory(depth=0, width=8)
+        assert Memory(depth=64, width=8).bits == 512
+
+    def test_fsm_needs_two_states(self):
+        with pytest.raises(ValueError):
+            FSM(states=1, inputs=0, outputs=0)
+
+    def test_glue_pairing_bound(self):
+        with pytest.raises(ValueError, match="paired_ffs"):
+            GlueLogic(luts=5, ffs=3, paired_ffs=4)
+
+    def test_glue_negative(self):
+        with pytest.raises(ValueError):
+            GlueLogic(luts=-1, ffs=0)
+
+    def test_describe_all_components(self):
+        components = [
+            LogicCloud(fanin=6, width=4),
+            Adder(width=8),
+            Comparator(width=8),
+            Mux(ways=4, width=8),
+            Multiplier(a_width=16, b_width=16),
+            RegisterBank(width=8),
+            ShiftRegister(depth=8, width=2),
+            Memory(depth=128, width=8),
+            FSM(states=4, inputs=2, outputs=2),
+            GlueLogic(luts=1, ffs=1),
+        ]
+        for component in components:
+            assert component.describe()
+
+
+class TestOptimizationHints:
+    def test_defaults_zero(self):
+        hints = OptimizationHints()
+        assert hints.combinable_luts == 0
+        assert hints.crosspackable_pairs == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OptimizationHints(combinable_luts=-1)
+
+
+class TestModuleHierarchy:
+    def test_iter_components_depth_first(self):
+        child = Module("child")
+        child.add(Adder(width=4))
+        top = Module("top")
+        top.add(RegisterBank(width=2))
+        top.instantiate(child)
+        netlist = Netlist("design", top)
+        kinds = [type(c).__name__ for c in netlist.iter_components()]
+        assert kinds == ["RegisterBank", "Adder"]
+
+    def test_component_count_recursive(self):
+        child = Module("child")
+        child.add(Adder(width=4)).add(Adder(width=4))
+        top = Module("top")
+        top.instantiate(child)
+        assert Netlist("d", top).component_count == 2
+
+    def test_add_returns_module_for_chaining(self):
+        module = Module("m")
+        assert module.add(Adder(width=1)) is module
+
+    def test_control_sets_collected(self):
+        top = Module("top")
+        top.add(Adder(width=4, registered=True, control_set="a"))
+        top.add(Adder(width=4, registered=True, control_set="b"))
+        top.add(Adder(width=4))  # no control set
+        assert Netlist("d", top).control_sets == {"a", "b"}
+
+    def test_describe_lists_components(self):
+        top = Module("top")
+        top.add(Adder(width=4))
+        text = Netlist("d", top).describe()
+        assert "4-bit adder" in text

@@ -1,0 +1,45 @@
+"""Unit tests for slice packing (pair breakdown)."""
+
+import pytest
+
+from repro.synth.mapper import MappedCounts
+from repro.synth.packer import PairBreakdown, pack
+
+
+class TestPairBreakdown:
+    def test_identities(self):
+        pairs = PairBreakdown(full_pairs=244, lut_only_pairs=906, ff_only_pairs=150)
+        assert pairs.lut_ff_pairs == 1300  # FIR/V5
+        assert pairs.luts == 1150
+        assert pairs.ffs == 394
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PairBreakdown(-1, 0, 0)
+
+
+class TestPack:
+    def test_paired_ffs_become_full_pairs(self):
+        pairs = pack(MappedCounts(luts=10, ffs=8, paired_ffs=5))
+        assert pairs.full_pairs == 5
+        assert pairs.lut_only_pairs == 5
+        assert pairs.ff_only_pairs == 3
+
+    def test_no_sharing(self):
+        pairs = pack(MappedCounts(luts=4, ffs=4, paired_ffs=0))
+        assert pairs.lut_ff_pairs == 8
+
+    def test_full_sharing(self):
+        pairs = pack(MappedCounts(luts=4, ffs=4, paired_ffs=4))
+        assert pairs.lut_ff_pairs == 4
+        assert pairs.full_pairs == 4
+
+    def test_zero_design(self):
+        pairs = pack(MappedCounts())
+        assert pairs.lut_ff_pairs == 0
+
+    def test_pack_preserves_lut_and_ff_totals(self):
+        counts = MappedCounts(luts=123, ffs=77, paired_ffs=50)
+        pairs = pack(counts)
+        assert pairs.luts == counts.luts
+        assert pairs.ffs == counts.ffs

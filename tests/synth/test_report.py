@@ -1,0 +1,127 @@
+"""Unit tests for synthesis reports and .syr rendering/parsing."""
+
+import pytest
+
+from repro.synth.packer import PairBreakdown
+from repro.synth.report import (
+    SynthesisReport,
+    SyrParseError,
+    parse_syr,
+    render_syr,
+)
+
+FIR_PAIRS = PairBreakdown(full_pairs=244, lut_only_pairs=906, ff_only_pairs=150)
+
+
+def fir_report():
+    return SynthesisReport(
+        design_name="fir",
+        family_name="virtex5",
+        pairs=FIR_PAIRS,
+        dsps=32,
+        brams=0,
+        control_sets=5,
+    )
+
+
+class TestSynthesisReport:
+    def test_requirements_bridge(self):
+        req = fir_report().requirements
+        assert req.lut_ff_pairs == 1300
+        assert req.luts == 1150
+        assert req.ffs == 394
+        assert req.dsps == 32
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SynthesisReport("x", "virtex5", FIR_PAIRS, dsps=-1, brams=0)
+
+    def test_summary(self):
+        assert "pairs=1300" in fir_report().summary()
+
+
+class TestRenderParseRoundtrip:
+    def test_roundtrip_preserves_counts(self):
+        original = fir_report()
+        parsed = parse_syr(render_syr(original))
+        assert parsed.pairs == original.pairs
+        assert parsed.dsps == original.dsps
+        assert parsed.brams == original.brams
+        assert parsed.control_sets == original.control_sets
+        assert parsed.design_name == "fir"
+        assert parsed.family_name == "virtex5"
+
+    def test_rendered_text_has_xst_lines(self):
+        text = render_syr(fir_report())
+        assert "Number of Slice LUTs:                 1150" in text
+        assert "Number of LUT Flip Flop pairs used:   1300" in text
+        assert "Number of fully used LUT-FF pairs:  244" in text
+
+
+class TestParseRealWorldVariants:
+    def test_parse_real_xilinx_syr_fragment(self):
+        """A fragment in genuine ISE 12.4 formatting."""
+        text = """
+Device utilization summary:
+---------------------------
+
+Selected Device : 5vlx110tff1136-1
+
+Slice Logic Utilization:
+ Number of Slice Registers:             394  out of  69120     0%
+ Number of Slice LUTs:                 1150  out of  69120     1%
+
+Slice Logic Distribution:
+ Number of LUT Flip Flop pairs used:   1300
+   Number with an unused Flip Flop:     906  out of   1300    69%
+   Number with an unused LUT:           150  out of   1300    11%
+   Number of fully used LUT-FF pairs:   244  out of   1300    18%
+
+Specific Feature Utilization:
+ Number of DSP48Es:                      32  out of     64    50%
+"""
+        report = parse_syr(text, design_name="fir")
+        assert report.pairs.lut_ff_pairs == 1300
+        assert report.pairs.full_pairs == 244
+        assert report.dsps == 32
+        assert report.brams == 0
+
+    def test_parse_derives_full_from_pairs_when_missing(self):
+        text = """
+ Number of Slice Registers: 100
+ Number of Slice LUTs: 150
+ Number of LUT Flip Flop pairs used: 200
+"""
+        report = parse_syr(text)
+        assert report.pairs.full_pairs == 50
+        assert report.pairs.lut_ff_pairs == 200
+
+    def test_parse_without_pair_line_is_conservative(self):
+        text = """
+ Number of Slice Registers: 100
+ Number of Slice LUTs: 150
+"""
+        report = parse_syr(text)
+        assert report.pairs.full_pairs == 0
+        assert report.pairs.lut_ff_pairs == 250
+
+    def test_missing_mandatory_line_raises(self):
+        with pytest.raises(SyrParseError, match="luts"):
+            parse_syr("Number of Slice Registers: 100")
+
+    def test_inconsistent_pair_split_raises(self):
+        text = """
+ Number of Slice Registers: 10
+ Number of Slice LUTs: 10
+ Number of LUT Flip Flop pairs used: 100
+"""
+        with pytest.raises(SyrParseError):
+            parse_syr(text)
+
+    def test_dsp48e1_spelling_accepted(self):
+        text = """
+ Number of Slice Registers: 10
+ Number of Slice LUTs: 10
+ Number of DSP48E1s: 7
+"""
+        assert parse_syr(text).dsps == 7

@@ -1,0 +1,114 @@
+"""Tests for the static timing model."""
+
+import pytest
+
+from repro.core.placement_search import find_prr
+from repro.devices.catalog import XC5VLX110T
+from repro.devices.fabric import Region
+from repro.devices.resources import ColumnKind
+from repro.synth.library import library_for
+from repro.synth.netlist import (
+    Adder,
+    LogicCloud,
+    Module,
+    Mux,
+    Netlist,
+)
+from repro.synth.timing import estimate_timing, logic_levels
+from repro.workloads import build_fir, build_mips, build_sdram
+
+from tests.conftest import paper_requirements
+
+V5LIB = library_for(XC5VLX110T.family)
+
+
+def netlist_of(*components):
+    top = Module("top")
+    for component in components:
+        top.add(component)
+    return Netlist("t", top)
+
+
+class TestLogicLevels:
+    def test_single_lut_is_one_level(self):
+        assert logic_levels(netlist_of(LogicCloud(fanin=6, width=1)), V5LIB) == 1
+
+    def test_wide_fanin_deepens(self):
+        shallow = logic_levels(netlist_of(LogicCloud(fanin=6, width=1)), V5LIB)
+        deep = logic_levels(netlist_of(LogicCloud(fanin=30, width=1)), V5LIB)
+        assert deep > shallow
+
+    def test_worst_component_dominates(self):
+        combined = netlist_of(
+            LogicCloud(fanin=30, width=1), Adder(width=8), Mux(ways=4, width=8)
+        )
+        assert logic_levels(combined, V5LIB) == logic_levels(
+            netlist_of(LogicCloud(fanin=30, width=1)), V5LIB
+        )
+
+    def test_wide_adders_cost_more(self):
+        assert logic_levels(netlist_of(Adder(width=32)), V5LIB) == 2
+        assert logic_levels(netlist_of(Adder(width=8)), V5LIB) == 1
+
+    def test_paper_prms_have_plausible_depth(self):
+        for builder in (build_fir, build_mips, build_sdram):
+            levels = logic_levels(builder(XC5VLX110T.family), V5LIB)
+            assert 1 <= levels <= 8
+
+
+class TestEstimateTiming:
+    @pytest.fixture(scope="class")
+    def mips_case(self):
+        netlist = build_mips(XC5VLX110T.family)
+        placed = find_prr(XC5VLX110T, paper_requirements("mips", "virtex5"))
+        return netlist, placed.region
+
+    def test_frequency_plausible(self, mips_case):
+        netlist, region = mips_case
+        timing = estimate_timing(netlist, XC5VLX110T, region)
+        # Virtex-5 soft MIPS cores run ~80-200 MHz.
+        assert 50 < timing.fmax_mhz < 350
+
+    def test_oversized_prr_is_slower(self, mips_case):
+        """The Section I claim: oversized PRRs impose longer routing
+        delays."""
+        netlist, region = mips_case
+        right_sized = estimate_timing(netlist, XC5VLX110T, region)
+        oversized_region = Region(
+            row=region.row,
+            col=region.col,
+            height=min(XC5VLX110T.rows, region.height + 5),
+            width=region.width,
+        )
+        oversized = estimate_timing(
+            netlist, XC5VLX110T, oversized_region, pair_utilization=0.2
+        )
+        assert oversized.critical_path_s > right_sized.critical_path_s
+
+    def test_congestion_slows(self, mips_case):
+        netlist, region = mips_case
+        sparse = estimate_timing(
+            netlist, XC5VLX110T, region, pair_utilization=0.3
+        )
+        dense = estimate_timing(
+            netlist, XC5VLX110T, region, pair_utilization=0.97
+        )
+        assert dense.critical_path_s > sparse.critical_path_s
+        assert dense.congestion_factor > sparse.congestion_factor
+
+    def test_utilization_validation(self, mips_case):
+        netlist, region = mips_case
+        with pytest.raises(ValueError):
+            estimate_timing(netlist, XC5VLX110T, region, pair_utilization=1.5)
+
+    def test_invalid_region_rejected(self, mips_case):
+        netlist, _ = mips_case
+        with pytest.raises(ValueError):
+            estimate_timing(
+                netlist, XC5VLX110T, Region(row=1, col=1, height=1, width=2)
+            )
+
+    def test_levels_exposed(self, mips_case):
+        netlist, region = mips_case
+        timing = estimate_timing(netlist, XC5VLX110T, region)
+        assert timing.levels == logic_levels(netlist, V5LIB)

@@ -1,0 +1,65 @@
+"""Unit tests for the synthesis driver and its runtime model."""
+
+import pytest
+
+from repro.devices.family import VIRTEX5
+from repro.synth.netlist import Adder, Module, Netlist
+from repro.synth.xst import (
+    simulated_synthesis_seconds,
+    synthesize,
+    synthesize_timed,
+)
+
+
+def small_netlist():
+    top = Module("top")
+    top.add(Adder(width=8, registered=True, control_set="a"))
+    return Netlist("small", top)
+
+
+class TestSynthesize:
+    def test_produces_report(self):
+        report = synthesize(small_netlist(), VIRTEX5)
+        assert report.design_name == "small"
+        assert report.family_name == "virtex5"
+        assert report.pairs.luts == 8
+        assert report.pairs.ffs == 8
+
+    def test_control_sets_counted(self):
+        report = synthesize(small_netlist(), VIRTEX5)
+        assert report.control_sets == 1
+
+    def test_hints_forwarded(self):
+        netlist = small_netlist()
+        from repro.synth.netlist import OptimizationHints
+
+        netlist.hints = OptimizationHints(combinable_luts=2)
+        report = synthesize(netlist, VIRTEX5)
+        assert report.hints.combinable_luts == 2
+
+    def test_simulated_seconds_positive(self):
+        assert synthesize(small_netlist(), VIRTEX5).simulated_seconds > 0
+
+
+class TestRuntimeModel:
+    def test_monotone_in_size(self):
+        assert simulated_synthesis_seconds(10, 100) < simulated_synthesis_seconds(
+            10, 1000
+        )
+        assert simulated_synthesis_seconds(1, 100) < simulated_synthesis_seconds(
+            100, 100
+        )
+
+    def test_paper_scale_designs_land_in_minutes(self):
+        # Table VIII synthesis times are 3m20s-4m50s (200-290 s); our PRMs
+        # have ~40 components and 150-2100 LUTs.
+        assert 150 <= simulated_synthesis_seconds(40, 1150) <= 300
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulated_synthesis_seconds(-1, 0)
+
+    def test_timed_wrapper(self):
+        run = synthesize_timed(small_netlist(), VIRTEX5)
+        assert run.report.design_name == "small"
+        assert run.wall_seconds >= 0

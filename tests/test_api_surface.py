@@ -1,0 +1,60 @@
+"""API-surface guards: every advertised name exists and imports cleanly."""
+
+import doctest
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.devices",
+    "repro.synth",
+    "repro.workloads",
+    "repro.core",
+    "repro.par",
+    "repro.bitgen",
+    "repro.icap",
+    "repro.baselines",
+    "repro.relocation",
+    "repro.multitask",
+    "repro.validation",
+    "repro.reports",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    module = importlib.import_module(package_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{package_name}.__all__ lists missing {name}"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_has_docstring(package_name):
+    module = importlib.import_module(package_name)
+    assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+
+DOCTEST_MODULES = [
+    "repro.devices.resources",
+    "repro.devices.family",
+    "repro.devices.catalog",
+]
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_console_entry_point_importable():
+    from repro.cli import main  # noqa: F401

@@ -1,0 +1,85 @@
+"""Tests for the repro-fpga command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_prm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synth", "nonexistent"])
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["synth", "fir", "--device", "bogus"])
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "xc5vlx110t" in out and "layout:" in out
+
+    def test_synth(self, capsys):
+        assert main(["synth", "fir", "--device", "xc5vlx110t"]) == 0
+        out = capsys.readouterr().out
+        assert "Number of LUT Flip Flop pairs used:   1300" in out
+
+    def test_estimate(self, capsys):
+        assert main(["estimate", "sdram", "--device", "xc5vlx110t"]) == 0
+        out = capsys.readouterr().out
+        assert "bitstream=18016" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "fir", "--device", "xc5vlx110t"]) == 0
+        assert "selected: H=5" in capsys.readouterr().out
+
+    def test_bitgen_to_file(self, capsys, tmp_path):
+        out_file = tmp_path / "fir.bit"
+        assert (
+            main(["bitgen", "fir", "--device", "xc5vlx110t", "-o", str(out_file)])
+            == 0
+        )
+        assert out_file.stat().st_size == 83040
+
+    def test_table_static(self, capsys):
+        assert main(["table", "2"]) == 0
+        assert "CLB_col" in capsys.readouterr().out
+
+    def test_table_evaluation(self, capsys):
+        assert main(["table", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "83040" in out and "188728" in out
+
+    def test_figure_2(self, capsys):
+        assert main(["figure", "2"]) == 0
+        assert "BRAM init" in capsys.readouterr().out
+
+    def test_explore(self, capsys):
+        assert main(["explore", "--device", "xc6vlx75t"]) == 0
+        assert "feasible partitionings" in capsys.readouterr().out
+
+
+class TestExtensionCommands:
+    def test_floorplan(self, capsys):
+        assert main(["floorplan", "--device", "xc5vlx110t"]) == 0
+        out = capsys.readouterr().out
+        assert "0=fir" in out and "static frag" in out
+
+    def test_relocate(self, capsys):
+        assert main(["relocate", "mips", "--device", "xc5vlx110t"]) == 0
+        out = capsys.readouterr().out
+        assert "relocation-compatible" in out
+        assert "payloads preserved" in out
+
+    def test_advise(self, capsys):
+        assert main(["advise", "fir", "--device", "xc5vlx110t",
+                     "--period-ms", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "[suggestion]" in out and "L-shaped" in out
+        assert "task period" in out

@@ -1,0 +1,56 @@
+"""Unit tests for error metrics."""
+
+import pytest
+
+from repro.validation.compare import (
+    mape,
+    percent_error,
+    signed_percent_error,
+    within_percent,
+)
+
+
+class TestSignedPercentError:
+    def test_overestimate_positive(self):
+        assert signed_percent_error(110, 100) == pytest.approx(10.0)
+
+    def test_underestimate_negative(self):
+        assert signed_percent_error(90, 100) == pytest.approx(-10.0)
+
+    def test_zero_reference(self):
+        with pytest.raises(ZeroDivisionError):
+            signed_percent_error(1, 0)
+
+
+class TestPercentError:
+    def test_absolute(self):
+        assert percent_error(90, 100) == pytest.approx(10.0)
+        assert percent_error(110, 100) == pytest.approx(10.0)
+
+
+class TestMape:
+    def test_mean(self):
+        assert mape([110, 90], [100, 100]) == pytest.approx(10.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mape([1], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mape([], [])
+
+
+class TestWithinPercent:
+    def test_inside(self):
+        assert within_percent(104, 100, 5)
+
+    def test_outside(self):
+        assert not within_percent(106, 100, 5)
+
+    def test_boundary(self):
+        assert within_percent(105, 100, 5)
+
+    def test_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            within_percent(1, 1, -1)

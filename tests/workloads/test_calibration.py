@@ -1,0 +1,138 @@
+"""Tests for workload calibration: synthesized counts == reference targets."""
+
+import pytest
+
+from repro.devices.family import VIRTEX4, VIRTEX5, VIRTEX6
+from repro.synth.mapper import map_netlist
+from repro.synth.library import library_for
+from repro.synth.netlist import GlueLogic, Module, Netlist, RegisterBank
+from repro.synth.xst import synthesize
+from repro.workloads import (
+    FIR_TARGETS,
+    MIPS_TARGETS,
+    SDRAM_TARGETS,
+    CalibrationError,
+    SynthesisTargets,
+    build_fir,
+    build_mips,
+    build_sdram,
+    calibrate,
+)
+
+from tests.conftest import PAPER_SYNTH
+
+BUILDERS = {"fir": build_fir, "mips": build_mips, "sdram": build_sdram}
+
+
+class TestCalibratedSynthesis:
+    @pytest.mark.parametrize("workload", ["fir", "mips", "sdram"])
+    @pytest.mark.parametrize("family", [VIRTEX5, VIRTEX6], ids=lambda f: f.name)
+    def test_reference_counts_reproduced(self, workload, family):
+        report = synthesize(BUILDERS[workload](family), family)
+        pairs, luts, ffs, dsps, brams = PAPER_SYNTH[(workload, family.name)]
+        assert report.pairs.lut_ff_pairs == pairs
+        assert report.pairs.luts == luts
+        assert report.pairs.ffs == ffs
+        assert report.dsps == dsps
+        assert report.brams == brams
+
+    @pytest.mark.parametrize("workload", ["fir", "mips", "sdram"])
+    def test_glue_is_minority_of_structure_count(self, workload):
+        """Calibration adds at most one glue component."""
+        netlist = BUILDERS[workload](VIRTEX5)
+        glue = [
+            c for c in netlist.iter_components() if isinstance(c, GlueLogic)
+        ]
+        assert len(glue) <= 1
+        assert netlist.component_count > 5  # real structure dominates
+
+    def test_uncalibrated_builds_have_no_glue(self):
+        for builder in BUILDERS.values():
+            netlist = builder(VIRTEX5, calibrated=False)
+            assert not any(
+                isinstance(c, GlueLogic) for c in netlist.iter_components()
+            )
+
+    def test_uncalibrated_works_on_any_family(self):
+        report = synthesize(build_fir(VIRTEX4, calibrated=False), VIRTEX4)
+        assert report.pairs.luts > 0
+        assert report.dsps == 32
+
+    def test_calibrated_rejects_unknown_family(self):
+        with pytest.raises(ValueError, match="reference targets"):
+            build_fir(VIRTEX4)
+
+    def test_calibrated_rejects_custom_parameters(self):
+        with pytest.raises(ValueError, match="default parameters"):
+            build_fir(VIRTEX5, taps=16)
+        with pytest.raises(ValueError, match="default parameters"):
+            build_mips(VIRTEX5, xlen=64)
+        with pytest.raises(ValueError, match="default parameters"):
+            build_sdram(VIRTEX5, data_width=16)
+
+    def test_hints_attached(self):
+        assert build_fir(VIRTEX5).hints == FIR_TARGETS["virtex5"].hints
+        assert build_mips(VIRTEX6).hints == MIPS_TARGETS["virtex6"].hints
+        assert build_sdram(VIRTEX5).hints == SDRAM_TARGETS["virtex5"].hints
+
+
+class TestSynthesisTargetsValidation:
+    def test_full_pairs_derivation(self):
+        targets = SynthesisTargets(1300, 1150, 394, 32, 0)
+        assert targets.full_pairs == 244
+
+    def test_invalid_pair_total(self):
+        with pytest.raises(ValueError):
+            SynthesisTargets(lut_ff_pairs=1000, luts=100, ffs=100, dsps=0, brams=0)
+
+    def test_pairs_below_max_rejected(self):
+        with pytest.raises(ValueError):
+            SynthesisTargets(lut_ff_pairs=50, luts=100, ffs=10, dsps=0, brams=0)
+
+
+class TestCalibrateErrors:
+    def test_oversized_structure_rejected(self):
+        top = Module("top")
+        top.add(GlueLogic(luts=10_000, ffs=0))
+        with pytest.raises(CalibrationError, match="LUTs"):
+            calibrate(
+                Netlist("big", top),
+                VIRTEX5,
+                SynthesisTargets(100, 100, 0, 0, 0),
+            )
+
+    def test_dsp_mismatch_rejected(self):
+        from repro.synth.netlist import Multiplier
+
+        top = Module("top")
+        top.add(Multiplier(16, 16))
+        with pytest.raises(CalibrationError, match="DSPs"):
+            calibrate(
+                Netlist("d", top),
+                VIRTEX5,
+                SynthesisTargets(100, 100, 0, 2, 0),
+            )
+
+    def test_residual_pairing_infeasible(self):
+        top = Module("top")
+        top.add(RegisterBank(width=10))
+        # full target 90 > min(residual luts 100, residual ffs 90)?
+        # luts=100, ffs=100, pairs=105 -> full=95; residual ffs=90, luts=100.
+        with pytest.raises(CalibrationError, match="residual full"):
+            calibrate(
+                Netlist("d", top),
+                VIRTEX5,
+                SynthesisTargets(105, 100, 100, 0, 0),
+            )
+
+    def test_exact_fit_no_glue_needed(self):
+        top = Module("top")
+        top.add(RegisterBank(width=10))
+        netlist = calibrate(
+            Netlist("d", top), VIRTEX5, SynthesisTargets(10, 0, 10, 0, 0)
+        )
+        counts = map_netlist(netlist, library_for(VIRTEX5))
+        assert counts.ffs == 10 and counts.luts == 0
+        assert not any(
+            isinstance(c, GlueLogic) for c in netlist.iter_components()
+        )

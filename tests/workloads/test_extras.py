@@ -1,0 +1,77 @@
+"""Tests for the extra (non-paper) workload generators."""
+
+import pytest
+
+from repro.devices.family import VIRTEX5, VIRTEX6
+from repro.synth.library import library_for
+from repro.synth.mapper import map_netlist
+from repro.synth.xst import synthesize
+from repro.workloads import build_aes, build_fft, build_matmul, build_uart
+
+
+class TestAes:
+    def test_profile_is_bram_heavy(self):
+        counts = map_netlist(build_aes(), library_for(VIRTEX5))
+        assert counts.brams >= 8
+        assert counts.dsps == 0
+        assert counts.luts > 100
+
+    def test_unrolling_scales_brams(self):
+        one = map_netlist(build_aes(rounds_unrolled=1), library_for(VIRTEX5))
+        four = map_netlist(build_aes(rounds_unrolled=4), library_for(VIRTEX5))
+        assert four.brams == 4 * one.brams - 3 * 0  # 4 rounds x 4 BRAMs + key
+        assert four.luts > one.luts
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_aes(rounds_unrolled=0)
+
+
+class TestFft:
+    def test_profile_uses_dsps_and_brams(self):
+        counts = map_netlist(build_fft(points=256), library_for(VIRTEX5))
+        assert counts.dsps == 3 * 8  # 3 per stage, log2(256) stages
+        assert counts.brams >= 1  # twiddle ROM
+
+    def test_points_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            build_fft(points=100)
+
+    def test_larger_fft_has_more_stages(self):
+        small = map_netlist(build_fft(points=64), library_for(VIRTEX5))
+        large = map_netlist(build_fft(points=1024), library_for(VIRTEX5))
+        assert large.dsps > small.dsps
+
+
+class TestMatmul:
+    def test_pe_array_scales_quadratically(self):
+        t2 = map_netlist(build_matmul(tile=2), library_for(VIRTEX5))
+        t4 = map_netlist(build_matmul(tile=4), library_for(VIRTEX5))
+        assert t4.dsps == 4 * t2.dsps
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_matmul(tile=0)
+
+
+class TestUart:
+    def test_tiny_clb_only_profile(self):
+        counts = map_netlist(build_uart(), library_for(VIRTEX5))
+        assert counts.dsps == 0
+        assert counts.brams == 0
+        assert counts.luts < 150
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_uart(fifo_depth=0)
+
+
+class TestExtrasSynthesize:
+    @pytest.mark.parametrize(
+        "builder", [build_aes, build_fft, build_matmul, build_uart]
+    )
+    @pytest.mark.parametrize("family", [VIRTEX5, VIRTEX6], ids=lambda f: f.name)
+    def test_synthesizable_on_both_evaluation_families(self, builder, family):
+        report = synthesize(builder(), family)
+        req = report.requirements  # must satisfy the PRMRequirements invariants
+        assert req.lut_ff_pairs >= max(req.luts, req.ffs)

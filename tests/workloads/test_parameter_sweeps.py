@@ -1,0 +1,94 @@
+"""Structural (uncalibrated) workload parameter sweeps.
+
+The calibrated builders pin the paper's exact designs; the uncalibrated
+path must scale sensibly with its parameters for exploration studies.
+"""
+
+import pytest
+
+from repro.devices.family import VIRTEX5
+from repro.synth.library import library_for
+from repro.synth.mapper import map_netlist
+from repro.synth.xst import synthesize
+from repro.workloads import build_fir, build_mips, build_sdram
+
+LIB = library_for(VIRTEX5)
+
+
+def counts(netlist):
+    return map_netlist(netlist, LIB)
+
+
+class TestFirSweeps:
+    def test_dsps_scale_with_taps(self):
+        for taps in (8, 16, 32, 64):
+            fir = build_fir(VIRTEX5, taps=taps, calibrated=False)
+            assert counts(fir).dsps == taps
+
+    def test_deep_fir_cascades_srls(self):
+        shallow = counts(build_fir(VIRTEX5, taps=32, calibrated=False))
+        deep = counts(build_fir(VIRTEX5, taps=64, calibrated=False))
+        assert deep.luts > shallow.luts  # extra SRL32 stages
+
+    def test_wide_accumulator(self):
+        narrow = counts(
+            build_fir(VIRTEX5, accumulator_width=32, calibrated=False)
+        )
+        wide = counts(
+            build_fir(VIRTEX5, accumulator_width=48, calibrated=False)
+        )
+        assert wide.ffs - narrow.ffs == 2 * 16  # adder regs + output regs
+
+    def test_wide_coefficients_spill_dsp_tiles(self):
+        base = counts(build_fir(VIRTEX5, calibrated=False))
+        wide = counts(
+            build_fir(VIRTEX5, coef_width=20, calibrated=False)
+        )
+        assert wide.dsps == 2 * base.dsps  # 20 > 18-bit port -> 2 tiles/tap
+
+
+class TestMipsSweeps:
+    def test_memory_sizes_scale_brams(self):
+        small = counts(
+            build_mips(VIRTEX5, imem_words=1024, dmem_words=1024, calibrated=False)
+        )
+        big = counts(
+            build_mips(VIRTEX5, imem_words=8192, dmem_words=8192, calibrated=False)
+        )
+        assert big.brams > small.brams
+
+    def test_xlen_64_grows_everything(self):
+        r32 = counts(build_mips(VIRTEX5, calibrated=False))
+        r64 = counts(build_mips(VIRTEX5, xlen=64, calibrated=False))
+        assert r64.luts > r32.luts
+        assert r64.dsps > r32.dsps  # 64x64 multiply needs more tiles
+
+
+class TestSdramSweeps:
+    def test_data_width_scales_capture_ffs(self):
+        w16 = counts(build_sdram(VIRTEX5, data_width=16, calibrated=False))
+        w64 = counts(build_sdram(VIRTEX5, data_width=64, calibrated=False))
+        assert w64.ffs - w16.ffs == 2 * (64 - 16)
+
+    def test_row_bits_scale_mux(self):
+        narrow = counts(build_sdram(VIRTEX5, row_bits=12, calibrated=False))
+        wide = counts(build_sdram(VIRTEX5, row_bits=14, calibrated=False))
+        assert wide.luts > narrow.luts
+
+
+class TestSweepsStaySynthesizable:
+    @pytest.mark.parametrize("taps", [4, 16, 48, 128])
+    def test_fir_variants(self, taps):
+        report = synthesize(
+            build_fir(VIRTEX5, taps=taps, calibrated=False), VIRTEX5
+        )
+        req = report.requirements
+        assert req.dsps == taps
+        assert req.lut_ff_pairs >= max(req.luts, req.ffs)
+
+    @pytest.mark.parametrize("xlen", [16, 32, 64])
+    def test_mips_variants(self, xlen):
+        report = synthesize(
+            build_mips(VIRTEX5, xlen=xlen, calibrated=False), VIRTEX5
+        )
+        assert report.brams > 0

@@ -1,0 +1,77 @@
+"""Fast-path perf benchmark: indexed fabric queries and explorer modes.
+
+Quick-mode counterpart of ``scripts/bench_explorer.py`` (which writes the
+tracked ``BENCH_explorer.json``): asserts indexed/naive equivalence on
+the paper's six PRM/device cases plus a synthetic 10-PRM workload, and
+that the indexed ``find_column_window`` beats the naive scan.  Iteration
+counts are tight so the CI bench smoke stays fast; the speedup gate here
+is deliberately looser than the >= 5x the committed benchmark records,
+to tolerate loaded CI machines.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.explorer import explore, pareto_front
+from repro.core.prr_model import InfeasibleGeometryError, prr_geometry_for_rows
+from repro.devices import XC5VLX110T, XC6VLX75T
+
+from benchmarks.conftest import BUILDERS, DEVICES
+from scripts.bench_explorer import WIDE_DEVICE, synthetic_prms, window_queries
+
+
+def _mix_queries(device, reports):
+    prms = [
+        reports[(name, device.name)].requirements for name in BUILDERS
+    ]
+    return window_queries(device, prms)
+
+
+@pytest.mark.parametrize("device", DEVICES.values(), ids=lambda d: d.name)
+def test_indexed_matches_naive_on_paper_cases(device, reports):
+    for query in _mix_queries(device, reports):
+        for start_col in (1, 5, device.num_columns // 2):
+            assert device.find_column_window(query, start_col=start_col) == (
+                device.find_column_window_naive(query, start_col=start_col)
+            )
+
+
+def test_indexed_faster_than_naive_on_synthetic10():
+    queries = window_queries(WIDE_DEVICE, synthetic_prms(10))
+    assert queries
+    for query in queries:  # warm the per-mix cache first
+        WIDE_DEVICE.find_column_window(query)
+
+    def timed(fn) -> float:
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            for _ in range(5):
+                for query in queries:
+                    fn(query, start_col=1)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    naive = timed(WIDE_DEVICE.find_column_window_naive)
+    indexed = timed(WIDE_DEVICE.find_column_window)
+    assert indexed < naive / 2, (
+        f"indexed path only {naive / indexed:.1f}x faster than naive scan"
+    )
+
+
+def test_explorer_modes_agree_quick(reports):
+    prms = [
+        reports[(name, XC5VLX110T.name)].requirements for name in BUILDERS
+    ]
+    exhaustive = explore(XC5VLX110T, prms, mode="exhaustive")
+    pruned = explore(XC5VLX110T, prms, mode="pruned")
+    assert pareto_front(exhaustive) == pareto_front(pruned)
+
+
+def test_beam_smoke_on_synthetic10():
+    designs = explore(WIDE_DEVICE, synthetic_prms(10), beam_width=16)
+    assert designs
+    assert designs[0].objectives == min(d.objectives for d in designs)

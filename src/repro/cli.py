@@ -60,6 +60,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("explore", help="explore PRM->PRR partitionings")
     p.add_argument("--device", default="xc5vlx110t", choices=sorted(DEVICES))
+    p.add_argument(
+        "--mode",
+        default="auto",
+        choices=("auto", "exhaustive", "pruned", "beam"),
+        help="search strategy (auto: exhaustive <=8 PRMs, else beam)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="evaluate partitions on a process pool of this size",
+    )
 
     p = sub.add_parser(
         "floorplan", help="floorplan all paper PRMs and render the fabric"
@@ -168,7 +180,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         synthesize(builder(device.family), device.family).requirements
         for builder in PAPER_WORKLOADS.values()
     ]
-    designs = explore(device, prms)
+    designs = explore(device, prms, mode=args.mode, workers=args.workers)
     print(f"{len(designs)} feasible partitionings on {device.name}")
     for design in pareto_front(designs):
         print("  *", design.summary())

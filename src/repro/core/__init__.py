@@ -8,6 +8,8 @@
 * :mod:`~repro.core.bitstream_model` — eqs. (18)–(23): geometry → bytes.
 * :mod:`~repro.core.reconfig_model` — bytes → reconfiguration time.
 * :mod:`~repro.core.explorer` — PRM→PRR partitioning design-space search.
+* :mod:`~repro.core.fastpath` — occupancy structure, placement caches and
+  pruning bounds shared by the search fast paths.
 * :mod:`~repro.core.api` — one-call convenience wrappers.
 """
 
@@ -31,12 +33,20 @@ from .bitstream_model import (
     ndw_bram,
 )
 from .explorer import (
+    DEFAULT_BEAM_WIDTH,
+    MAX_EXHAUSTIVE_PRMS,
     PartitioningDesign,
     PRRAssignment,
     evaluate_partition,
     explore,
     iter_set_partitions,
     pareto_front,
+)
+from .fastpath import (
+    GroupBounds,
+    PlacementCache,
+    RegionOccupancy,
+    group_lower_bounds,
 )
 from .params import PRMRequirements, TABLE1_PARAMETERS, TABLE3_PARAMETERS
 from .placement_search import (
@@ -96,6 +106,12 @@ __all__ = [
     "evaluate_partition",
     "explore",
     "pareto_front",
+    "MAX_EXHAUSTIVE_PRMS",
+    "DEFAULT_BEAM_WIDTH",
+    "RegionOccupancy",
+    "PlacementCache",
+    "GroupBounds",
+    "group_lower_bounds",
     "CostModelResult",
     "Advice",
     "Finding",

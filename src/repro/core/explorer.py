@@ -11,16 +11,35 @@ Fig. 1 flow per group with non-overlap constraints, evaluates each design
 with both cost models, and reports the Pareto-efficient designs over
 (total PRR area, total bitstream bytes, worst per-PRM reconfiguration
 time).
+
+Four search strategies share the evaluation machinery (see
+:func:`explore`):
+
+* ``exhaustive`` — every set partition, optionally chunked across a
+  process pool;
+* ``pruned`` — branch-and-bound over partial partitions with admissible
+  area/bitstream lower bounds; returns a subset of the feasible designs
+  whose Pareto front is identical to the exhaustive one;
+* ``beam`` — bounded-width beam search over partial partitions, the
+  graceful-degradation path for PRM counts where Bell-number enumeration
+  is intractable;
+* ``auto`` — exhaustive up to :data:`MAX_EXHAUSTIVE_PRMS` PRMs, beam
+  beyond.
 """
 
 from __future__ import annotations
 
-import itertools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator, Literal, Sequence
 
-from ..devices.fabric import Device, Region
+from ..devices.fabric import Device
 from .bitstream_model import bitstream_size_bytes
+from .fastpath import (
+    PlacementCache,
+    RegionOccupancy,
+    group_lower_bounds,
+)
 from .params import PRMRequirements
 from .placement_search import (
     PlacedPRR,
@@ -37,10 +56,19 @@ __all__ = [
     "evaluate_partition",
     "explore",
     "pareto_front",
+    "ExploreMode",
+    "MAX_EXHAUSTIVE_PRMS",
+    "DEFAULT_BEAM_WIDTH",
 ]
 
-#: Exploring more PRMs than this would enumerate > 21k set partitions.
+#: Exploring more PRMs than this exhaustively would enumerate > 21k set
+#: partitions; ``mode="auto"`` switches to beam search beyond it.
 MAX_EXHAUSTIVE_PRMS = 8
+
+#: Partial partitions kept per level by the beam fallback.
+DEFAULT_BEAM_WIDTH = 64
+
+ExploreMode = Literal["auto", "exhaustive", "pruned", "beam"]
 
 
 def iter_set_partitions(items: Sequence[int]) -> Iterator[list[list[int]]]:
@@ -139,25 +167,34 @@ def evaluate_partition(
     groups: Sequence[Sequence[PRMRequirements]],
     *,
     controller_bytes_per_s: float = ICAP_VIRTEX5_BYTES_PER_S,
+    placement_cache: PlacementCache | None = None,
 ) -> PartitioningDesign | None:
     """Place one PRR per group (non-overlapping); ``None`` if infeasible.
 
     Groups are placed largest-first (by merged column demand) so big PRRs
-    get first pick of contiguous windows, then re-checked pairwise.
+    get first pick of contiguous windows, then re-checked pairwise.  An
+    optional :class:`~repro.core.fastpath.PlacementCache` memoizes the
+    per-group Fig. 1 searches across repeated calls (the explorer shares
+    one cache over every partition it evaluates).
     """
     ordered = sorted(
         (list(group) for group in groups),
         key=lambda group: -max(prm.lut_ff_pairs for prm in group),
     )
     placed: list[PRRAssignment] = []
-    occupied: list[Region] = []
+    occupied = RegionOccupancy()
     for group in ordered:
         try:
-            placement = find_prr(device, group, forbidden=occupied)
+            if placement_cache is not None:
+                placement = placement_cache.find_prr(
+                    device, group, forbidden=occupied
+                )
+            else:
+                placement = find_prr(device, group, forbidden=occupied)
         except PlacementNotFoundError:
             return None
         placed.append(PRRAssignment(prms=tuple(group), placement=placement))
-        occupied.append(placement.region)
+        occupied.add(placement.region)
     return PartitioningDesign(
         device_name=device.name,
         assignments=tuple(placed),
@@ -171,26 +208,364 @@ def explore(
     *,
     controller_bytes_per_s: float = ICAP_VIRTEX5_BYTES_PER_S,
     max_prrs: int | None = None,
+    mode: ExploreMode = "auto",
+    beam_width: int = DEFAULT_BEAM_WIDTH,
+    workers: int | None = None,
 ) -> list[PartitioningDesign]:
-    """Evaluate every PRM-to-PRR set partition; return feasible designs.
+    """Search PRM-to-PRR set partitions; return feasible designs.
 
     Designs come back sorted by the objective tuple (best first).
+
+    ``mode`` selects the strategy:
+
+    * ``"auto"`` (default) — exhaustive enumeration up to
+      :data:`MAX_EXHAUSTIVE_PRMS` PRMs; beyond that it degrades
+      gracefully to beam search (bounded width ``beam_width``) instead of
+      raising, so >8-PRM workloads return a good — not provably complete
+      — design set.
+    * ``"exhaustive"`` — every set partition; raises :class:`ValueError`
+      above :data:`MAX_EXHAUSTIVE_PRMS` PRMs.  With ``workers`` > 1 the
+      partition candidates are chunked across a process pool.
+    * ``"pruned"`` — branch-and-bound: partial partitions whose
+      admissible lower bound is already strictly dominated by a completed
+      design are abandoned.  Returns a subset of the exhaustive design
+      list whose Pareto front is identical (asserted by tests).
+    * ``"beam"`` — beam search at any PRM count.
+
+    ``workers`` only applies to the exhaustive path; the other modes are
+    sequential (their search order is the point).
     """
-    if len(prms) > MAX_EXHAUSTIVE_PRMS:
-        raise ValueError(
-            f"exhaustive exploration capped at {MAX_EXHAUSTIVE_PRMS} PRMs; "
-            f"got {len(prms)} — pre-group or shard the PRM set"
+    n = len(prms)
+    if mode == "auto":
+        mode = "exhaustive" if n <= MAX_EXHAUSTIVE_PRMS else "beam"
+    if mode == "exhaustive":
+        if n > MAX_EXHAUSTIVE_PRMS:
+            raise ValueError(
+                f"exhaustive exploration capped at {MAX_EXHAUSTIVE_PRMS} PRMs; "
+                f"got {n} — use mode='beam'/'pruned' (or mode='auto', which "
+                f"falls back to beam search automatically)"
+            )
+        if workers is not None and workers > 1:
+            return _explore_parallel(
+                device,
+                prms,
+                controller_bytes_per_s=controller_bytes_per_s,
+                max_prrs=max_prrs,
+                workers=workers,
+            )
+        return _explore_exhaustive(
+            device,
+            prms,
+            controller_bytes_per_s=controller_bytes_per_s,
+            max_prrs=max_prrs,
         )
+    if mode == "pruned":
+        return _explore_pruned(
+            device,
+            prms,
+            controller_bytes_per_s=controller_bytes_per_s,
+            max_prrs=max_prrs,
+        )
+    if mode == "beam":
+        return _explore_beam(
+            device,
+            prms,
+            controller_bytes_per_s=controller_bytes_per_s,
+            max_prrs=max_prrs,
+            beam_width=beam_width,
+        )
+    raise ValueError(f"unknown explore mode {mode!r}")
+
+
+def _explore_exhaustive(
+    device: Device,
+    prms: Sequence[PRMRequirements],
+    *,
+    controller_bytes_per_s: float,
+    max_prrs: int | None,
+) -> list[PartitioningDesign]:
+    cache = PlacementCache()
     designs: list[PartitioningDesign] = []
     for partition in iter_set_partitions(range(len(prms))):
         if max_prrs is not None and len(partition) > max_prrs:
             continue
         groups = [[prms[i] for i in group] for group in partition]
         design = evaluate_partition(
-            device, groups, controller_bytes_per_s=controller_bytes_per_s
+            device,
+            groups,
+            controller_bytes_per_s=controller_bytes_per_s,
+            placement_cache=cache,
         )
         if design is not None:
             designs.append(design)
+    designs.sort(key=lambda d: d.objectives)
+    return designs
+
+
+# -- parallel evaluation ------------------------------------------------------
+
+
+def _evaluate_partition_chunk(
+    device: Device,
+    prms: Sequence[PRMRequirements],
+    partitions: Sequence[Sequence[Sequence[int]]],
+    controller_bytes_per_s: float,
+) -> list[PartitioningDesign]:
+    """Worker entry point: evaluate a chunk of index partitions."""
+    cache = PlacementCache()
+    designs: list[PartitioningDesign] = []
+    for partition in partitions:
+        groups = [[prms[i] for i in group] for group in partition]
+        design = evaluate_partition(
+            device,
+            groups,
+            controller_bytes_per_s=controller_bytes_per_s,
+            placement_cache=cache,
+        )
+        if design is not None:
+            designs.append(design)
+    return designs
+
+
+def _explore_parallel(
+    device: Device,
+    prms: Sequence[PRMRequirements],
+    *,
+    controller_bytes_per_s: float,
+    max_prrs: int | None,
+    workers: int,
+) -> list[PartitioningDesign]:
+    partitions = [
+        [tuple(group) for group in partition]
+        for partition in iter_set_partitions(range(len(prms)))
+        if max_prrs is None or len(partition) <= max_prrs
+    ]
+    chunk_count = min(len(partitions), workers * 4) or 1
+    chunk_size = -(-len(partitions) // chunk_count)
+    chunks = [
+        partitions[i : i + chunk_size]
+        for i in range(0, len(partitions), chunk_size)
+    ]
+    designs: list[PartitioningDesign] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [
+            pool.submit(
+                _evaluate_partition_chunk,
+                device,
+                list(prms),
+                chunk,
+                controller_bytes_per_s,
+            )
+            for chunk in chunks
+        ]
+        # Collect in submission order so the pre-sort design order matches
+        # the sequential path exactly.
+        for future in futures:
+            designs.extend(future.result())
+    designs.sort(key=lambda d: d.objectives)
+    return designs
+
+
+# -- branch-and-bound / beam ---------------------------------------------------
+
+
+def _partial_lower_bound(
+    device: Device,
+    prms: Sequence[PRMRequirements],
+    groups: Sequence[Sequence[int]],
+    next_index: int,
+    controller_bytes_per_s: float,
+) -> tuple[int, int, float] | None:
+    """Admissible objective lower bound for every completion of a partial.
+
+    ``groups`` partitions PRMs ``0..next_index-1``; the rest are
+    unassigned.  Area: each existing group costs at least its geometry
+    minimum, and an unassigned PRM may join an existing group for free.
+    Bitstream: each PRM pays at least the minimum bytes of its current
+    group (merged requirements only grow as members join), unassigned
+    PRMs at least their solo minimum.  Worst reconfig time follows from
+    the largest of those per-group byte minima.  Returns ``None`` when a
+    group (and therefore every superset) has no feasible geometry.
+    """
+    area = 0
+    total_bytes = 0
+    worst_bytes = 0
+    for group in groups:
+        bounds = group_lower_bounds(device, [prms[i] for i in group])
+        if bounds is None:
+            return None
+        area += bounds.min_size
+        total_bytes += bounds.min_bytes * len(group)
+        worst_bytes = max(worst_bytes, bounds.min_bytes)
+    for index in range(next_index, len(prms)):
+        bounds = group_lower_bounds(device, [prms[index]])
+        if bounds is None:
+            return None
+        total_bytes += bounds.min_bytes
+        worst_bytes = max(worst_bytes, bounds.min_bytes)
+    worst_seconds = (
+        estimate_reconfig_time(
+            worst_bytes, controller_bytes_per_s=controller_bytes_per_s
+        ).seconds
+        if worst_bytes
+        else 0.0
+    )
+    return (area, total_bytes, worst_seconds)
+
+
+def _strictly_dominates(a: tuple, b: tuple) -> bool:
+    """True when *a* is <= *b* elementwise and < in some coordinate."""
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def _explore_pruned(
+    device: Device,
+    prms: Sequence[PRMRequirements],
+    *,
+    controller_bytes_per_s: float,
+    max_prrs: int | None,
+) -> list[PartitioningDesign]:
+    """Branch-and-bound enumeration with an exact Pareto front.
+
+    A partial partition is abandoned only when its admissible lower bound
+    is *strictly* dominated by a completed design — every completion of
+    such a partial is itself strictly dominated, so dropping it cannot
+    change the Pareto front (ties are deliberately kept).
+    """
+    n = len(prms)
+    cache = PlacementCache()
+    designs: list[PartitioningDesign] = []
+    archived: list[tuple[int, int, float]] = []
+    groups: list[list[int]] = []
+
+    def viable(next_index: int) -> bool:
+        bound = _partial_lower_bound(
+            device, prms, groups, next_index, controller_bytes_per_s
+        )
+        if bound is None:
+            return False
+        return not any(_strictly_dominates(done, bound) for done in archived)
+
+    def descend(index: int) -> None:
+        if index == n:
+            design = evaluate_partition(
+                device,
+                [[prms[i] for i in group] for group in groups],
+                controller_bytes_per_s=controller_bytes_per_s,
+                placement_cache=cache,
+            )
+            if design is not None:
+                designs.append(design)
+                archived.append(design.objectives)
+            return
+        # Join-existing-group branches first: the all-shared design is the
+        # first leaf reached and usually seeds a tight area bound.
+        for group in groups:
+            group.append(index)
+            if viable(index + 1):
+                descend(index + 1)
+            group.pop()
+        if max_prrs is None or len(groups) < max_prrs:
+            groups.append([index])
+            if viable(index + 1):
+                descend(index + 1)
+            groups.pop()
+
+    if n == 0:
+        return []
+    if viable(0):
+        descend(0)
+    designs.sort(key=lambda d: d.objectives)
+    return designs
+
+
+def _explore_beam(
+    device: Device,
+    prms: Sequence[PRMRequirements],
+    *,
+    controller_bytes_per_s: float,
+    max_prrs: int | None,
+    beam_width: int,
+) -> list[PartitioningDesign]:
+    """Bounded-width beam search over partial partitions.
+
+    Level ``k`` holds at most ``beam_width`` partitions of the first ``k``
+    PRMs, ranked by the same admissible lower bound the pruned path uses;
+    survivors of the final level are evaluated exactly.  Completes in
+    O(n x beam_width x n) partial expansions regardless of PRM count.
+    """
+    if beam_width < 1:
+        raise ValueError("beam_width must be >= 1")
+    n = len(prms)
+    if n == 0:
+        return []
+    cache = PlacementCache()
+
+    def partial_score(
+        candidate: tuple[tuple[int, ...], ...], next_index: int
+    ) -> tuple[tuple[int, int, float], PartitioningDesign] | None:
+        """Score a placeable partial: actual partial objectives plus the
+        admissible remaining-PRM bitstream contribution.  ``None`` prunes
+        unplaceable partials — unlike the exact pruned path, beam search
+        may discard completions a different grouping would have saved,
+        which is the accepted trade-off of the fallback."""
+        design = evaluate_partition(
+            device,
+            [[prms[i] for i in group] for group in candidate],
+            controller_bytes_per_s=controller_bytes_per_s,
+            placement_cache=cache,
+        )
+        if design is None:
+            return None
+        remaining_bytes = 0
+        worst_bytes = 0
+        for index in range(next_index, n):
+            bounds = group_lower_bounds(device, [prms[index]])
+            if bounds is None:
+                return None
+            remaining_bytes += bounds.min_bytes
+            worst_bytes = max(worst_bytes, bounds.min_bytes)
+        area, total_bytes, worst_seconds = design.objectives
+        if worst_bytes:
+            worst_seconds = max(
+                worst_seconds,
+                estimate_reconfig_time(
+                    worst_bytes, controller_bytes_per_s=controller_bytes_per_s
+                ).seconds,
+            )
+        return (area, total_bytes + remaining_bytes, worst_seconds), design
+
+    beam: list[tuple[tuple[int, ...], ...]] = [()]
+    final: dict[tuple[tuple[int, ...], ...], PartitioningDesign] = {}
+    for index in range(n):
+        scored: list[tuple[tuple[int, int, float], tuple[tuple[int, ...], ...]]] = []
+        seen: set[tuple[tuple[int, ...], ...]] = set()
+        for partial in beam:
+            expansions = [
+                partial[:gi] + (partial[gi] + (index,),) + partial[gi + 1 :]
+                for gi in range(len(partial))
+            ]
+            if max_prrs is None or len(partial) < max_prrs:
+                expansions.append(partial + ((index,),))
+            for candidate in expansions:
+                canonical = tuple(sorted(candidate))
+                if canonical in seen:
+                    continue
+                seen.add(canonical)
+                result = partial_score(candidate, index + 1)
+                if result is None:
+                    continue
+                score, design = result
+                scored.append((score, candidate))
+                if index + 1 == n:
+                    final[candidate] = design
+        scored.sort(key=lambda item: item[0])
+        beam = [candidate for _, candidate in scored[:beam_width]]
+        if not beam:
+            return []
+    designs = [final[candidate] for candidate in beam if candidate in final]
     designs.sort(key=lambda d: d.objectives)
     return designs
 

@@ -29,6 +29,7 @@ from typing import Iterator, Literal, Sequence
 
 from ..devices.fabric import Device, Region
 from .bitstream_model import bitstream_size_bytes
+from .fastpath import RegionOccupancy
 from .params import PRMRequirements
 from .prr_model import (
     InfeasibleGeometryError,
@@ -98,13 +99,20 @@ def iter_feasible_placements(
     requirements: PRMRequirements | Sequence[PRMRequirements],
     *,
     max_rows: int | None = None,
-    forbidden: Sequence[Region] = (),
+    forbidden: Sequence[Region] | RegionOccupancy = (),
 ) -> Iterator[PlacedPRR]:
     """Yield one placement per feasible H, in increasing-H order.
 
     For each H the bottom-most/left-most window avoiding ``forbidden``
     regions (already-allocated PRRs or the static region) is yielded.
+    ``forbidden`` accepts a plain region sequence or a prebuilt
+    :class:`~repro.core.fastpath.RegionOccupancy`.
     """
+    occupancy = (
+        forbidden
+        if isinstance(forbidden, RegionOccupancy)
+        else RegionOccupancy(forbidden)
+    )
     limit = device.rows if max_rows is None else min(max_rows, device.rows)
     for rows in range(1, limit + 1):
         try:
@@ -116,29 +124,38 @@ def iter_feasible_placements(
             )
         except InfeasibleGeometryError:
             continue
-        placement = _place_geometry(device, geometry, forbidden)
+        placement = _place_geometry(device, geometry, occupancy)
         if placement is not None:
             yield placement
 
 
 def _place_geometry(
-    device: Device, geometry: PRRGeometry, forbidden: Sequence[Region]
+    device: Device,
+    geometry: PRRGeometry,
+    forbidden: Sequence[Region] | RegionOccupancy,
 ) -> PlacedPRR | None:
-    """Bottom-up, left-to-right scan for a window matching the geometry."""
+    """Bottom-up, left-to-right scan for a window matching the geometry.
+
+    Candidate column windows are row-independent (columns keep their kind
+    for the full device height), so the feasible start columns come from
+    the device's window index once and are reused across the row loop.
+    """
     if geometry.rows > device.rows:
         return None
-    for row in range(1, device.rows - geometry.rows + 2):
-        start_col = 1
-        while True:
-            col = device.find_column_window(geometry.columns, start_col=start_col)
-            if col is None:
-                break
-            region = Region(
-                row=row, col=col, height=geometry.rows, width=geometry.width
-            )
-            if not any(region.overlaps(other) for other in forbidden):
+    starts = device.feasible_window_starts(geometry.columns)
+    if not starts:
+        return None
+    occupancy = (
+        forbidden
+        if isinstance(forbidden, RegionOccupancy)
+        else RegionOccupancy(forbidden)
+    )
+    height, width = geometry.rows, geometry.width
+    for row in range(1, device.rows - height + 2):
+        for col in starts:
+            region = Region(row=row, col=col, height=height, width=width)
+            if not occupancy.overlaps(region):
                 return PlacedPRR(device=device, geometry=geometry, region=region)
-            start_col = col + 1
     return None
 
 
@@ -148,7 +165,7 @@ def find_prr(
     *,
     objective: Objective = "size",
     max_rows: int | None = None,
-    forbidden: Sequence[Region] = (),
+    forbidden: Sequence[Region] | RegionOccupancy = (),
 ) -> PlacedPRR:
     """Run the Fig. 1 flow and return the best feasible placed PRR.
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 from ..devices.family import DeviceFamily
@@ -39,6 +40,8 @@ __all__ = [
     "prr_geometry_for_rows",
     "merge_geometries",
     "InfeasibleGeometryError",
+    "geometry_cache_info",
+    "clear_geometry_cache",
 ]
 
 
@@ -163,18 +166,62 @@ def prr_geometry_for_rows(
 
     Raises :class:`InfeasibleGeometryError` when the single-DSP-column rule
     makes the requested ``H`` insufficient.
+
+    Results (including infeasible verdicts) are memoized on the normalized
+    ``(requirements, family, H, single_dsp_column)`` key: the explorer
+    asks for the same group geometry once per set partition it appears in,
+    and the Fig. 1 H-loop re-asks per candidate placement.
     """
     if isinstance(requirements, PRMRequirements):
-        requirements = [requirements]
-    if not requirements:
-        raise ValueError("at least one PRM requirement is needed")
+        key = (requirements,)
+    else:
+        if not requirements:
+            raise ValueError("at least one PRM requirement is needed")
+        # The elementwise-max merge is order-insensitive, so a canonical
+        # order lets permutations of one group share a cache entry.
+        key = tuple(
+            sorted(
+                requirements,
+                key=lambda p: (p.name, p.lut_ff_pairs, p.luts, p.ffs, p.dsps, p.brams),
+            )
+        )
     if rows < 1:
         raise ValueError("rows (H) must be >= 1")
+    result = _cached_geometry(key, family, rows, single_dsp_column)
+    if isinstance(result, InfeasibleGeometryError):
+        raise result
+    return result
 
-    merged = ResourceVector()
-    for prm in requirements:
-        merged = merged.max(_columns_for_prm(prm, family, rows, single_dsp_column))
-    return PRRGeometry(family=family, rows=rows, columns=merged)
+
+@lru_cache(maxsize=65536)
+def _cached_geometry(
+    requirements: tuple[PRMRequirements, ...],
+    family: DeviceFamily,
+    rows: int,
+    single_dsp_column: bool,
+) -> PRRGeometry | InfeasibleGeometryError:
+    # lru_cache does not cache raised exceptions, and the infeasible rows of
+    # the Fig. 1 H-loop are exactly the hot repeats — so store the error
+    # instance as a value and let the caller raise it.
+    try:
+        merged = ResourceVector()
+        for prm in requirements:
+            merged = merged.max(
+                _columns_for_prm(prm, family, rows, single_dsp_column)
+            )
+        return PRRGeometry(family=family, rows=rows, columns=merged)
+    except InfeasibleGeometryError as error:
+        return error
+
+
+def geometry_cache_info():
+    """Hit/miss statistics of the geometry memoization cache."""
+    return _cached_geometry.cache_info()
+
+
+def clear_geometry_cache() -> None:
+    """Drop all memoized geometries (used by equivalence tests)."""
+    _cached_geometry.cache_clear()
 
 
 def _columns_for_prm(

@@ -3,10 +3,11 @@
 Everything the cost models need to know about a physical device: resource
 kinds and arithmetic (:mod:`~repro.devices.resources`), device-family
 constants — the paper's Tables II and IV (:mod:`~repro.devices.family`),
-row/column fabric layouts (:mod:`~repro.devices.fabric`), a catalog of
-concrete parts including the two evaluation devices
-(:mod:`~repro.devices.catalog`) and configuration frame addressing
-(:mod:`~repro.devices.frames`).
+row/column fabric layouts (:mod:`~repro.devices.fabric`), a precomputed
+column-window index for fast placement queries
+(:mod:`~repro.devices.window_index`), a catalog of concrete parts
+including the two evaluation devices (:mod:`~repro.devices.catalog`) and
+configuration frame addressing (:mod:`~repro.devices.frames`).
 """
 
 from .family import (
@@ -43,6 +44,7 @@ from .frames import (
     region_frame_counts,
 )
 from .resources import PRR_COLUMN_KINDS, ColumnKind, ResourceVector
+from .window_index import ColumnWindowIndex
 
 __all__ = [
     "ColumnKind",
@@ -59,6 +61,7 @@ __all__ = [
     "Device",
     "Region",
     "column_kind_counts",
+    "ColumnWindowIndex",
     "DEVICES",
     "get_device",
     "make_device",

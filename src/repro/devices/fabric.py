@@ -19,6 +19,7 @@ from typing import Iterator, Sequence
 
 from .family import DeviceFamily
 from .resources import PRR_COLUMN_KINDS, ColumnKind, ResourceVector
+from .window_index import ColumnWindowIndex
 
 __all__ = ["Device", "Region", "column_kind_counts"]
 
@@ -240,6 +241,28 @@ class Device:
         for start in range(1, self.num_columns - width + 2):
             yield start, self.columns[start - 1 : start - 1 + width]
 
+    @property
+    def window_index(self) -> ColumnWindowIndex:
+        """Lazily built prefix-sum index over the column layout.
+
+        The layout is immutable, so the index is computed once per device
+        and cached on the instance; every fast-path fabric query goes
+        through it.
+        """
+        index = self.__dict__.get("_window_index")
+        if index is None:
+            index = ColumnWindowIndex(self.columns)
+            object.__setattr__(self, "_window_index", index)
+        return index
+
+    def feasible_window_starts(self, requirement: ResourceVector) -> tuple[int, ...]:
+        """All 1-based start columns whose window matches *requirement*.
+
+        Column windows are row-independent (a column keeps its kind for
+        the full device height), so one lookup serves every fabric row.
+        """
+        return self.window_index.feasible_starts(requirement)
+
     def find_column_window(
         self, requirement: ResourceVector, *, start_col: int = 1
     ) -> int | None:
@@ -249,6 +272,24 @@ class Device:
         multiset must equal the requirement exactly ("distributing the CLB,
         DSP, and BRAM columns in any order") with no IOB/CLK columns.
         Returns the 1-based start column, or ``None``.
+
+        Served by :attr:`window_index` — O(log n) after the first query
+        for a given mix.  :meth:`find_column_window_naive` keeps the
+        original O(columns x width) scan for equivalence tests and
+        benchmarks.
+        """
+        if requirement.total == 0:
+            raise ValueError("requirement must include at least one column")
+        return self.window_index.find(requirement, start_col)
+
+    def find_column_window_naive(
+        self, requirement: ResourceVector, *, start_col: int = 1
+    ) -> int | None:
+        """Reference implementation of :meth:`find_column_window`.
+
+        Slices and recounts every candidate window; behaviorally identical
+        to the indexed path (asserted by tests), retained as the baseline
+        the perf benchmark measures the index against.
         """
         width = requirement.total
         if width == 0:

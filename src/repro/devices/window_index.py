@@ -1,0 +1,132 @@
+"""Precomputed column-window index for fast fabric queries.
+
+The Fig. 1 flow and the partitioning explorer ask the same question over
+and over: "where can a window of ``W`` contiguous reconfigurable columns
+with exactly (W_CLB, W_DSP, W_BRAM) of each kind start?".  The naive
+answer slices the column tuple and recounts kinds for every candidate
+start — O(columns x width) per query.
+
+:class:`ColumnWindowIndex` answers it from two precomputed structures:
+
+* per-kind **prefix sums** over the column sequence, so the kind counts of
+  any window are three subtractions (O(1)), and a fourth prefix sum over
+  non-reconfigurable (IOB/CLK) columns rejects dirty windows equally fast;
+* a **cached map** from column-mix :class:`ResourceVector` to the sorted
+  tuple of all feasible start columns, built lazily per distinct mix in
+  one O(columns) sweep and then answered with an O(log n) bisect for any
+  ``start_col``.
+
+The index is derived purely from the immutable column layout, so it is
+computed once per :class:`~repro.devices.fabric.Device` and shared by
+every search that runs on it.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Sequence
+
+from .resources import ColumnKind, ResourceVector
+
+__all__ = ["ColumnWindowIndex"]
+
+
+class ColumnWindowIndex:
+    """Prefix-sum index over a fabric's column-kind sequence.
+
+    Built from the same left-to-right column tuple a
+    :class:`~repro.devices.fabric.Device` holds; all column numbers in the
+    public API are 1-based to match the rest of the fabric model.
+    """
+
+    __slots__ = ("_num_columns", "_clb", "_dsp", "_bram", "_blocked", "_starts")
+
+    def __init__(self, columns: Sequence[ColumnKind]) -> None:
+        n = len(columns)
+        clb = [0] * (n + 1)
+        dsp = [0] * (n + 1)
+        bram = [0] * (n + 1)
+        blocked = [0] * (n + 1)
+        for i, kind in enumerate(columns):
+            clb[i + 1] = clb[i] + (kind is ColumnKind.CLB)
+            dsp[i + 1] = dsp[i] + (kind is ColumnKind.DSP)
+            bram[i + 1] = bram[i] + (kind is ColumnKind.BRAM)
+            blocked[i + 1] = blocked[i] + (not kind.reconfigurable)
+        self._num_columns = n
+        self._clb = clb
+        self._dsp = dsp
+        self._bram = bram
+        self._blocked = blocked
+        self._starts: dict[ResourceVector, tuple[int, ...]] = {}
+
+    @property
+    def num_columns(self) -> int:
+        return self._num_columns
+
+    def window_counts(self, start: int, width: int) -> ResourceVector:
+        """(W_CLB, W_DSP, W_BRAM) of the window starting at 1-based *start*.
+
+        O(1) via the prefix sums.  Raises :class:`ValueError` when the
+        window contains an IOB/CLK column (mirroring
+        :func:`~repro.devices.fabric.column_kind_counts`) or runs out of
+        bounds.
+        """
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        if start < 1 or start + width - 1 > self._num_columns:
+            raise ValueError(
+                f"window {start}..{start + width - 1} exceeds columns "
+                f"1..{self._num_columns}"
+            )
+        lo, hi = start - 1, start - 1 + width
+        if self._blocked[hi] - self._blocked[lo]:
+            raise ValueError("window covers an IOB/CLK column")
+        return ResourceVector(
+            clb=self._clb[hi] - self._clb[lo],
+            dsp=self._dsp[hi] - self._dsp[lo],
+            bram=self._bram[hi] - self._bram[lo],
+        )
+
+    def feasible_starts(self, requirement: ResourceVector) -> tuple[int, ...]:
+        """All 1-based start columns whose window matches *requirement*.
+
+        A window matches when its kind counts equal the requirement
+        exactly and it covers no IOB/CLK column.  Results are cached per
+        distinct mix; the first query for a mix costs one O(columns)
+        sweep, later ones are a dict hit.
+        """
+        cached = self._starts.get(requirement)
+        if cached is not None:
+            return cached
+        width = requirement.total
+        if width == 0:
+            raise ValueError("requirement must include at least one column")
+        clb, dsp, bram, blocked = self._clb, self._dsp, self._bram, self._blocked
+        want_clb, want_dsp, want_bram = (
+            requirement.clb,
+            requirement.dsp,
+            requirement.bram,
+        )
+        starts: list[int] = []
+        for lo in range(self._num_columns - width + 1):
+            hi = lo + width
+            if blocked[hi] - blocked[lo]:
+                continue
+            if (
+                clb[hi] - clb[lo] == want_clb
+                and dsp[hi] - dsp[lo] == want_dsp
+                and bram[hi] - bram[lo] == want_bram
+            ):
+                starts.append(lo + 1)
+        result = tuple(starts)
+        self._starts[requirement] = result
+        return result
+
+    def find(self, requirement: ResourceVector, start_col: int = 1) -> int | None:
+        """Left-most feasible start column >= *start_col*, or ``None``.
+
+        O(log n) bisect over the cached feasible-start list.
+        """
+        starts = self.feasible_starts(requirement)
+        index = bisect_left(starts, start_col)
+        return starts[index] if index < len(starts) else None

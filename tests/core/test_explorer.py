@@ -102,9 +102,15 @@ class TestExplore:
         designs = explore(XC6VLX75T, v6_prms, max_prrs=1)
         assert designs and all(d.num_prrs == 1 for d in designs)
 
-    def test_too_many_prms_rejected(self, v5_prms):
+    def test_too_many_prms_fall_back_to_beam(self, v5_prms):
+        # mode="auto" degrades to beam search above MAX_EXHAUSTIVE_PRMS
+        # instead of raising; only an explicit exhaustive request is capped.
+        designs = explore(XC5VLX110T, v5_prms * 3)
+        assert designs
+        objectives = [d.objectives for d in designs]
+        assert objectives == sorted(objectives)
         with pytest.raises(ValueError, match="capped"):
-            explore(XC5VLX110T, v5_prms * 3)
+            explore(XC5VLX110T, v5_prms * 3, mode="exhaustive")
 
 
 class TestPareto:

@@ -146,3 +146,86 @@ class TestSearchTrace:
         prm = paper_requirements("sdram", "virtex6")
         text = search_with_trace(XC6VLX75T, prm).render()
         assert "selected" in text and "H=1" in text
+
+
+class TestObjectiveTieBreaking:
+    """A fabricated device where "size" and "bitstream" disagree.
+
+    On a 4-row Virtex-5 fabric with a single central DSP column, the
+    single-DSP-column rule (eq. 4) knocks out H=1; H=2 and H=3 both land
+    on PRR size 6, but H=3 swaps a 36-frame CLB column for the 28-frame
+    DSP column mix, so its bitstream is smaller.  The size objective
+    breaks the size tie towards smaller H (H=2), the bitstream objective
+    picks H=3 — different geometries from identical inputs.
+    """
+
+    @pytest.fixture(scope="class")
+    def tiebreak_case(self):
+        from repro.devices.catalog import make_device
+        from repro.devices.family import VIRTEX5
+
+        device = make_device(
+            "tiebreak", VIRTEX5, rows=4, layout="I C*4 D C*4 I"
+        )
+        prm = PRMRequirements(
+            "tie", lut_ff_pairs=328, luts=328, ffs=0, dsps=16
+        )
+        return device, prm
+
+    def test_objectives_select_different_geometries(self, tiebreak_case):
+        device, prm = tiebreak_case
+        by_size = find_prr(device, prm, objective="size")
+        by_bytes = find_prr(device, prm, objective="bitstream")
+        assert by_size.geometry != by_bytes.geometry
+        assert by_size.geometry.rows == 2
+        assert by_bytes.geometry.rows == 3
+
+    def test_each_objective_is_optimal_for_itself(self, tiebreak_case):
+        device, prm = tiebreak_case
+        placements = list(iter_feasible_placements(device, prm))
+        by_size = find_prr(device, prm, objective="size")
+        by_bytes = find_prr(device, prm, objective="bitstream")
+        assert by_size.size == min(p.size for p in placements)
+        assert by_bytes.bitstream_bytes == min(
+            p.bitstream_bytes for p in placements
+        )
+        assert by_size.bitstream_bytes > by_bytes.bitstream_bytes
+        assert by_size.size == by_bytes.size  # the tie the objectives split
+
+
+class TestCachedVersusUncached:
+    """Geometry/bounds caches must not change any Table V search result."""
+
+    PAPER_CASES = [
+        (workload, device)
+        for workload in ("fir", "mips", "sdram")
+        for device in (XC5VLX110T, XC6VLX75T)
+    ]
+
+    @pytest.mark.parametrize(
+        "workload,device",
+        PAPER_CASES,
+        ids=[f"{w}@{d.name}" for w, d in PAPER_CASES],
+    )
+    def test_same_placed_prr_and_trace(self, workload, device):
+        from repro.core.fastpath import clear_bounds_cache
+        from repro.core.prr_model import clear_geometry_cache
+
+        family = {"xc5vlx110t": "virtex5", "xc6vlx75t": "virtex6"}[device.name]
+        prm = paper_requirements(workload, family)
+
+        clear_geometry_cache()
+        clear_bounds_cache()
+        cold_placed = find_prr(device, prm)
+        clear_geometry_cache()
+        cold_trace = search_with_trace(device, prm)
+
+        # Warm caches, then repeat: results must be identical objects
+        # value-wise, including every recorded Fig. 1 step.
+        warm_placed = find_prr(device, prm)
+        warm_trace = search_with_trace(device, prm)
+
+        assert warm_placed == cold_placed
+        assert warm_trace.steps == cold_trace.steps
+        assert warm_trace.selected == cold_trace.selected
+        assert warm_trace.render() == cold_trace.render()

@@ -1,0 +1,87 @@
+"""Reliability ablation acceptance gates (ISSUE 2).
+
+Assertion-only companion of ``scripts/bench_reliability.py`` (which
+writes the tracked ``BENCH_reliability.json``): on the paper's FIR+SDRAM
+workload sharing one PRR, asserts the three properties the fault-tolerant
+runtime promises — fault rate 0 reproduces the stock scheduler's
+``ScheduleResult`` exactly, a fixed seed yields deterministic fault
+counters, and verified-write retry strictly dominates no-retry on
+completion rate at every swept nonzero fault rate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.faults import DegradedModePolicy, FaultInjector, RetryPolicy
+from repro.multitask import simulate_pr
+
+from scripts.bench_reliability import FAULT_RATES, SEED, run_arm, workload
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return workload()
+
+
+RETRY = DegradedModePolicy(
+    retry=RetryPolicy(max_attempts=4), scrub_period_s=0.02, spill_to_full=False
+)
+NO_RETRY = DegradedModePolicy.no_retry(scrub_period_s=0.02, spill_to_full=False)
+
+
+def test_zero_fault_rate_reproduces_stock_scheduler_exactly(stream):
+    jobs, prrs = stream
+    base = simulate_pr(jobs, prrs)
+    faulted = simulate_pr(
+        jobs, prrs, faults=FaultInjector.from_rates(seed=SEED), fault_policy=RETRY
+    )
+    assert dataclasses.asdict(faulted) == dataclasses.asdict(base)
+
+
+def test_fixed_seed_fault_counters_are_deterministic(stream):
+    jobs, prrs = stream
+    first = run_arm(jobs, prrs, fault_rate=0.4, policy=RETRY)
+    second = run_arm(jobs, prrs, fault_rate=0.4, policy=RETRY)
+    assert first == second
+    assert first["retries"] > 0
+    no_retry = run_arm(jobs, prrs, fault_rate=0.4, policy=NO_RETRY)
+    assert no_retry == run_arm(jobs, prrs, fault_rate=0.4, policy=NO_RETRY)
+    assert no_retry["failed_reconfigs"] > 0
+
+
+def test_retry_strictly_dominates_no_retry_on_completion(stream):
+    jobs, prrs = stream
+    for rate in FAULT_RATES:
+        retry = run_arm(jobs, prrs, fault_rate=rate, policy=RETRY)
+        no_retry = run_arm(jobs, prrs, fault_rate=rate, policy=NO_RETRY)
+        if rate == 0:
+            assert retry["completion_rate"] == no_retry["completion_rate"] == 1.0
+        else:
+            assert retry["completion_rate"] > no_retry["completion_rate"]
+            assert retry["dropped_jobs"] < no_retry["dropped_jobs"]
+
+
+def test_scrub_off_is_a_cliff_not_a_gradient(stream):
+    jobs, prrs = stream
+    scrubbed = run_arm(
+        jobs,
+        prrs,
+        fault_rate=0.4,
+        policy=DegradedModePolicy.no_retry(
+            quarantine_threshold=2, scrub_period_s=0.02, spill_to_full=False
+        ),
+    )
+    unscrubbed = run_arm(
+        jobs,
+        prrs,
+        fault_rate=0.4,
+        policy=DegradedModePolicy.no_retry(
+            quarantine_threshold=2, scrub_period_s=None, spill_to_full=False
+        ),
+    )
+    assert scrubbed["scrub_repairs"] > 0
+    assert unscrubbed["scrub_repairs"] == 0
+    assert scrubbed["completion_rate"] > 2 * unscrubbed["completion_rate"]

@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""Reliability ablation: makespan / throughput / completion vs fault rate.
+
+Sweeps the fault-tolerant runtime (ISSUE 2) along three axes on the
+paper's FIR+SDRAM workload sharing one PRR (maximal reconfiguration
+churn, so every transfer is exposed to the write path):
+
+* **fault rate** — per-transfer write-path bit-flip probability;
+* **retry policy** — verified-write retry/backoff on vs. first-failure
+  no-retry, with spilling disabled so losses are visible;
+* **scrub period** — how quickly periodic scrubbing returns quarantined
+  PRRs to service under a no-retry policy.
+
+Every arm replays the *same* seeded job stream with the same seeded
+injector, so rows are deterministic and directly comparable.  Writes
+``BENCH_reliability.json`` at the repo root and prints the markdown
+tables recorded in EXPERIMENTS.md.  Run from the repo root::
+
+    PYTHONPATH=src python scripts/bench_reliability.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.placement_search import find_prr  # noqa: E402
+from repro.devices.catalog import XC5VLX110T  # noqa: E402
+from repro.faults import (  # noqa: E402
+    DegradedModePolicy,
+    FaultInjector,
+    RetryPolicy,
+)
+from repro.multitask import HwTask, make_task_set, simulate_pr  # noqa: E402
+from repro.synth import synthesize  # noqa: E402
+from repro.workloads import build_fir, build_sdram  # noqa: E402
+
+SEED = 2015
+FAULT_RATES = (0.0, 0.05, 0.1, 0.2, 0.4)
+SCRUB_PERIODS_MS = (5.0, 20.0, 50.0, None)
+
+
+def workload():
+    family = XC5VLX110T.family
+    tasks = [
+        HwTask(synthesize(build_fir(family), family).requirements, 2e-3),
+        HwTask(synthesize(build_sdram(family), family).requirements, 1e-3),
+    ]
+    shared = find_prr(XC5VLX110T, [t.prm for t in tasks])
+    jobs = make_task_set(tasks, rate_per_s=120.0, horizon_s=0.25, seed=SEED)
+    return jobs, [shared.geometry]
+
+
+def run_arm(jobs, prrs, *, fault_rate, policy):
+    injector = (
+        FaultInjector.from_rates(seed=SEED, fault_rate=fault_rate)
+        if fault_rate > 0
+        else FaultInjector.from_rates(seed=SEED)
+    )
+    result = simulate_pr(jobs, prrs, faults=injector, fault_policy=policy)
+    return {
+        "makespan_s": result.makespan_seconds,
+        "throughput_jobs_per_s": (
+            len(result.completed) / result.makespan_seconds
+            if result.makespan_seconds > 0
+            else 0.0
+        ),
+        "completion_rate": result.completion_rate,
+        "mean_response_ms": result.mean_response_seconds * 1e3,
+        "retries": result.retries,
+        "failed_reconfigs": result.failed_reconfigs,
+        "quarantines": result.quarantines,
+        "scrub_repairs": result.scrub_repairs,
+        "dropped_jobs": result.dropped_jobs,
+        "reconfig_overhead": result.reconfig_overhead_fraction,
+    }
+
+
+def sweep(quick: bool = False):
+    jobs, prrs = workload()
+    rates = FAULT_RATES[:3] if quick else FAULT_RATES
+    periods = SCRUB_PERIODS_MS[:2] if quick else SCRUB_PERIODS_MS
+
+    retry_policy = DegradedModePolicy(
+        retry=RetryPolicy(max_attempts=4),
+        scrub_period_s=0.02,
+        spill_to_full=False,
+    )
+    no_retry_policy = DegradedModePolicy.no_retry(
+        scrub_period_s=0.02, spill_to_full=False
+    )
+    retry_arm = {
+        f"{rate:g}": run_arm(jobs, prrs, fault_rate=rate, policy=retry_policy)
+        for rate in rates
+    }
+    no_retry_arm = {
+        f"{rate:g}": run_arm(jobs, prrs, fault_rate=rate, policy=no_retry_policy)
+        for rate in rates
+    }
+    scrub_arm = {}
+    for period_ms in periods:
+        policy = DegradedModePolicy.no_retry(
+            quarantine_threshold=2,
+            scrub_period_s=period_ms / 1e3 if period_ms is not None else None,
+            spill_to_full=False,
+        )
+        key = f"{period_ms:g}ms" if period_ms is not None else "off"
+        scrub_arm[key] = run_arm(jobs, prrs, fault_rate=0.4, policy=policy)
+    return {
+        "seed": SEED,
+        "jobs": len(jobs),
+        "retry": retry_arm,
+        "no_retry": no_retry_arm,
+        "scrub_sweep_at_rate_0.4": scrub_arm,
+    }
+
+
+def render(results) -> str:
+    lines = [
+        f"seed {results['seed']}, {results['jobs']} jobs, FIR+SDRAM on 1 PRR",
+        "",
+        "| fault rate | policy | makespan (s) | jobs/s | completion | retries | dropped |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for rate in results["retry"]:
+        for name in ("retry", "no_retry"):
+            row = results[name][rate]
+            lines.append(
+                f"| {rate} | {name.replace('_', '-')} | "
+                f"{row['makespan_s']:.4f} | "
+                f"{row['throughput_jobs_per_s']:.1f} | "
+                f"{row['completion_rate']:.4f} | {row['retries']} | "
+                f"{row['dropped_jobs']} |"
+            )
+    lines += [
+        "",
+        "| scrub period | completion | mean response (ms) | quarantines | scrub repairs | dropped |",
+        "|---|---|---|---|---|---|",
+    ]
+    for key, row in results["scrub_sweep_at_rate_0.4"].items():
+        lines.append(
+            f"| {key} | {row['completion_rate']:.4f} | "
+            f"{row['mean_response_ms']:.2f} | {row['quarantines']} | "
+            f"{row['scrub_repairs']} | {row['dropped_jobs']} |"
+        )
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller sweep")
+    parser.add_argument(
+        "--output", default=str(ROOT / "BENCH_reliability.json")
+    )
+    args = parser.parse_args()
+    results = sweep(quick=args.quick)
+    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+    print(render(results))
+    print(f"\nwrote {args.output}")
+    # Sanity: retry must dominate no-retry on completion at every rate.
+    for rate in results["retry"]:
+        retry = results["retry"][rate]["completion_rate"]
+        no_retry = results["no_retry"][rate]["completion_rate"]
+        if retry < no_retry:
+            print(f"ERROR: retry lost at rate {rate}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

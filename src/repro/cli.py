@@ -9,6 +9,7 @@ Subcommands::
     repro-fpga bitgen fir --device xc5vlx110t -o fir.bit
     repro-fpga table 5                      regenerate a paper table
     repro-fpga explore --device xc5vlx110t  partitioning design space
+    repro-fpga simulate --fault-rate 0.05   fault-injected multitasking run
 """
 
 from __future__ import annotations
@@ -71,6 +72,89 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="evaluate partitions on a process pool of this size",
+    )
+
+    p = sub.add_parser(
+        "simulate",
+        help="hardware-multitasking simulation, optionally fault-injected",
+    )
+    p.add_argument("--device", default="xc5vlx110t", choices=sorted(DEVICES))
+    p.add_argument(
+        "--tasks",
+        nargs="+",
+        default=["fir", "sdram"],
+        choices=sorted(PAPER_WORKLOADS),
+        help="PRMs to multiplex (must share a feasible PRR)",
+    )
+    p.add_argument("--prrs", type=int, default=2, help="number of PRRs")
+    p.add_argument("--arrival-rate", type=float, default=200.0, help="jobs/s")
+    p.add_argument("--horizon", type=float, default=0.25, help="seconds simulated")
+    p.add_argument("--seed", type=int, default=2015, help="workload + fault seed")
+    p.add_argument(
+        "--icap-exclusive",
+        action="store_true",
+        help="serialize reconfigurations on the single shared ICAP",
+    )
+    p.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also run the full-reconfiguration baseline and compare",
+    )
+    faults = p.add_argument_group("faults (all zero = fault-free fast path)")
+    faults.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="per-transfer write-path bit-flip probability",
+    )
+    faults.add_argument(
+        "--fetch-rate", type=float, default=0.0,
+        help="storage-fetch corruption probability",
+    )
+    faults.add_argument(
+        "--stall-rate", type=float, default=0.0,
+        help="transient controller stall probability",
+    )
+    faults.add_argument(
+        "--stall-ms", type=float, default=1.0, help="stall length when it fires"
+    )
+    faults.add_argument(
+        "--timeout-prob", type=float, default=0.0,
+        help="probability a stall escalates to a watchdog timeout",
+    )
+    faults.add_argument(
+        "--seu-rate", type=float, default=0.0,
+        help="background SEU arrivals per second over the fabric",
+    )
+    policy = p.add_argument_group("degraded-mode policy")
+    policy.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="verified-write attempts per reconfiguration",
+    )
+    policy.add_argument(
+        "--no-retry", action="store_true", help="fail on the first bad transfer"
+    )
+    policy.add_argument(
+        "--backoff-us", type=float, default=100.0,
+        help="backoff before the second attempt (doubles per retry)",
+    )
+    policy.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-job reconfiguration time budget",
+    )
+    policy.add_argument(
+        "--quarantine-threshold", type=int, default=3,
+        help="consecutive failed jobs before a PRR is taken offline",
+    )
+    policy.add_argument(
+        "--scrub-period-ms", type=float, default=None,
+        help="periodic scrub pass restoring quarantined PRRs",
+    )
+    policy.add_argument(
+        "--no-spill", action="store_true",
+        help="drop unplaceable jobs instead of spilling to full reconfig",
+    )
+    policy.add_argument(
+        "--show-faults", type=int, default=0, metavar="N",
+        help="print the first N fault-log events",
     )
 
     p = sub.add_parser(
@@ -187,6 +271,105 @@ def _cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Per-PRM job service times for the multitasking simulator (seconds).
+SIMULATE_EXEC_SECONDS = {
+    "fir": 2e-3,
+    "sdram": 1e-3,
+    "mips": 4e-3,
+}
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .faults import DegradedModePolicy, FaultInjector, RetryPolicy
+    from .multitask import (
+        HwTask,
+        compare,
+        make_task_set,
+        simulate_full_reconfig,
+        simulate_pr,
+    )
+
+    device = get_device(args.device)
+    tasks = [
+        HwTask(
+            synthesize(
+                PAPER_WORKLOADS[name](device.family), device.family
+            ).requirements,
+            exec_seconds=SIMULATE_EXEC_SECONDS.get(name, 2e-3),
+        )
+        for name in dict.fromkeys(args.tasks)
+    ]
+    if args.prrs < 1:
+        print("error: --prrs must be >= 1", file=sys.stderr)
+        return 2
+    shared = find_prr(device, [t.prm for t in tasks])
+    prrs = [shared.geometry] * args.prrs
+    jobs = make_task_set(
+        tasks,
+        rate_per_s=args.arrival_rate,
+        horizon_s=args.horizon,
+        seed=args.seed,
+    )
+    fault_enabled = any(
+        rate > 0 for rate in (args.fault_rate, args.fetch_rate, args.stall_rate, args.seu_rate)
+    )
+    injector = None
+    fault_policy = None
+    if fault_enabled:
+        injector = FaultInjector.from_rates(
+            seed=args.seed,
+            fault_rate=args.fault_rate,
+            fetch_rate=args.fetch_rate,
+            stall_rate=args.stall_rate,
+            stall_seconds=args.stall_ms / 1e3,
+            timeout_probability=args.timeout_prob,
+            seu_rate_per_s=args.seu_rate,
+        )
+        retry = (
+            RetryPolicy.no_retry()
+            if args.no_retry
+            else RetryPolicy(
+                max_attempts=args.max_attempts,
+                backoff_base_s=args.backoff_us / 1e6,
+                deadline_s=(
+                    args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+                ),
+            )
+        )
+        fault_policy = DegradedModePolicy(
+            retry=retry,
+            quarantine_threshold=args.quarantine_threshold,
+            scrub_period_s=(
+                args.scrub_period_ms / 1e3
+                if args.scrub_period_ms is not None
+                else None
+            ),
+            spill_to_full=not args.no_spill,
+        )
+    result = simulate_pr(
+        jobs,
+        prrs,
+        icap_exclusive=args.icap_exclusive,
+        faults=injector,
+        fault_policy=fault_policy,
+        device=device,
+    )
+    print(
+        f"{len(jobs)} jobs ({'+'.join(t.name for t in tasks)}) on "
+        f"{args.prrs} PRR(s), {device.name}, seed {args.seed}"
+    )
+    print(result.summary())
+    if fault_enabled:
+        print(result.fault_summary())
+        if args.show_faults and injector is not None:
+            print(injector.render_log(limit=args.show_faults))
+    if args.baseline:
+        baseline = simulate_full_reconfig(jobs, device)
+        print(baseline.summary())
+        print(compare(result, baseline, strict=not fault_enabled).summary())
+    return 0
+
+
 def _cmd_floorplan(args: argparse.Namespace) -> int:
     from .core.floorplanner import floorplan, render_floorplan
 
@@ -256,6 +439,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "table": lambda: _cmd_table(args),
         "figure": lambda: _cmd_figure(args),
         "explore": lambda: _cmd_explore(args),
+        "simulate": lambda: _cmd_simulate(args),
         "floorplan": lambda: _cmd_floorplan(args),
         "relocate": lambda: _cmd_relocate(args),
         "advise": lambda: _cmd_advise(args),

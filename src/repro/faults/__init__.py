@@ -1,0 +1,52 @@
+"""Fault-tolerant reconfiguration runtime.
+
+Real PR deployments pair the configuration port with CRC verification
+and SEU scrubbing because transfers and configuration memory fail.  This
+package supplies the failure side of the repo's otherwise-ideal models:
+
+* :mod:`models` — pluggable fault models and the structured
+  :class:`FaultEvent` log record;
+* :mod:`injector` — a seedable :class:`FaultInjector` through which
+  every probabilistic decision flows (deterministic experiments);
+* :mod:`reliable` — :class:`ReliableReconfigurer`, CRC-verify-after-
+  write with retry/backoff around
+  :func:`repro.icap.reconfig.simulate_reconfiguration`;
+* :mod:`degraded` — the fault-aware scheduler mode behind
+  ``simulate_pr(..., faults=...)``: retries consume schedule time,
+  repeatedly failing PRRs are quarantined and scrub-restored, and
+  unplaceable jobs spill to the full-reconfiguration baseline path.
+"""
+
+from .degraded import DegradedModePolicy, simulate_pr_with_faults
+from .injector import FaultInjector, TransferOutcome
+from .models import (
+    ControllerStallFault,
+    FaultEvent,
+    SeuArrivalFault,
+    StorageFetchFault,
+    TransferBitFlipFault,
+)
+from .reliable import (
+    AttemptRecord,
+    ReliableReconfigResult,
+    ReliableReconfigurer,
+    RetryPolicy,
+    payload_crc,
+)
+
+__all__ = [
+    "FaultEvent",
+    "TransferBitFlipFault",
+    "StorageFetchFault",
+    "ControllerStallFault",
+    "SeuArrivalFault",
+    "FaultInjector",
+    "TransferOutcome",
+    "RetryPolicy",
+    "AttemptRecord",
+    "ReliableReconfigResult",
+    "ReliableReconfigurer",
+    "payload_crc",
+    "DegradedModePolicy",
+    "simulate_pr_with_faults",
+]

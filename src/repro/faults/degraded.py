@@ -1,0 +1,262 @@
+"""Fault-aware hardware-multitasking: retry, quarantine, scrub, spill.
+
+The degraded-mode companion of
+:func:`repro.multitask.scheduler.simulate_pr`: the same deterministic
+FCFS dispatch loop, but every reconfiguration runs through the verified
+write-retry protocol of :mod:`repro.faults.reliable` against a seeded
+:class:`~repro.faults.injector.FaultInjector`, and the scheduler reacts
+to persistent failures the way a resilient PR runtime would:
+
+* **retry with backoff** — a corrupted or timed-out transfer re-streams
+  the partial bitstream per the :class:`RetryPolicy`, consuming real
+  schedule time on the PRR (and the shared ICAP when exclusive);
+* **quarantine** — a PRR whose reconfigurations keep failing
+  (``quarantine_threshold`` consecutive failed jobs) is taken offline;
+  with a scrub period configured, the next periodic scrub pass rewrites
+  the region (blind scrub, one repair reconfiguration) and returns it to
+  service, otherwise it stays offline for the rest of the run;
+* **reroute / spill** — the victim job is rerouted to the next fitting
+  PRR; when every fitting PRR has failed it or is offline, the job
+  spills to the full-reconfiguration baseline context (one exclusive
+  whole-device configuration, as in the non-PR system) or, with
+  spilling disabled, is dropped and counted;
+* **background SEUs** — Poisson upset arrivals silently invalidate the
+  PRM loaded in a random PRR (the frame-level semantics of
+  :func:`repro.relocation.scrubber.inject_upsets`), forcing a
+  reconfiguration on that PRR's next use.
+
+With a zero-rate injector every attempt succeeds first try with zero
+overhead, so the result reproduces the base scheduler exactly — the
+invariant ``tests/faults/test_degraded.py`` pins down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import floor
+
+from ..core.bitstream_model import full_device_bitstream_bytes
+from ..core.prr_model import PRRGeometry
+from ..devices.fabric import Device
+from ..multitask.scheduler import (
+    CompletedJob,
+    PRRState,
+    ScheduleResult,
+    _fits,
+)
+from ..multitask.tasks import Job
+from .injector import FaultInjector
+from .reliable import RetryPolicy
+
+__all__ = ["DegradedModePolicy", "simulate_pr_with_faults"]
+
+
+@dataclass(frozen=True)
+class DegradedModePolicy:
+    """How the scheduler degrades when reconfigurations fail."""
+
+    retry: RetryPolicy = RetryPolicy()
+    quarantine_threshold: int = 3  #: consecutive failed jobs before offlining
+    scrub_period_s: float | None = None  #: periodic scrub restores quarantined PRRs
+    verify_overhead_factor: float = 0.0  #: verify time as a fraction of write time
+    spill_to_full: bool = True  #: failed-everywhere jobs use the full-reconfig path
+
+    def __post_init__(self) -> None:
+        if self.quarantine_threshold < 1:
+            raise ValueError(
+                f"quarantine_threshold must be >= 1, got {self.quarantine_threshold}"
+            )
+        if self.scrub_period_s is not None and self.scrub_period_s <= 0:
+            raise ValueError("scrub_period_s must be positive when set")
+        if self.verify_overhead_factor < 0:
+            raise ValueError("verify_overhead_factor must be non-negative")
+
+    @classmethod
+    def no_retry(cls, **kwargs) -> "DegradedModePolicy":
+        """First failure loses the attempt (the ablation's baseline arm)."""
+        return cls(retry=RetryPolicy.no_retry(), **kwargs)
+
+
+def _next_scrub_after(time_s: float, period_s: float) -> float:
+    """First periodic scrub tick strictly after *time_s*."""
+    return (floor(time_s / period_s) + 1) * period_s
+
+
+def simulate_pr_with_faults(
+    jobs: list[Job],
+    prrs: list[PRRGeometry],
+    *,
+    injector: FaultInjector,
+    policy: DegradedModePolicy | None = None,
+    port_bytes_per_s: float = 400e6,
+    icap_exclusive: bool = False,
+    device: Device | None = None,
+) -> ScheduleResult:
+    """Fault-aware PR simulation (see module docstring for the model).
+
+    *device* enables the spill path (it sizes the full bitstream); with
+    ``policy.spill_to_full`` false or no device, unplaceable jobs are
+    dropped.  Counters land in the result's fault fields and the
+    injector's event log keeps the per-fault record.
+    """
+    if not prrs:
+        raise ValueError("need at least one PRR")
+    policy = policy if policy is not None else DegradedModePolicy()
+    retry = policy.retry
+    states = [PRRState(index=i, geometry=g) for i, g in enumerate(prrs)]
+    failed_streak = [0] * len(states)
+    offline: set[int] = set()
+    result = ScheduleResult(system="pr")
+    icap_free_at = 0.0
+    # Spill context: one exclusive whole-device configuration at a time.
+    full_reconfig = (
+        full_device_bitstream_bytes(device) / port_bytes_per_s
+        if device is not None
+        else None
+    )
+    full_free_at = 0.0
+    full_loaded: str | None = None
+    last_seu_check = 0.0
+
+    for job in sorted(jobs, key=lambda j: (j.arrival_seconds, j.job_id)):
+        now = job.arrival_seconds
+        # Background SEUs since the last dispatch: each strikes a random
+        # PRR and silently corrupts whatever it holds.
+        if injector.seu is not None:
+            for _ in range(injector.seu_arrivals(last_seu_check, now)):
+                victim = states[injector.choose(len(states))]
+                injector.record_seu(now, f"prr{victim.index}")
+                result.seu_hits += 1
+                victim.loaded_prm = None
+            last_seu_check = now
+
+        fitting_all = [s for s in states if _fits(job, s.geometry)]
+        if not fitting_all:
+            raise ValueError(
+                f"no PRR fits task {job.task.name!r} "
+                f"(needs {job.task.prm.lut_ff_pairs} pairs)"
+            )
+
+        tried: set[int] = set()
+        placed: CompletedJob | None = None
+        while placed is None:
+            fitting = [
+                s
+                for s in fitting_all
+                if s.index not in offline and s.index not in tried
+            ]
+            if not fitting:
+                break
+            loaded = [s for s in fitting if s.loaded_prm == job.task.name]
+            candidates = loaded or fitting
+            state = min(candidates, key=lambda s: (s.busy_until, s.index))
+
+            start_ready = max(state.busy_until, now)
+            spent = 0.0  # port + stall + verify + backoff across attempts
+            port_time = 0.0  # spent minus the backoff gaps
+            success = True
+            if state.loaded_prm != job.task.name:
+                base_t = state.partial_bitstream_bytes / port_bytes_per_s
+                verify = base_t * policy.verify_overhead_factor
+                if icap_exclusive:
+                    start_ready = max(start_ready, icap_free_at)
+                success = False
+                for attempt in range(1, retry.max_attempts + 1):
+                    outcome = injector.transfer_outcome(
+                        start_ready + spent, f"prr{state.index}", attempt=attempt
+                    )
+                    attempt_time = base_t + outcome.stall_seconds + verify
+                    spent += attempt_time
+                    port_time += attempt_time
+                    if outcome.ok:
+                        success = True
+                        break
+                    if retry.deadline_s is not None and spent > retry.deadline_s:
+                        result.deadline_misses += 1
+                        break
+                    result.retries += 1 if attempt < retry.max_attempts else 0
+                    if attempt < retry.max_attempts:
+                        spent += retry.backoff_seconds(attempt)
+                state.reconfig_seconds += port_time
+                if icap_exclusive:
+                    icap_free_at = start_ready + spent
+                if success:
+                    state.loaded_prm = job.task.name
+                    state.reconfig_count += 1
+                else:
+                    # The aborted write destroyed whatever was loaded.
+                    state.loaded_prm = None
+
+            if success:
+                failed_streak[state.index] = 0
+                start = start_ready + spent
+                finish = start + job.task.exec_seconds
+                state.busy_until = finish
+                state.busy_seconds += job.task.exec_seconds
+                placed = CompletedJob(
+                    job_id=job.job_id,
+                    task_name=job.task.name,
+                    prr_index=state.index,
+                    arrival=now,
+                    start=start,
+                    reconfig_seconds=spent,
+                    finish=finish,
+                )
+                continue
+
+            # Reconfiguration failed for good on this PRR.
+            result.failed_reconfigs += 1
+            failed_streak[state.index] += 1
+            state.busy_until = start_ready + spent
+            tried.add(state.index)
+            if failed_streak[state.index] >= policy.quarantine_threshold:
+                result.quarantines += 1
+                failed_streak[state.index] = 0
+                if policy.scrub_period_s is not None:
+                    # Offline until the next periodic scrub pass rewrites
+                    # the region (one blind-scrub repair reconfiguration).
+                    restore_at = _next_scrub_after(
+                        state.busy_until, policy.scrub_period_s
+                    )
+                    repair = state.partial_bitstream_bytes / port_bytes_per_s
+                    state.busy_until = restore_at + repair
+                    state.reconfig_seconds += repair
+                    result.scrub_repairs += 1
+                else:
+                    offline.add(state.index)
+
+        if placed is None:
+            # Every fitting PRR failed this job or is offline.
+            if policy.spill_to_full and full_reconfig is not None:
+                start_ready = max(full_free_at, now)
+                reconfig = 0.0
+                if full_loaded != job.task.name:
+                    reconfig = full_reconfig
+                    full_loaded = job.task.name
+                    result.reconfig_count += 1
+                    result.total_reconfig_seconds += reconfig
+                    result.halted_seconds += reconfig
+                start = start_ready + reconfig
+                finish = start + job.task.exec_seconds
+                full_free_at = finish
+                result.spilled_jobs += 1
+                placed = CompletedJob(
+                    job_id=job.job_id,
+                    task_name=job.task.name,
+                    prr_index=-1,
+                    arrival=now,
+                    start=start,
+                    reconfig_seconds=reconfig,
+                    finish=finish,
+                )
+            else:
+                result.dropped_jobs += 1
+                continue
+        result.completed.append(placed)
+
+    result.makespan_seconds = max((j.finish for j in result.completed), default=0.0)
+    result.total_reconfig_seconds += sum(s.reconfig_seconds for s in states)
+    result.reconfig_count += sum(s.reconfig_count for s in states)
+    result.icap_busy_seconds = sum(s.reconfig_seconds for s in states)
+    result.fault_events = len(injector.events)
+    return result

@@ -1,0 +1,124 @@
+"""Fault models and the structured fault-event log.
+
+Real PR systems pair the configuration port with CRC checks and SEU
+scrubbing because transfers and configuration memory fail.  Each model
+here describes *one* physical failure mechanism as a small probability
+distribution; the :class:`~repro.faults.injector.FaultInjector` draws
+from the enabled models with a seeded generator so every experiment is
+reproducible bit for bit.
+
+Models (the failure landscape of FaRM-style verified controllers and the
+defragmentation/scrubbing literature):
+
+* :class:`TransferBitFlipFault` — a bit flip on the ICAP write path, per
+  transfer (detected by the device's configuration CRC);
+* :class:`StorageFetchFault` — the partial bitstream arrives corrupted
+  from its storage medium (flash read disturb, DMA error);
+* :class:`ControllerStallFault` — a transient controller stall that adds
+  latency, and with some probability escalates to a watchdog timeout
+  that aborts the transfer;
+* :class:`SeuArrivalFault` — background single-event upsets striking
+  configuration memory at a Poisson rate, silently invalidating whatever
+  PRM a region currently holds until a scrub repairs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "FaultEvent",
+    "TransferBitFlipFault",
+    "StorageFetchFault",
+    "ControllerStallFault",
+    "SeuArrivalFault",
+]
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One observed fault, as recorded by the injector's event log."""
+
+    time_s: float  #: simulation time the fault manifested
+    kind: str  #: ``transfer_bitflip`` | ``fetch_corrupt`` | ``stall`` | ``timeout`` | ``seu``
+    target: str  #: what it hit (``prr3``, ``icap``, ``storage``, ...)
+    attempt: int | None = None  #: reconfiguration attempt number, when applicable
+    detail: str = ""
+
+    def render(self) -> str:
+        where = f" attempt {self.attempt}" if self.attempt is not None else ""
+        note = f" ({self.detail})" if self.detail else ""
+        return f"t={self.time_s * 1e3:9.3f}ms {self.kind:16} {self.target}{where}{note}"
+
+
+@dataclass(frozen=True, slots=True)
+class TransferBitFlipFault:
+    """Per-transfer bit-flip probability on the ICAP write path.
+
+    ``bit_flips`` is how many bits flip when the fault fires — the
+    configuration CRC catches any non-zero number, so it only matters
+    for byte-level corruption (`FaultInjector.corrupt_bytes`).
+    """
+
+    probability: float
+    bit_flips: int = 1
+
+    def __post_init__(self) -> None:
+        _check_probability("probability", self.probability)
+        if self.bit_flips < 1:
+            raise ValueError(f"bit_flips must be >= 1, got {self.bit_flips}")
+
+
+@dataclass(frozen=True, slots=True)
+class StorageFetchFault:
+    """The bitstream is corrupted while being streamed out of storage."""
+
+    probability: float
+
+    def __post_init__(self) -> None:
+        _check_probability("probability", self.probability)
+
+
+@dataclass(frozen=True, slots=True)
+class ControllerStallFault:
+    """Transient controller stall; may escalate to a watchdog timeout.
+
+    When the fault fires the transfer takes ``stall_seconds`` longer;
+    with conditional probability ``timeout_probability`` the stall never
+    resolves and the attempt is aborted (and must be retried).
+    """
+
+    probability: float
+    stall_seconds: float = 1e-3
+    timeout_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_probability("probability", self.probability)
+        _check_probability("timeout_probability", self.timeout_probability)
+        if self.stall_seconds < 0:
+            raise ValueError(
+                f"stall_seconds must be non-negative, got {self.stall_seconds!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class SeuArrivalFault:
+    """Background SEU arrivals over the whole fabric (Poisson process).
+
+    Each arrival strikes one region's configuration memory, silently
+    corrupting the loaded PRM (the semantics
+    :func:`repro.relocation.scrubber.inject_upsets` gives real frames).
+    """
+
+    rate_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s < 0:
+            raise ValueError(
+                f"rate_per_s must be non-negative, got {self.rate_per_s!r}"
+            )

@@ -53,6 +53,30 @@ class ReconfigController(abc.ABC):
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
 
+    def _validate_port(self) -> None:
+        """Shared construction checks for ICAP-style controllers.
+
+        Rejects parameters that would silently yield zero, negative or
+        infinite write times (the fault runtime divides by the peak
+        throughput, so it must be finite and positive).
+        """
+        if self.width_bytes <= 0:
+            raise ValueError(
+                f"{self.name}: width_bytes must be positive, got {self.width_bytes!r}"
+            )
+        if self.clock_hz <= 0:
+            raise ValueError(
+                f"{self.name}: clock_hz must be positive, got {self.clock_hz!r}"
+            )
+        if not 0 < self.efficiency <= 1:
+            raise ValueError(
+                f"{self.name}: efficiency must be in (0, 1], got {self.efficiency!r}"
+            )
+        if not 0 <= self.busy_factor < 1:
+            raise ValueError(
+                f"{self.name}: busy_factor must be in [0, 1), got {self.busy_factor!r}"
+            )
+
 
 @dataclass(frozen=True)
 class PCController(ReconfigController):
@@ -61,6 +85,16 @@ class PCController(ReconfigController):
     name: str = "pc_jtag"
     bytes_per_s: float = 0.75e6
     setup_s: float = 10e-3
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_s <= 0:
+            raise ValueError(
+                f"{self.name}: bytes_per_s must be positive, got {self.bytes_per_s!r}"
+            )
+        if self.setup_s < 0:
+            raise ValueError(
+                f"{self.name}: setup_s must be non-negative, got {self.setup_s!r}"
+            )
 
     def write_seconds(self, nbytes: int) -> float:
         self._check(nbytes)
@@ -86,10 +120,7 @@ class IcapController(ReconfigController):
     busy_factor: float = 0.0
 
     def __post_init__(self) -> None:
-        if not 0 < self.efficiency <= 1:
-            raise ValueError("efficiency must be in (0, 1]")
-        if not 0 <= self.busy_factor < 1:
-            raise ValueError("busy_factor must be in [0, 1)")
+        self._validate_port()
 
     @property
     def peak_bytes_per_s(self) -> float:
@@ -117,10 +148,11 @@ class DmaIcapController(ReconfigController):
     busy_factor: float = 0.0
 
     def __post_init__(self) -> None:
-        if not 0 < self.efficiency <= 1:
-            raise ValueError("efficiency must be in (0, 1]")
-        if not 0 <= self.busy_factor < 1:
-            raise ValueError("busy_factor must be in [0, 1)")
+        self._validate_port()
+        if self.setup_s < 0:
+            raise ValueError(
+                f"{self.name}: setup_s must be non-negative, got {self.setup_s!r}"
+            )
 
     @property
     def peak_bytes_per_s(self) -> float:
@@ -153,12 +185,16 @@ class FarmController(ReconfigController):
     busy_factor: float = 0.0
 
     def __post_init__(self) -> None:
+        self._validate_port()
+        if self.setup_s < 0:
+            raise ValueError(
+                f"{self.name}: setup_s must be non-negative, got {self.setup_s!r}"
+            )
         if not 0 < self.compression_ratio <= 1:
-            raise ValueError("compression_ratio must be in (0, 1]")
-        if not 0 < self.efficiency <= 1:
-            raise ValueError("efficiency must be in (0, 1]")
-        if not 0 <= self.busy_factor < 1:
-            raise ValueError("busy_factor must be in [0, 1)")
+            raise ValueError(
+                f"{self.name}: compression_ratio must be in (0, 1], "
+                f"got {self.compression_ratio!r}"
+            )
 
     @property
     def peak_bytes_per_s(self) -> float:

@@ -33,10 +33,19 @@ class StorageMedium:
     access_latency_s: float  #: fixed per-transfer setup latency
 
     def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("storage medium needs a non-empty name")
         if self.read_bytes_per_s <= 0:
-            raise ValueError("read bandwidth must be positive")
+            raise ValueError(
+                f"{self.name}: read_bytes_per_s must be positive, "
+                f"got {self.read_bytes_per_s!r} (zero/negative bandwidth "
+                f"would make every fetch take infinite or negative time)"
+            )
         if self.access_latency_s < 0:
-            raise ValueError("latency must be non-negative")
+            raise ValueError(
+                f"{self.name}: access_latency_s must be non-negative, "
+                f"got {self.access_latency_s!r}"
+            )
 
     def fetch_seconds(self, nbytes: int) -> float:
         """Time to stream *nbytes* out of this medium."""

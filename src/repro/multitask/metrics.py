@@ -38,17 +38,35 @@ class Comparison:
             self.baseline.total_reconfig_seconds / self.pr.total_reconfig_seconds
         )
 
+    @property
+    def completion_rate_delta(self) -> float:
+        """PR completion rate minus baseline's (fault runs drop jobs)."""
+        return self.pr.completion_rate - self.baseline.completion_rate
+
     def summary(self) -> str:
-        return (
+        line = (
             f"PR vs {self.baseline.system}: makespan speedup "
             f"{self.makespan_speedup:.2f}x, response speedup "
             f"{self.response_speedup:.2f}x, reconfig-time ratio "
             f"{self.reconfig_byte_ratio:.1f}x"
         )
+        if self.pr.dropped_jobs or self.baseline.dropped_jobs:
+            line += (
+                f", completion {self.pr.completion_rate:.4f}"
+                f" vs {self.baseline.completion_rate:.4f}"
+            )
+        return line
 
 
-def compare(pr: ScheduleResult, baseline: ScheduleResult) -> Comparison:
-    """Pair two runs of the same job stream for comparison."""
-    if len(pr.completed) != len(baseline.completed):
+def compare(
+    pr: ScheduleResult, baseline: ScheduleResult, *, strict: bool = True
+) -> Comparison:
+    """Pair two runs of the same job stream for comparison.
+
+    ``strict=False`` permits differing completed-job counts — fault-aware
+    runs may drop jobs, which is exactly what the reliability ablation
+    compares via :attr:`Comparison.completion_rate_delta`.
+    """
+    if strict and len(pr.completed) != len(baseline.completed):
         raise ValueError("runs completed different job counts")
     return Comparison(pr=pr, baseline=baseline)

@@ -83,6 +83,16 @@ class ScheduleResult:
     reconfig_count: int = 0
     halted_seconds: float = 0.0  #: time the whole device was halted
     icap_busy_seconds: float = 0.0  #: time the configuration port was busy
+    # Fault counters (all stay zero outside fault-aware mode).
+    fault_events: int = 0  #: faults the injector recorded during the run
+    retries: int = 0  #: re-streamed transfers after a failed verify
+    failed_reconfigs: int = 0  #: (job, PRR) reconfigurations that gave up
+    deadline_misses: int = 0  #: retry loops aborted by the per-job budget
+    quarantines: int = 0  #: PRRs taken offline for repeated failures
+    scrub_repairs: int = 0  #: quarantined PRRs restored by periodic scrub
+    seu_hits: int = 0  #: background upsets that struck a PRR
+    spilled_jobs: int = 0  #: jobs rerouted to the full-reconfig context
+    dropped_jobs: int = 0  #: jobs that could not be placed anywhere
 
     @property
     def mean_response_seconds(self) -> float:
@@ -104,12 +114,35 @@ class ScheduleResult:
             return 0.0
         return min(1.0, self.icap_busy_seconds / self.makespan_seconds)
 
+    @property
+    def offered_jobs(self) -> int:
+        """Jobs the run was asked to place (completed plus dropped)."""
+        return len(self.completed) + self.dropped_jobs
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of offered jobs that completed (1.0 when none offered)."""
+        if self.offered_jobs == 0:
+            return 1.0
+        return len(self.completed) / self.offered_jobs
+
     def summary(self) -> str:
         return (
             f"{self.system}: {len(self.completed)} jobs, makespan "
             f"{self.makespan_seconds:.3f}s, mean response "
             f"{self.mean_response_seconds * 1e3:.2f}ms, reconfig "
             f"{self.reconfig_count}x / {self.total_reconfig_seconds * 1e3:.2f}ms"
+        )
+
+    def fault_summary(self) -> str:
+        """One deterministic line of the run's fault counters."""
+        return (
+            f"faults={self.fault_events} retries={self.retries} "
+            f"failed={self.failed_reconfigs} deadline_misses={self.deadline_misses} "
+            f"quarantines={self.quarantines} scrub_repairs={self.scrub_repairs} "
+            f"seu_hits={self.seu_hits} spilled={self.spilled_jobs} "
+            f"dropped={self.dropped_jobs} "
+            f"completion={self.completion_rate:.4f}"
         )
 
 
@@ -119,6 +152,9 @@ def simulate_pr(
     *,
     port_bytes_per_s: float = 400e6,
     icap_exclusive: bool = False,
+    faults=None,
+    fault_policy=None,
+    device: Device | None = None,
 ) -> ScheduleResult:
     """Simulate the PR system: FCFS over independently reconfiguring PRRs.
 
@@ -127,9 +163,31 @@ def simulate_pr(
     the contention the Claus busy-factor model (ref. [1]) abstracts.  The
     result's ``icap_busy_seconds`` lets callers derive the realized busy
     factor.
+
+    Passing ``faults`` (a :class:`repro.faults.FaultInjector`) switches to
+    the fault-aware mode of :mod:`repro.faults.degraded`: verified writes
+    retried per ``fault_policy`` (a
+    :class:`~repro.faults.degraded.DegradedModePolicy`), failing PRRs
+    quarantined and scrub-restored, and unplaceable jobs spilled to the
+    full-reconfiguration path when *device* is given.  With a zero-rate
+    injector the result is identical to the fault-free mode.
     """
     if not prrs:
         raise ValueError("need at least one PRR")
+    if faults is not None:
+        from ..faults.degraded import simulate_pr_with_faults
+
+        return simulate_pr_with_faults(
+            jobs,
+            prrs,
+            injector=faults,
+            policy=fault_policy,
+            port_bytes_per_s=port_bytes_per_s,
+            icap_exclusive=icap_exclusive,
+            device=device,
+        )
+    if fault_policy is not None:
+        raise ValueError("fault_policy requires a faults= injector")
     states = [PRRState(index=i, geometry=g) for i, g in enumerate(prrs)]
     result = ScheduleResult(system="pr")
     counter = itertools.count()

@@ -53,13 +53,24 @@ def inject_upsets(
     region: Region,
     *,
     count: int,
-    seed: int,
+    seed: int | None = None,
+    rng: np.random.Generator | None = None,
 ) -> list[int]:
     """Flip *count* random bits in the region's frames; returns the
-    encoded FARs of the corrupted frames (duplicates possible)."""
+    encoded FARs of the corrupted frames (duplicates possible).
+
+    Exactly one of ``seed`` / ``rng`` must be given: a seed builds a
+    fresh generator (the historical behaviour), while passing the
+    experiment's own ``numpy.random.Generator`` lets multi-region fault
+    campaigns share one reproducible stream — no module-level RNG state
+    anywhere.
+    """
     if count < 0:
         raise ValueError("count must be non-negative")
-    rng = np.random.default_rng(seed)
+    if (seed is None) == (rng is None):
+        raise ValueError("provide exactly one of seed= or rng=")
+    if rng is None:
+        rng = np.random.default_rng(seed)
     frames = [
         far
         for block_type in (BLOCK_TYPE_CONFIG, BLOCK_TYPE_BRAM_CONTENT)

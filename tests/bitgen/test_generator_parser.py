@@ -168,6 +168,38 @@ class TestParser:
         parsed = parse_bitstream(raw)
         assert parsed.crc_checked and not parsed.crc_ok
 
+    def test_any_corrupted_payload_word_fails_crc_round_trip(self):
+        """Generate → flip bits across every FDRI burst → re-parse: the
+        recomputed configuration CRC must flag each corruption."""
+        prm = paper_requirements("sdram", "virtex5")
+        placed = find_prr(XC5VLX110T, prm)
+        bitstream = generate_partial_bitstream(
+            XC5VLX110T, placed.region, design_name="sdram"
+        )
+        clean = parse_bitstream(bitstream.to_bytes())
+        assert clean.crc_checked and clean.crc_ok
+        # Word offsets inside each burst's data: first word of the first
+        # burst, middle of every burst, last word of the last burst.
+        offset = clean.initial_words
+        data_offsets = []
+        for i, block in enumerate(clean.blocks):
+            start = offset + block.preamble_words
+            data_offsets.append(start if i == 0 else start + block.data_words // 2)
+            if i == len(clean.blocks) - 1:
+                data_offsets.append(start + block.data_words - 1)
+            offset += block.total_words
+        words = list(bitstream.words)
+        for word_index in data_offsets:
+            for bit in (0, 17, 31):
+                corrupted = list(words)
+                corrupted[word_index] ^= 1 << bit
+                parsed = parse_bitstream(
+                    b"".join(w.to_bytes(4, "big") for w in corrupted)
+                )
+                assert parsed.crc_checked and not parsed.crc_ok, (
+                    f"flip at word {word_index} bit {bit} went undetected"
+                )
+
     def test_unaligned_input_rejected(self):
         with pytest.raises(BitstreamParseError, match="aligned"):
             parse_bitstream(b"\x00" * 7)

@@ -1,0 +1,138 @@
+"""Tests for the fault models and the seedable injector."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    ControllerStallFault,
+    FaultEvent,
+    FaultInjector,
+    SeuArrivalFault,
+    StorageFetchFault,
+    TransferBitFlipFault,
+)
+
+
+class TestModels:
+    def test_probability_range_enforced(self):
+        with pytest.raises(ValueError, match="probability"):
+            TransferBitFlipFault(1.5)
+        with pytest.raises(ValueError, match="probability"):
+            StorageFetchFault(-0.1)
+        with pytest.raises(ValueError, match="timeout_probability"):
+            ControllerStallFault(0.5, timeout_probability=2.0)
+
+    def test_bit_flips_positive(self):
+        with pytest.raises(ValueError, match="bit_flips"):
+            TransferBitFlipFault(0.1, bit_flips=0)
+
+    def test_stall_seconds_non_negative(self):
+        with pytest.raises(ValueError, match="stall_seconds"):
+            ControllerStallFault(0.1, stall_seconds=-1e-3)
+
+    def test_seu_rate_non_negative(self):
+        with pytest.raises(ValueError, match="rate_per_s"):
+            SeuArrivalFault(-1.0)
+
+    def test_event_render(self):
+        event = FaultEvent(time_s=1e-3, kind="seu", target="prr2")
+        assert "seu" in event.render() and "prr2" in event.render()
+
+
+class TestInjectorConstruction:
+    def test_requires_exactly_one_of_seed_rng(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultInjector()
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultInjector(seed=1, rng=np.random.default_rng(1))
+
+    def test_accepts_external_generator(self):
+        rng = np.random.default_rng(5)
+        injector = FaultInjector(rng=rng, transfer=TransferBitFlipFault(1.0))
+        assert injector.rng is rng
+
+    def test_from_rates_disables_zero_mechanisms(self):
+        injector = FaultInjector.from_rates(seed=1, fault_rate=0.5)
+        assert injector.transfer is not None
+        assert injector.fetch is None
+        assert injector.stall is None
+        assert injector.seu is None
+
+
+class TestDraws:
+    def test_deterministic_across_runs(self):
+        def history(seed):
+            injector = FaultInjector.from_rates(
+                seed=seed, fault_rate=0.3, stall_rate=0.2, seu_rate_per_s=50.0
+            )
+            outcomes = [
+                injector.transfer_outcome(i * 1e-3, f"prr{i % 2}")
+                for i in range(50)
+            ]
+            outcomes.append(injector.seu_arrivals(0.0, 1.0))
+            return outcomes, injector.events
+
+        assert history(99) == history(99)
+
+    def test_zero_rate_never_fires(self):
+        injector = FaultInjector(seed=1)
+        for i in range(100):
+            outcome = injector.transfer_outcome(0.0, "prr0")
+            assert outcome.ok and outcome.stall_seconds == 0.0
+        assert injector.events == []
+
+    def test_certain_fault_always_fires(self):
+        injector = FaultInjector(seed=1, transfer=TransferBitFlipFault(1.0))
+        assert all(
+            injector.transfer_outcome(0.0, "prr0").corrupted for _ in range(10)
+        )
+        assert injector.fault_counts["transfer_bitflip"] == 10
+
+    def test_stall_adds_latency_and_can_time_out(self):
+        injector = FaultInjector(
+            seed=3,
+            stall=ControllerStallFault(
+                1.0, stall_seconds=5e-3, timeout_probability=1.0
+            ),
+        )
+        outcome = injector.transfer_outcome(0.0, "icap")
+        assert outcome.stall_seconds == 5e-3 and outcome.timed_out
+        assert injector.fault_counts["timeout"] == 1
+
+    def test_seu_arrivals_poisson_scale(self):
+        injector = FaultInjector(seed=11, seu=SeuArrivalFault(1000.0))
+        hits = injector.seu_arrivals(0.0, 1.0)
+        assert 800 < hits < 1200
+
+    def test_seu_disabled_returns_zero(self):
+        injector = FaultInjector(seed=11)
+        assert injector.seu_arrivals(0.0, 10.0) == 0
+
+    def test_corrupt_bytes_flips_requested_bits(self):
+        injector = FaultInjector(
+            seed=4, transfer=TransferBitFlipFault(1.0, bit_flips=3)
+        )
+        data = bytes(64)
+        received, offsets = injector.corrupt_bytes(data, 0.0, "prr0")
+        assert len(offsets) == 3
+        assert received != data
+        assert len(received) == len(data)
+
+    def test_corrupt_bytes_clean_when_no_fault(self):
+        injector = FaultInjector(seed=4)
+        data = bytes(range(16))
+        received, offsets = injector.corrupt_bytes(data, 0.0, "prr0")
+        assert received == data and offsets == []
+
+    def test_choose_uniform_and_validated(self):
+        injector = FaultInjector(seed=7)
+        assert all(0 <= injector.choose(3) < 3 for _ in range(30))
+        with pytest.raises(ValueError):
+            injector.choose(0)
+
+    def test_render_log_limits(self):
+        injector = FaultInjector(seed=1, transfer=TransferBitFlipFault(1.0))
+        for i in range(5):
+            injector.transfer_outcome(i * 1e-3, "prr0", attempt=1)
+        assert len(injector.render_log(limit=2).splitlines()) == 2
+        assert len(injector.render_log().splitlines()) == 5

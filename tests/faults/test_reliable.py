@@ -1,0 +1,197 @@
+"""Tests for verified reconfiguration with retry/backoff."""
+
+import pytest
+
+from repro.bitgen.generator import generate_partial_bitstream
+from repro.core.placement_search import find_prr
+from repro.devices.catalog import XC5VLX110T
+from repro.faults import (
+    ControllerStallFault,
+    FaultInjector,
+    ReliableReconfigurer,
+    RetryPolicy,
+    TransferBitFlipFault,
+    payload_crc,
+)
+from repro.icap.controllers import DmaIcapController
+from repro.icap.reconfig import simulate_reconfiguration
+from repro.icap.storage import DDR_SDRAM
+
+from tests.conftest import paper_requirements
+
+CONTROLLER = DmaIcapController()
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError, match="deadline_s"):
+            RetryPolicy(deadline_s=0.0)
+
+    def test_no_retry_is_single_attempt(self):
+        assert RetryPolicy.no_retry().max_attempts == 1
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(
+            backoff_base_s=1e-4, backoff_factor=2.0, backoff_cap_s=3e-4
+        )
+        assert policy.backoff_seconds(1) == pytest.approx(1e-4)
+        assert policy.backoff_seconds(2) == pytest.approx(2e-4)
+        assert policy.backoff_seconds(3) == pytest.approx(3e-4)  # capped
+        assert policy.backoff_seconds(0) == 0.0
+
+
+class TestPayloadCrc:
+    def test_any_flipped_bit_changes_crc(self):
+        data = bytes(range(256)) * 4
+        base = payload_crc(data)
+        for bit in (0, 7, 1000, len(data) * 8 - 1):
+            corrupted = bytearray(data)
+            corrupted[bit // 8] ^= 1 << (bit % 8)
+            assert payload_crc(bytes(corrupted)) != base
+
+    def test_partial_word_padded(self):
+        assert payload_crc(b"\x01\x02\x03") == payload_crc(b"\x01\x02\x03\x00")
+
+
+class TestFaultFree:
+    def test_single_clean_attempt_matches_simulate_reconfiguration(self):
+        rel = ReliableReconfigurer(CONTROLLER, DDR_SDRAM, verify_bytes_per_s=1e12)
+        result = rel.reconfigure(100_000)
+        base = simulate_reconfiguration(100_000, CONTROLLER, DDR_SDRAM)
+        assert result.success and len(result.attempts) == 1
+        assert result.retries == 0
+        verify = 100_000 / 1e12
+        assert result.total_seconds == pytest.approx(
+            base.total_seconds + verify, rel=1e-9
+        )
+
+    def test_negative_size_rejected(self):
+        rel = ReliableReconfigurer(CONTROLLER, DDR_SDRAM)
+        with pytest.raises(ValueError):
+            rel.reconfigure(-1)
+
+    def test_bad_verify_rate_rejected(self):
+        with pytest.raises(ValueError, match="verify_bytes_per_s"):
+            ReliableReconfigurer(CONTROLLER, DDR_SDRAM, verify_bytes_per_s=0)
+
+
+class TestRetryLoop:
+    def test_always_corrupted_exhausts_attempts(self):
+        injector = FaultInjector(seed=1, transfer=TransferBitFlipFault(1.0))
+        rel = ReliableReconfigurer(
+            CONTROLLER,
+            DDR_SDRAM,
+            injector=injector,
+            policy=RetryPolicy(max_attempts=4),
+        )
+        result = rel.reconfigure(10_000)
+        assert not result.success
+        assert len(result.attempts) == 4
+        assert [a.outcome for a in result.attempts] == ["crc_mismatch"] * 4
+        # Backoff charged after every failed attempt except the last.
+        assert [a.backoff_seconds > 0 for a in result.attempts] == [
+            True,
+            True,
+            True,
+            False,
+        ]
+
+    def test_timeout_outcome_recorded(self):
+        injector = FaultInjector(
+            seed=2,
+            stall=ControllerStallFault(1.0, stall_seconds=1e-3, timeout_probability=1.0),
+        )
+        rel = ReliableReconfigurer(
+            CONTROLLER, DDR_SDRAM, injector=injector, policy=RetryPolicy.no_retry()
+        )
+        result = rel.reconfigure(10_000)
+        assert not result.success
+        assert result.attempts[0].outcome == "timeout"
+        # The stall still consumed port time.
+        assert result.attempts[0].write_seconds > 1e-3
+
+    def test_deadline_budget_aborts(self):
+        injector = FaultInjector(seed=3, transfer=TransferBitFlipFault(1.0))
+        rel = ReliableReconfigurer(
+            CONTROLLER,
+            DDR_SDRAM,
+            injector=injector,
+            policy=RetryPolicy(max_attempts=100, deadline_s=2e-3),
+        )
+        result = rel.reconfigure(100_000)
+        assert not result.success and result.deadline_exceeded
+        assert len(result.attempts) < 100
+
+    def test_eventual_success_counts_retries(self):
+        injector = FaultInjector(seed=7, transfer=TransferBitFlipFault(0.5))
+        rel = ReliableReconfigurer(
+            CONTROLLER,
+            DDR_SDRAM,
+            injector=injector,
+            policy=RetryPolicy(max_attempts=50),
+        )
+        result = rel.reconfigure(10_000)
+        assert result.success
+        assert result.attempts[-1].outcome == "ok"
+        assert result.retries == len(result.attempts) - 1
+
+    def test_deterministic_given_seed(self):
+        def run():
+            injector = FaultInjector(seed=11, transfer=TransferBitFlipFault(0.4))
+            rel = ReliableReconfigurer(
+                CONTROLLER,
+                DDR_SDRAM,
+                injector=injector,
+                policy=RetryPolicy(max_attempts=10),
+            )
+            return rel.reconfigure(50_000)
+
+        first, second = run(), run()
+        assert first.attempts == second.attempts
+        assert first.total_seconds == second.total_seconds
+
+    def test_breakdown_renders_every_attempt(self):
+        injector = FaultInjector(seed=1, transfer=TransferBitFlipFault(1.0))
+        rel = ReliableReconfigurer(
+            CONTROLLER,
+            DDR_SDRAM,
+            injector=injector,
+            policy=RetryPolicy(max_attempts=2),
+        )
+        text = rel.reconfigure(1_000).breakdown()
+        assert "attempt 1" in text and "attempt 2" in text and "FAILED" in text
+
+
+class TestByteLevel:
+    """Real partial bitstream: corruption detected by the CRC itself."""
+
+    @pytest.fixture(scope="class")
+    def bitstream_bytes(self):
+        placed = find_prr(XC5VLX110T, paper_requirements("sdram", "virtex5"))
+        return generate_partial_bitstream(
+            XC5VLX110T, placed.region, design_name="sdram"
+        ).to_bytes()
+
+    def test_clean_transfer_verifies(self, bitstream_bytes):
+        rel = ReliableReconfigurer(CONTROLLER, DDR_SDRAM)
+        result = rel.reconfigure(bitstream_bytes)
+        assert result.success
+        assert result.verified_crc == payload_crc(bitstream_bytes)
+
+    def test_injected_flip_caught_by_crc_then_retried(self, bitstream_bytes):
+        injector = FaultInjector(seed=1, transfer=TransferBitFlipFault(0.7))
+        rel = ReliableReconfigurer(
+            CONTROLLER,
+            DDR_SDRAM,
+            injector=injector,
+            policy=RetryPolicy(max_attempts=30),
+        )
+        result = rel.reconfigure(bitstream_bytes)
+        assert result.success
+        mismatches = [a for a in result.attempts if a.outcome == "crc_mismatch"]
+        assert len(mismatches) == result.retries >= 1
+        assert injector.fault_counts["transfer_bitflip"] == len(mismatches)

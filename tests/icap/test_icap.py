@@ -40,6 +40,14 @@ class TestStorage:
         with pytest.raises(ValueError):
             COMPACT_FLASH.fetch_seconds(-1)
 
+    def test_validation_messages_name_the_medium_and_value(self):
+        with pytest.raises(ValueError, match=r"m: read_bytes_per_s.*-5"):
+            StorageMedium("m", read_bytes_per_s=-5, access_latency_s=0)
+        with pytest.raises(ValueError, match=r"m: access_latency_s.*-0.1"):
+            StorageMedium("m", read_bytes_per_s=1, access_latency_s=-0.1)
+        with pytest.raises(ValueError, match="non-empty name"):
+            StorageMedium("", read_bytes_per_s=1, access_latency_s=0)
+
     def test_bandwidth_ordering(self):
         assert (
             COMPACT_FLASH.read_bytes_per_s
@@ -81,6 +89,32 @@ class TestControllers:
             FarmController(compression_ratio=0)
         with pytest.raises(ValueError):
             IcapController().write_seconds(-1)
+
+    def test_construction_rejects_degenerate_throughputs(self):
+        # Zero/negative port parameters would yield infinite or negative
+        # write times; they must fail loudly at construction.
+        with pytest.raises(ValueError, match="width_bytes"):
+            IcapController(width_bytes=0)
+        with pytest.raises(ValueError, match="clock_hz"):
+            DmaIcapController(clock_hz=-1e6)
+        with pytest.raises(ValueError, match="clock_hz"):
+            FarmController(clock_hz=0)
+        with pytest.raises(ValueError, match="bytes_per_s"):
+            PCController(bytes_per_s=0)
+
+    def test_construction_rejects_negative_setup(self):
+        with pytest.raises(ValueError, match="setup_s"):
+            PCController(setup_s=-1e-3)
+        with pytest.raises(ValueError, match="setup_s"):
+            DmaIcapController(setup_s=-1e-6)
+        with pytest.raises(ValueError, match="setup_s"):
+            FarmController(setup_s=-1e-6)
+
+    def test_validation_messages_name_controller_and_value(self):
+        with pytest.raises(ValueError, match=r"cpu_icap: efficiency.*0"):
+            IcapController(efficiency=0)
+        with pytest.raises(ValueError, match=r"dma_icap: busy_factor.*1.0"):
+            DmaIcapController(busy_factor=1.0)
 
 
 class TestSimulation:

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.bitgen",
     "repro.icap",
     "repro.baselines",
+    "repro.faults",
     "repro.relocation",
     "repro.multitask",
     "repro.validation",

@@ -47,6 +47,67 @@ class TestCommands:
         )
         assert out_file.stat().st_size == 83040
 
+    def test_simulate_fault_free(self, capsys):
+        assert main(["simulate", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "53 jobs (fir+sdram) on 2 PRR(s)" in out
+        assert "faults=" not in out  # fault-free fast path
+
+    def test_simulate_fault_run_deterministic(self, capsys):
+        argv = [
+            "simulate",
+            "--prrs", "1",
+            "--arrival-rate", "120",
+            "--fault-rate", "0.3",
+            "--scrub-period-ms", "20",
+            "--seed", "7",
+            "--baseline",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "faults=" in first and "completion=" in first
+        assert "PR vs full_reconfig" in first
+
+    def test_simulate_no_retry_drops_jobs(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--prrs", "1",
+                    "--arrival-rate", "120",
+                    "--fault-rate", "0.3",
+                    "--no-retry",
+                    "--no-spill",
+                    "--seed", "7",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "dropped=8" in out and "completion=0.7576" in out
+
+    def test_simulate_show_faults_prints_log(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--prrs", "1",
+                    "--arrival-rate", "120",
+                    "--fault-rate", "0.3",
+                    "--seed", "7",
+                    "--show-faults", "2",
+                ]
+            )
+            == 0
+        )
+        assert "transfer_bitflip" in capsys.readouterr().out
+
+    def test_simulate_rejects_bad_prr_count(self, capsys):
+        assert main(["simulate", "--prrs", "0"]) == 2
+
     def test_table_static(self, capsys):
         assert main(["table", "2"]) == 0
         assert "CLB_col" in capsys.readouterr().out

@@ -1,0 +1,127 @@
+"""Obs-layer overhead gate: disabled instrumentation must cost <2%.
+
+The observability layer's contract is that with ``repro.obs`` disabled
+(the default), the instrumentation threaded through the explorer,
+scheduler, window index and ICAP paths is invisible: each site is one
+module-attribute read plus a branch (or a plain int increment), and
+:func:`trace_span` hands back a preallocated no-op.
+
+A direct A/B wall-time comparison of "instrumented" vs "uninstrumented"
+builds is impossible (the sites are compiled in) and a 2% direct timing
+assertion would flake on loaded CI machines.  Instead this benchmark
+bounds the overhead from first principles:
+
+1. run the instrumented workload once *enabled* and count every
+   instrumentation event it records (counters, spans);
+2. micro-time the disabled primitives (null ``trace_span``, the
+   ``enabled`` guard, an int increment) over a large loop;
+3. assert  ``events x worst-case-per-event cost  <  2% x disabled run
+   time`` — a conservative over-estimate of the true overhead, since
+   most counted events compile down to a single local int add.
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro.obs as obs
+from repro.core.explorer import explore
+from repro.core.placement_search import find_prr
+from repro.devices import XC5VLX110T
+from repro.multitask import HwTask, make_task_set, simulate_pr
+from repro.obs import trace as obs_trace
+
+from tests.conftest import paper_requirements
+
+OVERHEAD_BUDGET = 0.02  # the documented <2% disabled-overhead bound
+
+
+def _workload():
+    prms = [
+        paper_requirements(name, "virtex5") for name in ("fir", "sdram", "mips")
+    ]
+    tasks = [
+        HwTask(paper_requirements("fir", "virtex5"), exec_seconds=2e-3),
+        HwTask(paper_requirements("sdram", "virtex5"), exec_seconds=1e-3),
+    ]
+    jobs = make_task_set(tasks, rate_per_s=400.0, horizon_s=0.25, seed=2015)
+    shared = find_prr(XC5VLX110T, [t.prm for t in tasks])
+    return prms, jobs, [shared.geometry, shared.geometry]
+
+
+def _run(prms, jobs, prrs):
+    explore(XC5VLX110T, prms, mode="pruned")
+    simulate_pr(jobs, prrs, icap_exclusive=True)
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _per_event_cost(loops=50_000):
+    """Worst-case seconds per disabled instrumentation event."""
+
+    def spans():
+        for _ in range(loops):
+            obs_trace.trace_span("bench")
+
+    def guards():
+        total = 0
+        for _ in range(loops):
+            if obs_trace.enabled:  # the hot-path guard
+                total += 1
+            total += 1  # the always-on int counter idiom
+        return total
+
+    span_cost = _best_of(spans, repeats=3) / loops
+    guard_cost = _best_of(guards, repeats=3) / loops
+    return max(span_cost, guard_cost)
+
+
+def test_disabled_by_default():
+    assert obs.enabled is False
+
+
+def test_null_span_is_allocation_free():
+    assert obs_trace.trace_span("a") is obs_trace.trace_span("b")
+
+
+def test_disabled_overhead_under_two_percent():
+    prms, jobs, prrs = _workload()
+    _run(prms, jobs, prrs)  # warm geometry/window caches for fair timing
+
+    # 1. Count the instrumentation events one run generates.  Only
+    # occurrence counters qualify — quantity counters (bytes moved, port
+    # seconds) accumulate *values*, not hot-path visits.
+    with obs.capture(command="overhead-census") as session:
+        _run(prms, jobs, prrs)
+    doc = session.to_dict()
+    events = sum(
+        value
+        for name, value in doc["metrics"]["counters"].items()
+        if "bytes" not in name and "seconds" not in name
+    )
+    events += sum(h["count"] for h in doc["metrics"]["histograms"].values())
+
+    def span_count(spans):
+        return sum(1 + span_count(s["children"]) for s in spans)
+
+    events += span_count(doc["spans"])
+    events += 50  # headroom for guards that record nothing
+    assert not obs.enabled
+
+    # 2. Micro-cost of one disabled event, 3. bound the relative overhead.
+    run_seconds = _best_of(lambda: _run(prms, jobs, prrs))
+    overhead_seconds = events * _per_event_cost()
+    ratio = overhead_seconds / run_seconds
+    assert ratio < OVERHEAD_BUDGET, (
+        f"estimated disabled obs overhead {ratio:.2%} "
+        f"({events} events x {overhead_seconds / events * 1e9:.0f}ns "
+        f"over a {run_seconds * 1e3:.2f}ms run) exceeds "
+        f"{OVERHEAD_BUDGET:.0%}"
+    )

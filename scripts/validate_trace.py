@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Validate a trace document against the checked-in schema.
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_trace.py trace.json [more.json ...]
+
+Exit status 0 when every file is schema-valid, 1 otherwise.  The CI
+trace-schema smoke runs this against a fresh ``repro-fpga trace explore
+--trace-out`` file; it is also handy locally after hand-editing a trace.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.schema import SchemaError, validate_trace
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: validate_trace.py TRACE.json [TRACE.json ...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable ({exc})", file=sys.stderr)
+            failures += 1
+            continue
+        try:
+            validate_trace(document)
+        except SchemaError as exc:
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        spans = document["spans"]
+        counters = document["metrics"]["counters"]
+        print(
+            f"{path}: ok — command={document['command']!r}, "
+            f"{len(spans)} root span(s), {len(counters)} counter(s)"
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -10,6 +10,9 @@ Subcommands::
     repro-fpga table 5                      regenerate a paper table
     repro-fpga explore --device xc5vlx110t  partitioning design space
     repro-fpga simulate --fault-rate 0.05   fault-injected multitasking run
+    repro-fpga trace explore --trace-out t.json   traced explorer run
+    repro-fpga trace simulate --fault-rate 0.05   traced simulation run
+    repro-fpga stats t.json                 summarize a trace file
 """
 
 from __future__ import annotations
@@ -32,34 +35,8 @@ from .workloads import PAPER_WORKLOADS
 __all__ = ["main", "build_parser"]
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro-fpga",
-        description="PRR and bitstream cost models for PR FPGAs (IPPS'15 repro)",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    sub.add_parser("devices", help="list catalog devices")
-
-    for name, help_text in (
-        ("synth", "synthesize a paper PRM and print the .syr report"),
-        ("estimate", "run both cost models for a paper PRM"),
-        ("trace", "replay the Fig. 1 search flow for a paper PRM"),
-        ("bitgen", "generate the PRM's partial bitstream"),
-    ):
-        p = sub.add_parser(name, help=help_text)
-        p.add_argument("prm", choices=sorted(PAPER_WORKLOADS))
-        p.add_argument("--device", default="xc5vlx110t", choices=sorted(DEVICES))
-        if name == "bitgen":
-            p.add_argument("-o", "--output", help="write bitstream bytes to file")
-
-    p = sub.add_parser("table", help="regenerate a paper table")
-    p.add_argument("number", type=int, choices=range(1, 9))
-
-    p = sub.add_parser("figure", help="regenerate a paper figure")
-    p.add_argument("number", type=int, choices=(1, 2))
-
-    p = sub.add_parser("explore", help="explore PRM->PRR partitionings")
+def _add_explore_args(p: argparse.ArgumentParser) -> None:
+    """Register the `explore` options (shared with `trace explore`)."""
     p.add_argument("--device", default="xc5vlx110t", choices=sorted(DEVICES))
     p.add_argument(
         "--mode",
@@ -74,10 +51,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate partitions on a process pool of this size",
     )
 
-    p = sub.add_parser(
-        "simulate",
-        help="hardware-multitasking simulation, optionally fault-injected",
-    )
+
+def _add_simulate_args(p: argparse.ArgumentParser) -> None:
+    """Register the `simulate` options (shared with `trace simulate`)."""
     p.add_argument("--device", default="xc5vlx110t", choices=sorted(DEVICES))
     p.add_argument(
         "--tasks",
@@ -157,6 +133,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the first N fault-log events",
     )
 
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fpga",
+        description="PRR and bitstream cost models for PR FPGAs (IPPS'15 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("devices", help="list catalog devices")
+
+    for name, help_text in (
+        ("synth", "synthesize a paper PRM and print the .syr report"),
+        ("estimate", "run both cost models for a paper PRM"),
+        ("bitgen", "generate the PRM's partial bitstream"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("prm", choices=sorted(PAPER_WORKLOADS))
+        p.add_argument("--device", default="xc5vlx110t", choices=sorted(DEVICES))
+        if name == "bitgen":
+            p.add_argument("-o", "--output", help="write bitstream bytes to file")
+
+    # ``trace <prm>`` replays the Fig. 1 flow (original behaviour);
+    # ``trace explore|simulate`` runs the command with the obs layer on
+    # and writes/prints the span+metric document.
+    p = sub.add_parser(
+        "trace",
+        help="replay the Fig. 1 flow for a PRM, or run explore/simulate traced",
+    )
+    trace_sub = p.add_subparsers(dest="trace_target", required=True)
+    for prm_name in sorted(PAPER_WORKLOADS):
+        tp = trace_sub.add_parser(
+            prm_name, help=f"replay the Fig. 1 search flow for {prm_name}"
+        )
+        tp.add_argument("--device", default="xc5vlx110t", choices=sorted(DEVICES))
+        tp.set_defaults(prm=prm_name)
+    for target, adder in (("explore", _add_explore_args), ("simulate", _add_simulate_args)):
+        tp = trace_sub.add_parser(target, help=f"run `{target}` with tracing on")
+        adder(tp)
+        tp.add_argument(
+            "--trace-out",
+            metavar="FILE",
+            default=None,
+            help="write the trace document as JSON (default: print a summary)",
+        )
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", type=int, choices=range(1, 9))
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("number", type=int, choices=(1, 2))
+
+    p = sub.add_parser("explore", help="explore PRM->PRR partitionings")
+    _add_explore_args(p)
+
+    p = sub.add_parser(
+        "simulate",
+        help="hardware-multitasking simulation, optionally fault-injected",
+    )
+    _add_simulate_args(p)
+
+    p = sub.add_parser("stats", help="summarize a trace file written by `trace`")
+    p.add_argument("trace_file", help="JSON trace document from --trace-out")
+
     p = sub.add_parser(
         "floorplan", help="floorplan all paper PRMs and render the fabric"
     )
@@ -207,9 +246,52 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_target in ("explore", "simulate"):
+        return _cmd_trace_run(args)
     device = get_device(args.device)
     report = synthesize(PAPER_WORKLOADS[args.prm](device.family), device.family)
     print(search_with_trace(device, report.requirements).render())
+    return 0
+
+
+def _cmd_trace_run(args: argparse.Namespace) -> int:
+    """Run explore/simulate with the obs layer on; export the document."""
+    import json
+
+    from . import obs
+
+    runner = _cmd_explore if args.trace_target == "explore" else _cmd_simulate
+    with obs.capture(command=f"trace {args.trace_target}") as session:
+        rc = runner(args)
+    doc = session.to_dict()
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        print(f"wrote trace to {args.trace_out}")
+    else:
+        print()
+        print(obs.render_trace(doc))
+    return rc
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from . import obs
+
+    try:
+        with open(args.trace_file, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read trace file: {exc}", file=sys.stderr)
+        return 2
+    try:
+        obs.validate_trace(doc)
+    except obs.SchemaError as exc:
+        print(f"error: not a valid trace document: {exc}", file=sys.stderr)
+        return 2
+    print(obs.render_trace(doc))
     return 0
 
 
@@ -440,6 +522,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figure": lambda: _cmd_figure(args),
         "explore": lambda: _cmd_explore(args),
         "simulate": lambda: _cmd_simulate(args),
+        "stats": lambda: _cmd_stats(args),
         "floorplan": lambda: _cmd_floorplan(args),
         "relocate": lambda: _cmd_relocate(args),
         "advise": lambda: _cmd_advise(args),

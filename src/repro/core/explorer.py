@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Iterator, Literal, Sequence
 
 from ..devices.fabric import Device
+from ..obs import trace as _obs
 from .bitstream_model import bitstream_size_bytes
 from .fastpath import (
     PlacementCache,
@@ -69,6 +70,37 @@ MAX_EXHAUSTIVE_PRMS = 8
 DEFAULT_BEAM_WIDTH = 64
 
 ExploreMode = Literal["auto", "exhaustive", "pruned", "beam"]
+
+
+def _record_search_metrics(
+    *,
+    strategy: str,
+    evaluated: int,
+    pruned: int,
+    feasible: int,
+    cache: "PlacementCache | None",
+) -> None:
+    """Publish one strategy run's search statistics (no-op when disabled).
+
+    Counters are created even at zero so every trace document carries the
+    full search-telemetry shape (the CI schema smoke relies on that).
+    """
+    registry = _obs.metrics()
+    if registry is None:
+        return
+    registry.counter("explore.candidates_evaluated").inc(evaluated)
+    registry.counter("explore.branches_pruned").inc(pruned)
+    registry.counter("explore.designs_feasible").inc(feasible)
+    hits = registry.counter("explore.placement_cache_hits")
+    misses = registry.counter("explore.placement_cache_misses")
+    if cache is not None:
+        hits.inc(cache.hits)
+        misses.inc(cache.misses)
+    span = _obs.current_span()
+    if span is not None:
+        span.set("strategy", strategy)
+        span.set("evaluated", evaluated)
+        span.set("pruned", pruned)
 
 
 def iter_set_partitions(items: Sequence[int]) -> Iterator[list[list[int]]]:
@@ -238,6 +270,44 @@ def explore(
     n = len(prms)
     if mode == "auto":
         mode = "exhaustive" if n <= MAX_EXHAUSTIVE_PRMS else "beam"
+    with _obs.trace_span(
+        "explore", mode=mode, prms=n, device=device.name
+    ) as span:
+        window_before = (
+            device.window_index.stats() if _obs.enabled else None
+        )
+        designs = _explore_dispatch(
+            device,
+            prms,
+            mode=mode,
+            controller_bytes_per_s=controller_bytes_per_s,
+            max_prrs=max_prrs,
+            beam_width=beam_width,
+            workers=workers,
+        )
+        if window_before is not None:
+            registry = _obs.metrics()
+            if registry is not None:
+                after = device.window_index.stats()
+                for key in ("queries", "mix_builds"):
+                    registry.counter(f"window_index.{key}").inc(
+                        after[key] - window_before[key]
+                    )
+            span.set("designs", len(designs))
+    return designs
+
+
+def _explore_dispatch(
+    device: Device,
+    prms: Sequence[PRMRequirements],
+    *,
+    mode: str,
+    controller_bytes_per_s: float,
+    max_prrs: int | None,
+    beam_width: int,
+    workers: int | None,
+) -> list[PartitioningDesign]:
+    n = len(prms)
     if mode == "exhaustive":
         if n > MAX_EXHAUSTIVE_PRMS:
             raise ValueError(
@@ -286,10 +356,12 @@ def _explore_exhaustive(
 ) -> list[PartitioningDesign]:
     cache = PlacementCache()
     designs: list[PartitioningDesign] = []
+    evaluated = 0
     for partition in iter_set_partitions(range(len(prms))):
         if max_prrs is not None and len(partition) > max_prrs:
             continue
         groups = [[prms[i] for i in group] for group in partition]
+        evaluated += 1
         design = evaluate_partition(
             device,
             groups,
@@ -299,6 +371,14 @@ def _explore_exhaustive(
         if design is not None:
             designs.append(design)
     designs.sort(key=lambda d: d.objectives)
+    if _obs.enabled:
+        _record_search_metrics(
+            strategy="exhaustive",
+            evaluated=evaluated,
+            pruned=0,
+            feasible=len(designs),
+            cache=cache,
+        )
     return designs
 
 
@@ -363,6 +443,16 @@ def _explore_parallel(
         for future in futures:
             designs.extend(future.result())
     designs.sort(key=lambda d: d.objectives)
+    if _obs.enabled:
+        # Worker-local placement caches cannot report back; candidate and
+        # feasibility counts still can.
+        _record_search_metrics(
+            strategy="parallel",
+            evaluated=len(partitions),
+            pruned=0,
+            feasible=len(designs),
+            cache=None,
+        )
     return designs
 
 
@@ -439,17 +529,26 @@ def _explore_pruned(
     designs: list[PartitioningDesign] = []
     archived: list[tuple[int, int, float]] = []
     groups: list[list[int]] = []
+    evaluated = 0
+    pruned = 0
 
     def viable(next_index: int) -> bool:
+        nonlocal pruned
         bound = _partial_lower_bound(
             device, prms, groups, next_index, controller_bytes_per_s
         )
         if bound is None:
+            pruned += 1
             return False
-        return not any(_strictly_dominates(done, bound) for done in archived)
+        if any(_strictly_dominates(done, bound) for done in archived):
+            pruned += 1
+            return False
+        return True
 
     def descend(index: int) -> None:
+        nonlocal evaluated
         if index == n:
+            evaluated += 1
             design = evaluate_partition(
                 device,
                 [[prms[i] for i in group] for group in groups],
@@ -478,6 +577,14 @@ def _explore_pruned(
     if viable(0):
         descend(0)
     designs.sort(key=lambda d: d.objectives)
+    if _obs.enabled:
+        _record_search_metrics(
+            strategy="pruned",
+            evaluated=evaluated,
+            pruned=pruned,
+            feasible=len(designs),
+            cache=cache,
+        )
     return designs
 
 
@@ -502,6 +609,8 @@ def _explore_beam(
     if n == 0:
         return []
     cache = PlacementCache()
+    evaluated = 0
+    pruned = 0
 
     def partial_score(
         candidate: tuple[tuple[int, ...], ...], next_index: int
@@ -554,19 +663,30 @@ def _explore_beam(
                 if canonical in seen:
                     continue
                 seen.add(canonical)
+                evaluated += 1
                 result = partial_score(candidate, index + 1)
                 if result is None:
+                    pruned += 1
                     continue
                 score, design = result
                 scored.append((score, candidate))
                 if index + 1 == n:
                     final[candidate] = design
         scored.sort(key=lambda item: item[0])
+        pruned += max(0, len(scored) - beam_width)
         beam = [candidate for _, candidate in scored[:beam_width]]
         if not beam:
             return []
     designs = [final[candidate] for candidate in beam if candidate in final]
     designs.sort(key=lambda d: d.objectives)
+    if _obs.enabled:
+        _record_search_metrics(
+            strategy="beam",
+            evaluated=evaluated,
+            pruned=pruned,
+            feasible=len(designs),
+            cache=cache,
+        )
     return designs
 
 

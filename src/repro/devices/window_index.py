@@ -39,7 +39,16 @@ class ColumnWindowIndex:
     public API are 1-based to match the rest of the fabric model.
     """
 
-    __slots__ = ("_num_columns", "_clb", "_dsp", "_bram", "_blocked", "_starts")
+    __slots__ = (
+        "_num_columns",
+        "_clb",
+        "_dsp",
+        "_bram",
+        "_blocked",
+        "_starts",
+        "queries",
+        "mix_builds",
+    )
 
     def __init__(self, columns: Sequence[ColumnKind]) -> None:
         n = len(columns)
@@ -58,6 +67,10 @@ class ColumnWindowIndex:
         self._bram = bram
         self._blocked = blocked
         self._starts: dict[ResourceVector, tuple[int, ...]] = {}
+        #: Profiling counters (plain ints — cheap enough to keep always
+        #: on; the obs layer snapshots deltas around an instrumented run).
+        self.queries = 0
+        self.mix_builds = 0
 
     @property
     def num_columns(self) -> int:
@@ -98,6 +111,7 @@ class ColumnWindowIndex:
         cached = self._starts.get(requirement)
         if cached is not None:
             return cached
+        self.mix_builds += 1
         width = requirement.total
         if width == 0:
             raise ValueError("requirement must include at least one column")
@@ -127,6 +141,15 @@ class ColumnWindowIndex:
 
         O(log n) bisect over the cached feasible-start list.
         """
+        self.queries += 1
         starts = self.feasible_starts(requirement)
         index = bisect_left(starts, start_col)
         return starts[index] if index < len(starts) else None
+
+    def stats(self) -> dict[str, int]:
+        """Lifetime query counters (the obs layer diffs two snapshots)."""
+        return {
+            "queries": self.queries,
+            "mix_builds": self.mix_builds,
+            "mixes_cached": len(self._starts),
+        }

@@ -38,13 +38,17 @@ from math import floor
 from ..core.bitstream_model import full_device_bitstream_bytes
 from ..core.prr_model import PRRGeometry
 from ..devices.fabric import Device
+from ..icap.controllers import record_transfer
 from ..multitask.scheduler import (
     CompletedJob,
     PRRState,
     ScheduleResult,
     _fits,
+    record_schedule_observations,
 )
 from ..multitask.tasks import Job
+from ..obs import trace as _obs
+from ..obs.metrics import SECONDS_BUCKETS
 from .injector import FaultInjector
 from .reliable import RetryPolicy
 
@@ -99,6 +103,38 @@ def simulate_pr_with_faults(
     dropped.  Counters land in the result's fault fields and the
     injector's event log keeps the per-fault record.
     """
+    with _obs.trace_span(
+        "simulate_pr",
+        jobs=len(jobs),
+        prrs=len(prrs),
+        icap_exclusive=icap_exclusive,
+        faulty=True,
+    ):
+        result = _run_degraded(
+            jobs,
+            prrs,
+            injector=injector,
+            policy=policy,
+            port_bytes_per_s=port_bytes_per_s,
+            icap_exclusive=icap_exclusive,
+            device=device,
+        )
+    if _obs.enabled:
+        result.trace = _obs.snapshot()
+    return result
+
+
+def _run_degraded(
+    jobs: list[Job],
+    prrs: list[PRRGeometry],
+    *,
+    injector: FaultInjector,
+    policy: DegradedModePolicy | None,
+    port_bytes_per_s: float,
+    icap_exclusive: bool,
+    device: Device | None,
+) -> ScheduleResult:
+    """Dispatch loop behind :func:`simulate_pr_with_faults`."""
     if not prrs:
         raise ValueError("need at least one PRR")
     policy = policy if policy is not None else DegradedModePolicy()
@@ -117,6 +153,15 @@ def simulate_pr_with_faults(
     full_free_at = 0.0
     full_loaded: str | None = None
     last_seu_check = 0.0
+    # Obs accounting (all model-domain; touched only when tracing is on).
+    track = _obs.enabled
+    retry_events: list[float] = []
+    quarantine_events: list[float] = []
+    streamed_bytes = 0.0  # partial-bitstream bytes pushed, incl. re-streams
+    streamed_port_seconds = 0.0
+    spill_bytes = 0.0
+    spill_seconds = 0.0
+    offline_since: dict[int, float] = {}
 
     for job in sorted(jobs, key=lambda j: (j.arrival_seconds, j.job_id)):
         now = job.arrival_seconds
@@ -161,6 +206,8 @@ def simulate_pr_with_faults(
                 if icap_exclusive:
                     start_ready = max(start_ready, icap_free_at)
                 success = False
+                attempts_streamed = 0
+                retry_spent = 0.0  # time beyond the first attempt
                 for attempt in range(1, retry.max_attempts + 1):
                     outcome = injector.transfer_outcome(
                         start_ready + spent, f"prr{state.index}", attempt=attempt
@@ -168,6 +215,9 @@ def simulate_pr_with_faults(
                     attempt_time = base_t + outcome.stall_seconds + verify
                     spent += attempt_time
                     port_time += attempt_time
+                    attempts_streamed += 1
+                    if attempt > 1:
+                        retry_spent += attempt_time
                     if outcome.ok:
                         success = True
                         break
@@ -176,8 +226,17 @@ def simulate_pr_with_faults(
                         break
                     result.retries += 1 if attempt < retry.max_attempts else 0
                     if attempt < retry.max_attempts:
-                        spent += retry.backoff_seconds(attempt)
+                        backoff = retry.backoff_seconds(attempt)
+                        spent += backoff
+                        retry_spent += backoff
                 state.reconfig_seconds += port_time
+                if track:
+                    streamed_bytes += (
+                        attempts_streamed * state.partial_bitstream_bytes
+                    )
+                    streamed_port_seconds += port_time
+                    if retry_spent > 0:
+                        retry_events.append(retry_spent)
                 if icap_exclusive:
                     icap_free_at = start_ready + spent
                 if success:
@@ -215,6 +274,7 @@ def simulate_pr_with_faults(
                 if policy.scrub_period_s is not None:
                     # Offline until the next periodic scrub pass rewrites
                     # the region (one blind-scrub repair reconfiguration).
+                    quarantined_at = state.busy_until
                     restore_at = _next_scrub_after(
                         state.busy_until, policy.scrub_period_s
                     )
@@ -222,8 +282,13 @@ def simulate_pr_with_faults(
                     state.busy_until = restore_at + repair
                     state.reconfig_seconds += repair
                     result.scrub_repairs += 1
+                    if track:
+                        quarantine_events.append(state.busy_until - quarantined_at)
+                        streamed_bytes += state.partial_bitstream_bytes
+                        streamed_port_seconds += repair
                 else:
                     offline.add(state.index)
+                    offline_since[state.index] = state.busy_until
 
         if placed is None:
             # Every fitting PRR failed this job or is offline.
@@ -240,6 +305,9 @@ def simulate_pr_with_faults(
                 finish = start + job.task.exec_seconds
                 full_free_at = finish
                 result.spilled_jobs += 1
+                if track and reconfig > 0:
+                    spill_bytes += reconfig * port_bytes_per_s
+                    spill_seconds += reconfig
                 placed = CompletedJob(
                     job_id=job.job_id,
                     task_name=job.task.name,
@@ -259,4 +327,60 @@ def simulate_pr_with_faults(
     result.reconfig_count += sum(s.reconfig_count for s in states)
     result.icap_busy_seconds = sum(s.reconfig_seconds for s in states)
     result.fault_events = len(injector.events)
+    if track:
+        _record_fault_observations(
+            result,
+            retry_events=retry_events,
+            quarantine_events=quarantine_events,
+            offline_since=offline_since,
+            streamed_bytes=streamed_bytes,
+            streamed_port_seconds=streamed_port_seconds,
+            spill_bytes=spill_bytes,
+            spill_seconds=spill_seconds,
+        )
     return result
+
+
+def _record_fault_observations(
+    result: ScheduleResult,
+    *,
+    retry_events: list[float],
+    quarantine_events: list[float],
+    offline_since: dict[int, float],
+    streamed_bytes: float,
+    streamed_port_seconds: float,
+    spill_bytes: float,
+    spill_seconds: float,
+) -> None:
+    """Publish one degraded run's telemetry (no-op when obs is off)."""
+    registry = _obs.metrics()
+    if registry is None:
+        return
+    # PRRs left permanently offline are down to the end of the run.
+    for start in offline_since.values():
+        down = result.makespan_seconds - start
+        if down > 0:
+            quarantine_events.append(down)
+    # Per-job histograms + run counters; states=None because the ICAP
+    # traffic here includes re-streams and is recorded below instead.
+    record_schedule_observations(result)
+    record_transfer(streamed_bytes, streamed_port_seconds)
+    if spill_bytes > 0:
+        record_transfer(spill_bytes, spill_seconds, port="full")
+    registry.counter("faults.events").inc(result.fault_events)
+    registry.counter("sched.failed_reconfigs").inc(result.failed_reconfigs)
+    registry.counter("sched.deadline_misses").inc(result.deadline_misses)
+    registry.counter("sched.scrub_repairs").inc(result.scrub_repairs)
+    registry.counter("sched.seu_hits").inc(result.seu_hits)
+    registry.counter("sched.retry_seconds_total").inc(sum(retry_events))
+    registry.counter("sched.quarantine_seconds_total").inc(
+        sum(quarantine_events)
+    )
+    retry_hist = registry.histogram("sched.retry_seconds", SECONDS_BUCKETS)
+    for value in retry_events:
+        retry_hist.observe(value)
+    quarantine_hist = registry.histogram(
+        "sched.quarantine_seconds", SECONDS_BUCKETS
+    )
+    for value in quarantine_events:
+        quarantine_hist.observe(value)

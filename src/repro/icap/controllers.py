@@ -25,13 +25,38 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+from ..obs import trace as _obs
+
 __all__ = [
     "ReconfigController",
     "PCController",
     "IcapController",
     "DmaIcapController",
     "FarmController",
+    "record_transfer",
 ]
+
+
+def record_transfer(nbytes: float, port_seconds: float, *, port: str = "icap") -> None:
+    """Publish one configuration-port transfer to the obs layer.
+
+    Accumulates bytes moved and port-busy time, and keeps the realized
+    effective-throughput gauge current (total bytes / total port time —
+    model-domain values, so a fixed seed reproduces them exactly).
+    No-op unless tracing is enabled.
+    """
+    registry = _obs.metrics()
+    if registry is None or nbytes <= 0:
+        return
+    moved = registry.counter(f"{port}.bytes_moved")
+    busy = registry.counter(f"{port}.port_seconds")
+    moved.inc(nbytes)
+    busy.inc(port_seconds)
+    registry.counter(f"{port}.transfers").inc()
+    if busy.value > 0:
+        registry.gauge(f"{port}.effective_bytes_per_s").set(
+            moved.value / busy.value
+        )
 
 
 class ReconfigController(abc.ABC):

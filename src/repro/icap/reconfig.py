@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .controllers import ReconfigController
+from ..obs import trace as _obs
+from .controllers import ReconfigController, record_transfer
 from .storage import StorageMedium
 
 __all__ = ["ReconfigSimResult", "simulate_reconfiguration"]
@@ -59,6 +60,8 @@ def simulate_reconfiguration(
     fetch = medium.fetch_seconds(bitstream_bytes)
     write = controller.write_seconds(bitstream_bytes)
     total = max(fetch, write) if overlap else fetch + write
+    if _obs.enabled:
+        record_transfer(bitstream_bytes, write, port=controller.name)
     return ReconfigSimResult(
         bitstream_bytes=bitstream_bytes,
         fetch_seconds=fetch,

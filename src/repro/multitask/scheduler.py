@@ -29,6 +29,8 @@ from ..core.bitstream_model import (
 )
 from ..core.prr_model import PRRGeometry
 from ..devices.fabric import Device
+from ..icap.controllers import record_transfer
+from ..obs import trace as _obs
 from .tasks import Job
 
 __all__ = ["PRRState", "CompletedJob", "ScheduleResult", "simulate_pr", "simulate_full_reconfig"]
@@ -93,6 +95,10 @@ class ScheduleResult:
     seu_hits: int = 0  #: background upsets that struck a PRR
     spilled_jobs: int = 0  #: jobs rerouted to the full-reconfig context
     dropped_jobs: int = 0  #: jobs that could not be placed anywhere
+    #: Observability export: the active obs session's span/metric document
+    #: (see :mod:`repro.obs`) captured at the end of the run; ``None``
+    #: whenever tracing is disabled, which is the default.
+    trace: dict | None = None
 
     @property
     def mean_response_seconds(self) -> float:
@@ -144,6 +150,40 @@ class ScheduleResult:
             f"dropped={self.dropped_jobs} "
             f"completion={self.completion_rate:.4f}"
         )
+
+
+def record_schedule_observations(
+    result: ScheduleResult, states: "list[PRRState] | None" = None
+) -> None:
+    """Publish one run's scheduling telemetry (no-op when obs disabled).
+
+    Per-job queue-wait and reconfiguration times go to fixed-bucket
+    histograms; run totals go to counters; per-PRR port traffic feeds the
+    ICAP throughput metrics.  All values are simulated (model) time, so
+    the export is deterministic for a fixed seed.
+    """
+    registry = _obs.metrics()
+    if registry is None:
+        return
+    wait = registry.histogram("sched.wait_seconds")
+    reconfig = registry.histogram("sched.reconfig_seconds")
+    for job in result.completed:
+        wait.observe(job.waiting_seconds)
+        reconfig.observe(job.reconfig_seconds)
+    registry.counter("sched.jobs_completed").inc(len(result.completed))
+    registry.counter("sched.jobs_dropped").inc(result.dropped_jobs)
+    registry.counter("sched.jobs_spilled").inc(result.spilled_jobs)
+    registry.counter("sched.reconfigs").inc(result.reconfig_count)
+    registry.counter("sched.retries").inc(result.retries)
+    registry.counter("sched.quarantines").inc(result.quarantines)
+    registry.gauge("sched.makespan_seconds").set(result.makespan_seconds)
+    registry.gauge("sched.completion_rate").set(result.completion_rate)
+    if states is not None:
+        for state in states:
+            record_transfer(
+                state.partial_bitstream_bytes * state.reconfig_count,
+                state.reconfig_seconds,
+            )
 
 
 def simulate_pr(
@@ -198,49 +238,61 @@ def simulate_pr(
     heapq.heapify(ready)
     icap_free_at = 0.0
 
-    for job in sorted(jobs, key=lambda j: (j.arrival_seconds, j.job_id)):
-        fitting = [s for s in states if _fits(job, s.geometry)]
-        if not fitting:
-            raise ValueError(
-                f"no PRR fits task {job.task.name!r} "
-                f"(needs {job.task.prm.lut_ff_pairs} pairs)"
-            )
-        # Affinity first: an already-loaded, earliest-free PRR; otherwise
-        # the earliest-free fitting PRR.
-        loaded = [s for s in fitting if s.loaded_prm == job.task.name]
-        candidates = loaded or fitting
-        state = min(candidates, key=lambda s: (s.busy_until, s.index))
+    with _obs.trace_span(
+        "simulate_pr",
+        jobs=len(jobs),
+        prrs=len(prrs),
+        icap_exclusive=icap_exclusive,
+    ):
+        for job in sorted(jobs, key=lambda j: (j.arrival_seconds, j.job_id)):
+            fitting = [s for s in states if _fits(job, s.geometry)]
+            if not fitting:
+                raise ValueError(
+                    f"no PRR fits task {job.task.name!r} "
+                    f"(needs {job.task.prm.lut_ff_pairs} pairs)"
+                )
+            # Affinity first: an already-loaded, earliest-free PRR;
+            # otherwise the earliest-free fitting PRR.
+            loaded = [s for s in fitting if s.loaded_prm == job.task.name]
+            candidates = loaded or fitting
+            state = min(candidates, key=lambda s: (s.busy_until, s.index))
 
-        start_ready = max(state.busy_until, job.arrival_seconds)
-        reconfig = 0.0
-        if state.loaded_prm != job.task.name:
-            reconfig = state.partial_bitstream_bytes / port_bytes_per_s
-            if icap_exclusive:
-                start_ready = max(start_ready, icap_free_at)
-                icap_free_at = start_ready + reconfig
-            state.loaded_prm = job.task.name
-            state.reconfig_count += 1
-            state.reconfig_seconds += reconfig
-        start = start_ready + reconfig
-        finish = start + job.task.exec_seconds
-        state.busy_until = finish
-        state.busy_seconds += job.task.exec_seconds
-        result.completed.append(
-            CompletedJob(
-                job_id=job.job_id,
-                task_name=job.task.name,
-                prr_index=state.index,
-                arrival=job.arrival_seconds,
-                start=start,
-                reconfig_seconds=reconfig,
-                finish=finish,
+            start_ready = max(state.busy_until, job.arrival_seconds)
+            reconfig = 0.0
+            if state.loaded_prm != job.task.name:
+                reconfig = state.partial_bitstream_bytes / port_bytes_per_s
+                if icap_exclusive:
+                    start_ready = max(start_ready, icap_free_at)
+                    icap_free_at = start_ready + reconfig
+                state.loaded_prm = job.task.name
+                state.reconfig_count += 1
+                state.reconfig_seconds += reconfig
+            start = start_ready + reconfig
+            finish = start + job.task.exec_seconds
+            state.busy_until = finish
+            state.busy_seconds += job.task.exec_seconds
+            result.completed.append(
+                CompletedJob(
+                    job_id=job.job_id,
+                    task_name=job.task.name,
+                    prr_index=state.index,
+                    arrival=job.arrival_seconds,
+                    start=start,
+                    reconfig_seconds=reconfig,
+                    finish=finish,
+                )
             )
+
+        result.makespan_seconds = max(
+            (j.finish for j in result.completed), default=0.0
         )
-
-    result.makespan_seconds = max((j.finish for j in result.completed), default=0.0)
-    result.total_reconfig_seconds = sum(s.reconfig_seconds for s in states)
-    result.reconfig_count = sum(s.reconfig_count for s in states)
-    result.icap_busy_seconds = result.total_reconfig_seconds
+        result.total_reconfig_seconds = sum(s.reconfig_seconds for s in states)
+        result.reconfig_count = sum(s.reconfig_count for s in states)
+        result.icap_busy_seconds = result.total_reconfig_seconds
+        if _obs.enabled:
+            record_schedule_observations(result, states)
+    if _obs.enabled:
+        result.trace = _obs.snapshot()
     return result
 
 
@@ -261,30 +313,43 @@ def simulate_full_reconfig(
     result = ScheduleResult(system="full_reconfig")
     now = 0.0
     loaded: str | None = None
-    for job in sorted(jobs, key=lambda j: (j.arrival_seconds, j.job_id)):
-        start_ready = max(now, job.arrival_seconds)
-        reconfig = 0.0
-        if loaded != job.task.name:
-            reconfig = full_reconfig
-            loaded = job.task.name
-            result.reconfig_count += 1
-            result.total_reconfig_seconds += reconfig
-            result.halted_seconds += reconfig
-        start = start_ready + reconfig
-        finish = start + job.task.exec_seconds
-        now = finish
-        result.completed.append(
-            CompletedJob(
-                job_id=job.job_id,
-                task_name=job.task.name,
-                prr_index=0,
-                arrival=job.arrival_seconds,
-                start=start,
-                reconfig_seconds=reconfig,
-                finish=finish,
+    with _obs.trace_span(
+        "simulate_full_reconfig", jobs=len(jobs), device=device.name
+    ):
+        for job in sorted(jobs, key=lambda j: (j.arrival_seconds, j.job_id)):
+            start_ready = max(now, job.arrival_seconds)
+            reconfig = 0.0
+            if loaded != job.task.name:
+                reconfig = full_reconfig
+                loaded = job.task.name
+                result.reconfig_count += 1
+                result.total_reconfig_seconds += reconfig
+                result.halted_seconds += reconfig
+            start = start_ready + reconfig
+            finish = start + job.task.exec_seconds
+            now = finish
+            result.completed.append(
+                CompletedJob(
+                    job_id=job.job_id,
+                    task_name=job.task.name,
+                    prr_index=0,
+                    arrival=job.arrival_seconds,
+                    start=start,
+                    reconfig_seconds=reconfig,
+                    finish=finish,
+                )
             )
+        result.makespan_seconds = max(
+            (j.finish for j in result.completed), default=0.0
         )
-    result.makespan_seconds = max((j.finish for j in result.completed), default=0.0)
+        if _obs.enabled:
+            record_schedule_observations(result)
+            record_transfer(
+                full_bytes * result.reconfig_count,
+                result.total_reconfig_seconds,
+            )
+    if _obs.enabled:
+        result.trace = _obs.snapshot()
     return result
 
 

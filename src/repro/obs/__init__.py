@@ -1,0 +1,96 @@
+"""``repro.obs`` — zero-dependency tracing, metrics and profiling hooks.
+
+The observability layer for the exploration engine and the multitasking
+runtime (ISSUE 4).  Three pieces:
+
+* :mod:`~repro.obs.trace` — span-based tracer (``trace_span`` nesting,
+  wall/CPU time, structured attributes) behind an off-by-default
+  module flag;
+* :mod:`~repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms scoped to one capture session;
+* :mod:`~repro.obs.schema` / :mod:`~repro.obs.stats` — the committed
+  JSON schema every exported trace validates against, and the
+  human-readable renderer behind ``repro-fpga stats``.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.capture(command="explore") as session:
+        designs = explore(device, prms, mode="pruned")
+    doc = session.to_dict()          # schema-valid JSON document
+    obs.validate_trace(doc)
+
+Instrumented modules guard every hook on ``obs.enabled`` (re-exported
+from :mod:`~repro.obs.trace`); with the flag off the hooks cost one
+attribute read and a branch — the disabled-overhead budget asserted in
+``benchmarks/test_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+from . import trace as _trace
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SECONDS_BUCKETS,
+    SIZE_BUCKETS,
+)
+from .schema import (
+    SchemaError,
+    TRACE_SCHEMA_PATH,
+    load_trace_schema,
+    validate_trace,
+)
+from .stats import render_metrics, render_span_tree, render_trace
+from .trace import (
+    ObsSession,
+    Span,
+    TIMING_FIELDS,
+    active_session,
+    capture,
+    current_span,
+    disable,
+    enable,
+    metrics,
+    snapshot,
+    trace_span,
+)
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "capture",
+    "active_session",
+    "trace_span",
+    "current_span",
+    "metrics",
+    "snapshot",
+    "Span",
+    "ObsSession",
+    "TIMING_FIELDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SECONDS_BUCKETS",
+    "SIZE_BUCKETS",
+    "SchemaError",
+    "TRACE_SCHEMA_PATH",
+    "load_trace_schema",
+    "validate_trace",
+    "render_trace",
+    "render_span_tree",
+    "render_metrics",
+]
+
+
+def __getattr__(name: str):
+    # ``obs.enabled`` must always reflect the live flag in obs.trace;
+    # re-exporting the boolean by value would freeze it at import time.
+    if name == "enabled":
+        return _trace.enabled
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

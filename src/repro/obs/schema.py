@@ -1,0 +1,109 @@
+"""Trace-document schema: checked-in JSON Schema + zero-dep validator.
+
+``trace.schema.json`` (shipped inside the package so the CI smoke step
+and external tools validate against the exact committed contract) is a
+deliberately small JSON-Schema subset, and :func:`validate_trace`
+interprets exactly that subset — ``type``, ``required``, ``properties``,
+``additionalProperties`` (schema-valued), ``items``, ``minimum``,
+``enum`` and local ``$ref``s into ``$defs`` — so the repo needs no
+``jsonschema`` dependency.  Anything the subset cannot express belongs
+in a test, not the schema.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+__all__ = ["TRACE_SCHEMA_PATH", "load_trace_schema", "validate_trace", "SchemaError"]
+
+TRACE_SCHEMA_PATH = Path(__file__).with_name("trace.schema.json")
+
+
+class SchemaError(ValueError):
+    """A document does not conform to the trace schema."""
+
+
+def load_trace_schema() -> dict[str, Any]:
+    """The committed trace schema, parsed fresh from disk."""
+    return json.loads(TRACE_SCHEMA_PATH.read_text())
+
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; JSON types keep them apart.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _resolve_ref(ref: str, root: dict[str, Any]) -> dict[str, Any]:
+    if not ref.startswith("#/"):
+        raise SchemaError(f"only local $refs are supported, got {ref!r}")
+    node: Any = root
+    for part in ref[2:].split("/"):
+        if not isinstance(node, dict) or part not in node:
+            raise SchemaError(f"unresolvable $ref {ref!r}")
+        node = node[part]
+    return node
+
+
+def _check(value: Any, schema: dict[str, Any], root: dict[str, Any], path: str) -> None:
+    if "$ref" in schema:
+        _check(value, _resolve_ref(schema["$ref"], root), root, path)
+        return
+
+    declared = schema.get("type")
+    if declared is not None:
+        types = declared if isinstance(declared, list) else [declared]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            raise SchemaError(
+                f"{path}: expected type {declared}, got {type(value).__name__}"
+            )
+
+    if "enum" in schema and value not in schema["enum"]:
+        raise SchemaError(f"{path}: {value!r} not in enum {schema['enum']}")
+
+    if "minimum" in schema and isinstance(value, (int, float)):
+        if not isinstance(value, bool) and value < schema["minimum"]:
+            raise SchemaError(
+                f"{path}: {value!r} below minimum {schema['minimum']}"
+            )
+
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                raise SchemaError(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        for key, sub in properties.items():
+            if key in value:
+                _check(value[key], sub, root, f"{path}.{key}")
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for key, item in value.items():
+                if key not in properties:
+                    _check(item, extra, root, f"{path}.{key}")
+        elif extra is False:
+            unknown = set(value) - set(properties)
+            if unknown:
+                raise SchemaError(f"{path}: unknown keys {sorted(unknown)}")
+
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            _check(item, schema["items"], root, f"{path}[{index}]")
+
+
+def validate_trace(document: Any, schema: dict[str, Any] | None = None) -> None:
+    """Raise :class:`SchemaError` unless *document* matches the schema.
+
+    With *schema* omitted the committed ``trace.schema.json`` is used —
+    that is what the CLI, the tests and the CI smoke step all validate
+    against.
+    """
+    root = schema if schema is not None else load_trace_schema()
+    _check(document, root, root, "$")

@@ -1,0 +1,105 @@
+"""Human-readable summaries of trace documents (``repro-fpga stats``).
+
+Pure functions from a trace dict (the JSON written by ``repro-fpga
+trace ... --trace-out``) to aligned text: the nested span tree with
+wall/CPU timings and attributes, then the counters/gauges, then each
+histogram with per-bucket counts.  Keep this renderer dependency-free
+and deterministic for a given document — its output is itself asserted
+in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+__all__ = ["render_trace", "render_span_tree", "render_metrics"]
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def _fmt_value(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _walk_spans(
+    spans: list[dict[str, Any]], depth: int = 0
+) -> Iterator[tuple[int, dict[str, Any]]]:
+    for span in spans:
+        yield depth, span
+        yield from _walk_spans(span.get("children", []), depth + 1)
+
+
+def render_span_tree(document: dict[str, Any]) -> str:
+    """Indented span tree: name, wall/CPU time, inline attributes."""
+    lines = []
+    for depth, span in _walk_spans(document.get("spans", [])):
+        attrs = span.get("attrs", {})
+        attr_text = (
+            " [" + " ".join(f"{k}={_fmt_value(v)}" for k, v in attrs.items()) + "]"
+            if attrs
+            else ""
+        )
+        lines.append(
+            f"{'  ' * depth}{span['name']}: wall {_fmt_seconds(span['wall_s'])} "
+            f"cpu {_fmt_seconds(span['cpu_s'])}{attr_text}"
+        )
+    return "\n".join(lines) if lines else "(no spans)"
+
+
+def _aligned(rows: list[tuple[str, str]]) -> str:
+    width = max((len(name) for name, _ in rows), default=0)
+    return "\n".join(f"  {name.ljust(width)}  {value}" for name, value in rows)
+
+
+def render_metrics(document: dict[str, Any]) -> str:
+    """Counters and gauges as one aligned block, histograms after."""
+    metrics = document.get("metrics", {})
+    sections: list[str] = []
+
+    counters = metrics.get("counters", {})
+    if counters:
+        rows = [
+            (name, _fmt_value(counters[name])) for name in sorted(counters)
+        ]
+        sections.append("counters:\n" + _aligned(rows))
+
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        rows = [(name, _fmt_value(gauges[name])) for name in sorted(gauges)]
+        sections.append("gauges:\n" + _aligned(rows))
+
+    histograms = metrics.get("histograms", {})
+    for name in sorted(histograms):
+        hist = histograms[name]
+        count = hist["count"]
+        mean = hist["sum"] / count if count else 0.0
+        lines = [
+            f"histogram {name}: count={count} mean={_fmt_seconds(mean)}"
+        ]
+        bounds = hist["boundaries"]
+        labels = [f"<= {_fmt_seconds(b)}" for b in bounds] + [
+            f"> {_fmt_seconds(bounds[-1])}"
+        ]
+        for label, bucket in zip(labels, hist["bucket_counts"]):
+            if bucket:
+                lines.append(f"  {label.ljust(12)} {bucket}")
+        sections.append("\n".join(lines))
+
+    return "\n\n".join(sections) if sections else "(no metrics)"
+
+
+def render_trace(document: dict[str, Any]) -> str:
+    """Full ``repro-fpga stats`` report for one trace document."""
+    header = f"trace: command={document.get('command') or '(unknown)'} " \
+             f"version={document.get('version')}"
+    return "\n\n".join(
+        [header, render_span_tree(document), render_metrics(document)]
+    )

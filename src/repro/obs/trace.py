@@ -1,0 +1,236 @@
+"""Zero-dependency span tracer with an off-by-default module flag.
+
+The observability layer has one hard requirement: when disabled it may
+not slow the hot paths down (the ``benchmarks/test_obs_overhead.py``
+gate asserts <2% on a full explorer run).  Everything here is built
+around that constraint:
+
+* ``enabled`` is a plain module-level boolean; every instrumentation
+  site guards on it before doing any work;
+* :func:`trace_span` returns a preallocated no-op context manager when
+  disabled — one attribute read, one branch, no allocation;
+* all span bookkeeping (stacks, dict building, clocks) happens only
+  inside an active :func:`capture` session.
+
+Spans nest via an explicit stack on the active :class:`ObsSession`:
+
+    with obs.capture(command="explore") as session:
+        with obs.trace_span("explore", mode="pruned") as span:
+            ...
+            span.set("designs", len(designs))
+    doc = session.to_dict()   # JSON-ready: nested spans + metrics
+
+Wall time comes from ``time.perf_counter`` and CPU time from
+``time.process_time``; both land on the span as ``wall_s`` / ``cpu_s``
+(the *only* non-deterministic fields of a trace — the determinism suite
+compares trace documents with them scrubbed).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "enabled",
+    "enable",
+    "disable",
+    "capture",
+    "active_session",
+    "trace_span",
+    "current_span",
+    "metrics",
+    "snapshot",
+    "Span",
+    "ObsSession",
+    "TIMING_FIELDS",
+]
+
+#: Module-level master switch.  Instrumented call sites read this
+#: attribute directly; nothing else in this module runs while it is
+#: False.  Mutate it only through :func:`enable` / :func:`disable` /
+#: :func:`capture` so the active session stays consistent.
+enabled = False
+
+#: Span fields that carry wall-clock measurements (and therefore differ
+#: between otherwise identical runs).  The determinism tests and any
+#: trace-diffing tooling scrub exactly these.
+TIMING_FIELDS = ("start_s", "wall_s", "cpu_s")
+
+
+@dataclass
+class Span:
+    """One timed, attributed, nestable unit of work."""
+
+    name: str
+    attrs: dict[str, Any] = field(default_factory=dict)
+    start_s: float = 0.0  #: perf_counter at entry (session-relative)
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    children: list["Span"] = field(default_factory=list)
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach/overwrite one structured attribute."""
+        self.attrs[key] = value
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "attrs": dict(self.attrs),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+class ObsSession:
+    """One capture window: a forest of root spans plus a metrics registry."""
+
+    def __init__(self, *, command: str = "") -> None:
+        self.command = command
+        self.roots: list[Span] = []
+        self.metrics = MetricsRegistry()
+        self._stack: list[Span] = []
+        self._epoch = time.perf_counter()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready trace document (see ``trace.schema.json``)."""
+        return {
+            "version": 1,
+            "command": self.command,
+            "spans": [span.to_dict() for span in self.roots],
+            "metrics": self.metrics.to_dict(),
+        }
+
+
+_session: ObsSession | None = None
+
+
+class _NullSpan:
+    """Shared no-op stand-in so disabled call sites never allocate."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager recording one span on the active session."""
+
+    __slots__ = ("span", "_cpu0", "_wall0")
+
+    def __init__(self, name: str, attrs: dict[str, Any]) -> None:
+        self.span = Span(name=name, attrs=attrs)
+
+    def __enter__(self) -> Span:
+        session = _session
+        if session is None:  # disabled between construction and entry
+            return self.span
+        stack = session._stack
+        if stack:
+            stack[-1].children.append(self.span)
+        else:
+            session.roots.append(self.span)
+        stack.append(self.span)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        self.span.start_s = self._wall0 - session._epoch
+        return self.span
+
+    def __exit__(self, *exc: object) -> bool:
+        self.span.wall_s = time.perf_counter() - self._wall0
+        self.span.cpu_s = time.process_time() - self._cpu0
+        session = _session
+        if session is not None and session._stack and session._stack[-1] is self.span:
+            session._stack.pop()
+        return False
+
+
+def trace_span(name: str, **attrs: Any):
+    """Open a nested span; a shared no-op when tracing is disabled.
+
+    Usable both as ``with trace_span("x") as span`` (``span.set(...)``
+    works in either mode) and as a cheap guard-free call site.
+    """
+    if not enabled:
+        return _NULL_SPAN
+    return _LiveSpan(name, attrs)
+
+
+def current_span() -> Span | None:
+    """Innermost open span of the active session, if any."""
+    if _session is None or not _session._stack:
+        return None
+    return _session._stack[-1]
+
+
+def active_session() -> ObsSession | None:
+    return _session
+
+
+def metrics() -> MetricsRegistry | None:
+    """Metrics registry of the active session (None when disabled)."""
+    return _session.metrics if _session is not None else None
+
+
+def snapshot() -> dict[str, Any] | None:
+    """JSON-ready snapshot of the active session, or ``None`` if disabled.
+
+    Instrumented entry points attach this to their results (e.g.
+    ``ScheduleResult.trace``) so callers get the telemetry without
+    talking to the obs module themselves.
+    """
+    return _session.to_dict() if _session is not None else None
+
+
+def enable(*, command: str = "") -> ObsSession:
+    """Switch tracing on, starting a fresh session."""
+    global enabled, _session
+    _session = ObsSession(command=command)
+    enabled = True
+    return _session
+
+
+def disable() -> None:
+    """Switch tracing off and drop the active session."""
+    global enabled, _session
+    enabled = False
+    _session = None
+
+
+def capture(*, command: str = "") -> Iterator[ObsSession]:
+    """Context manager: enable tracing for a block, then disable.
+
+    The yielded :class:`ObsSession` stays readable after exit —
+    ``session.to_dict()`` is how the CLI builds ``--trace-out`` files.
+    """
+    return _Capture(command)
+
+
+class _Capture:
+    __slots__ = ("_command", "_session")
+
+    def __init__(self, command: str) -> None:
+        self._command = command
+
+    def __enter__(self) -> ObsSession:
+        self._session = enable(command=self._command)
+        return self._session
+
+    def __exit__(self, *exc: object) -> bool:
+        disable()
+        return False

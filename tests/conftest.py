@@ -12,6 +12,22 @@ import pytest
 from repro.core.params import PRMRequirements
 from repro.devices import XC5VLX110T, XC6VLX75T, VIRTEX5, VIRTEX6
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite golden report files instead of comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request) -> bool:
+    """True when the run should regenerate golden files."""
+    return request.config.getoption("--update-golden")
+
+
 # --- Table V reference (reconstructed; see DESIGN.md §5) -------------------
 
 #: (workload, family) -> (LUT_FF_req, LUT_req, FF_req, DSP_req, BRAM_req)

@@ -1,0 +1,63 @@
+"""Differential: pruned branch-and-bound front vs the exhaustive front.
+
+The explorer's ``pruned`` mode may drop dominated designs, but its
+Pareto front must be *identical* to exhaustive enumeration for any PRM
+set — the guarantee its docstring makes.  Randomized small PRM sets
+probe it well beyond the paper's fixed three workloads.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.explorer import explore, pareto_front
+from repro.core.params import PRMRequirements
+from repro.devices.catalog import XC5VLX110T, XC6VLX75T
+
+DEVICES = st.sampled_from([XC5VLX110T, XC6VLX75T])
+
+
+@st.composite
+def prm_sets(draw):
+    count = draw(st.integers(2, 4))
+    prms = []
+    for i in range(count):
+        luts = draw(st.integers(50, 3_000))
+        ffs = draw(st.integers(0, 3_000))
+        pairs = draw(st.integers(max(luts, ffs), luts + ffs))
+        prms.append(
+            PRMRequirements(
+                f"prm{i}",
+                pairs,
+                luts,
+                ffs,
+                dsps=draw(st.integers(0, 24)),
+                brams=draw(st.integers(0, 12)),
+            )
+        )
+    return prms
+
+
+def front_keys(designs):
+    """Canonical, order-free identity of a Pareto front."""
+    return {
+        (
+            design.objectives,
+            tuple(
+                sorted(
+                    tuple(sorted(p.name for p in a.prms))
+                    for a in design.assignments
+                )
+            ),
+        )
+        for design in pareto_front(designs)
+    }
+
+
+@given(DEVICES, prm_sets())
+@settings(max_examples=20, deadline=None)
+def test_pruned_front_equals_exhaustive_front(device, prms):
+    exhaustive = explore(device, prms, mode="exhaustive")
+    pruned = explore(device, prms, mode="pruned")
+    assert front_keys(pruned) == front_keys(exhaustive)
+    # Pruning only ever removes designs, never invents them.
+    assert len(pruned) <= len(exhaustive)

@@ -1,0 +1,12 @@
+"""Obs-suite guard: tracing must never leak across tests."""
+
+import pytest
+
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(autouse=True)
+def obs_stays_disabled():
+    assert not obs_trace.enabled, "tracing enabled before test started"
+    yield
+    obs_trace.disable()

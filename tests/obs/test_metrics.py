@@ -1,0 +1,112 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    SECONDS_BUCKETS,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("c")
+        assert c.value == 0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_decrease(self):
+        c = Counter("c")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_zero_increment_is_allowed(self):
+        c = Counter("c")
+        c.inc(0)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(4.0)
+        g.set(-2.0)
+        assert g.value == -2.0
+
+
+class TestHistogram:
+    def test_bucketing_uses_upper_bounds(self):
+        h = Histogram("h", (1.0, 10.0))
+        h.observe(0.5)  # <= 1.0
+        h.observe(1.0)  # <= 1.0 (inclusive upper bound)
+        h.observe(5.0)  # <= 10.0
+        h.observe(50.0)  # overflow
+        assert h.bucket_counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.total == pytest.approx(56.5)
+        assert h.mean == pytest.approx(56.5 / 4)
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Histogram("h", (1.0,)).mean == 0.0
+
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", (2.0, 1.0))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            Histogram("h", (1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one boundary"):
+            Histogram("h", ())
+
+    def test_to_dict_shape(self):
+        h = Histogram("h", (1.0,))
+        h.observe(0.2)
+        assert h.to_dict() == {
+            "boundaries": [1.0],
+            "bucket_counts": [1, 0],
+            "count": 1,
+            "sum": 0.2,
+        }
+
+    def test_default_bucket_constants_are_increasing(self):
+        for buckets in (SECONDS_BUCKETS, SIZE_BUCKETS):
+            assert list(buckets) == sorted(set(buckets))
+
+
+class TestRegistry:
+    def test_get_or_create_semantics(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("a") is reg.gauge("a")
+        assert reg.histogram("a") is reg.histogram("a")
+
+    def test_kinds_are_separate_namespaces(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.gauge("x").set(9)
+        assert reg.counter("x").value == 1
+        assert reg.gauge("x").value == 9
+
+    def test_histogram_reregistration_boundary_mismatch(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", (1.0, 2.0))
+        with pytest.raises(ValueError, match="different boundaries"):
+            reg.histogram("h", (1.0, 3.0))
+        # Same boundaries are fine.
+        assert reg.histogram("h", (1.0, 2.0)).name == "h"
+
+    def test_to_dict_sorted_and_complete(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.counter("a").inc(1)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h", (1.0,)).observe(3.0)
+        doc = reg.to_dict()
+        assert list(doc["counters"]) == ["a", "b"]
+        assert doc["counters"] == {"a": 1, "b": 2}
+        assert doc["gauges"] == {"g": 0.5}
+        assert doc["histograms"]["h"]["bucket_counts"] == [0, 1]

@@ -1,0 +1,137 @@
+"""Unit tests for the zero-dependency trace-schema validator."""
+
+import copy
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.schema import (
+    TRACE_SCHEMA_PATH,
+    SchemaError,
+    load_trace_schema,
+    validate_trace,
+)
+
+
+def make_doc():
+    """A minimal but complete valid trace document."""
+    return {
+        "version": 1,
+        "command": "test",
+        "spans": [
+            {
+                "name": "root",
+                "start_s": 0.0,
+                "wall_s": 0.5,
+                "cpu_s": 0.4,
+                "attrs": {"mode": "pruned"},
+                "children": [
+                    {
+                        "name": "child",
+                        "start_s": 0.1,
+                        "wall_s": 0.2,
+                        "cpu_s": 0.1,
+                        "attrs": {},
+                        "children": [],
+                    }
+                ],
+            }
+        ],
+        "metrics": {
+            "counters": {"explore.candidates_evaluated": 4},
+            "gauges": {"icap.effective_bytes_per_s": 4e8},
+            "histograms": {
+                "sched.wait_seconds": {
+                    "boundaries": [1e-3, 1.0],
+                    "bucket_counts": [2, 1, 0],
+                    "count": 3,
+                    "sum": 0.004,
+                }
+            },
+        },
+    }
+
+
+def test_schema_file_is_checked_in():
+    assert TRACE_SCHEMA_PATH.exists()
+    schema = load_trace_schema()
+    assert schema["required"] == ["version", "command", "spans", "metrics"]
+
+
+def test_valid_document_passes():
+    validate_trace(make_doc())
+
+
+def test_real_capture_passes():
+    with obs.capture(command="real") as session:
+        with obs.trace_span("outer", k=1):
+            with obs.trace_span("inner"):
+                pass
+        obs.metrics().counter("c").inc()
+        obs.metrics().histogram("h").observe(0.01)
+    validate_trace(session.to_dict())
+
+
+@pytest.mark.parametrize("missing", ["version", "command", "spans", "metrics"])
+def test_missing_required_top_level_field(missing):
+    doc = make_doc()
+    del doc[missing]
+    with pytest.raises(SchemaError, match=missing):
+        validate_trace(doc)
+
+
+def test_wrong_type_rejected():
+    doc = make_doc()
+    doc["version"] = "one"
+    with pytest.raises(SchemaError, match="version"):
+        validate_trace(doc)
+
+
+def test_bool_is_not_a_number():
+    doc = make_doc()
+    doc["metrics"]["counters"]["flag"] = True
+    with pytest.raises(SchemaError):
+        validate_trace(doc)
+
+
+def test_nested_span_validated_through_ref():
+    doc = make_doc()
+    doc["spans"][0]["children"][0].pop("wall_s")
+    with pytest.raises(SchemaError, match="wall_s"):
+        validate_trace(doc)
+
+
+def test_negative_timing_rejected():
+    doc = make_doc()
+    doc["spans"][0]["start_s"] = -0.1
+    with pytest.raises(SchemaError, match="minimum"):
+        validate_trace(doc)
+
+
+def test_histogram_shape_enforced():
+    doc = make_doc()
+    doc["metrics"]["histograms"]["sched.wait_seconds"].pop("bucket_counts")
+    with pytest.raises(SchemaError, match="bucket_counts"):
+        validate_trace(doc)
+
+
+def test_negative_bucket_count_rejected():
+    doc = make_doc()
+    doc["metrics"]["histograms"]["sched.wait_seconds"]["bucket_counts"] = [-1, 0, 0]
+    with pytest.raises(SchemaError):
+        validate_trace(doc)
+
+
+def test_error_paths_point_at_the_offender():
+    doc = make_doc()
+    doc["spans"][0]["children"][0]["cpu_s"] = "fast"
+    with pytest.raises(SchemaError) as excinfo:
+        validate_trace(doc)
+    assert "spans" in str(excinfo.value) and "cpu_s" in str(excinfo.value)
+
+
+def test_validator_does_not_mutate_document():
+    doc = make_doc()
+    frozen = copy.deepcopy(doc)
+    validate_trace(doc)
+    assert doc == frozen

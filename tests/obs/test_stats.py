@@ -1,0 +1,40 @@
+"""Unit tests for the trace renderer behind ``repro-fpga stats``."""
+
+from repro.obs.stats import render_metrics, render_span_tree, render_trace
+
+from tests.obs.test_schema import make_doc
+
+
+def test_span_tree_indents_children():
+    text = render_span_tree(make_doc())
+    lines = text.splitlines()
+    assert lines[0].startswith("root: wall ")
+    assert lines[1].startswith("  child: wall ")
+    assert "[mode=pruned]" in lines[0]
+
+
+def test_empty_document_renders_placeholders():
+    doc = {"version": 1, "command": "", "spans": [], "metrics": {}}
+    assert render_span_tree(doc) == "(no spans)"
+    assert render_metrics(doc) == "(no metrics)"
+    assert "(unknown)" in render_trace(doc)
+
+
+def test_metrics_sections_present_and_sorted():
+    text = render_metrics(make_doc())
+    assert "counters:" in text
+    assert "explore.candidates_evaluated" in text
+    assert "gauges:" in text
+    assert "histogram sched.wait_seconds: count=3" in text
+    # Only non-empty buckets are listed.
+    assert "> 1.000s" not in text
+
+
+def test_render_trace_is_deterministic():
+    doc = make_doc()
+    assert render_trace(doc) == render_trace(doc)
+
+
+def test_header_carries_command_and_version():
+    header = render_trace(make_doc()).splitlines()[0]
+    assert header == "trace: command=test version=1"

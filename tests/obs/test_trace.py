@@ -1,0 +1,111 @@
+"""Unit tests for the span tracer: off-by-default, nesting, sessions."""
+
+import repro.obs as obs
+from repro.obs import trace as obs_trace
+
+
+class TestDisabledMode:
+    def test_disabled_by_default(self):
+        assert obs.enabled is False
+        assert obs_trace.enabled is False
+
+    def test_trace_span_returns_shared_null_span(self):
+        a = obs_trace.trace_span("x")
+        b = obs_trace.trace_span("y", k=1)
+        assert a is b  # preallocated singleton: no per-call allocation
+
+    def test_null_span_is_inert(self):
+        with obs_trace.trace_span("x") as span:
+            span.set("k", "v")  # must not raise or record anything
+        assert obs_trace.snapshot() is None
+
+    def test_accessors_return_none(self):
+        assert obs_trace.metrics() is None
+        assert obs_trace.active_session() is None
+        assert obs_trace.current_span() is None
+        assert obs_trace.snapshot() is None
+
+
+class TestCapture:
+    def test_enable_disable_cycle(self):
+        with obs.capture(command="t") as session:
+            assert obs_trace.enabled is True
+            assert obs.enabled is True  # package attr tracks the live flag
+            assert obs_trace.active_session() is session
+        assert obs_trace.enabled is False
+        assert obs_trace.active_session() is None
+
+    def test_session_readable_after_exit(self):
+        with obs.capture(command="after") as session:
+            with obs_trace.trace_span("work"):
+                pass
+        doc = session.to_dict()
+        assert doc["command"] == "after"
+        assert [s["name"] for s in doc["spans"]] == ["work"]
+
+    def test_nested_spans(self):
+        with obs.capture() as session:
+            with obs_trace.trace_span("outer", mode="m"):
+                with obs_trace.trace_span("inner"):
+                    assert obs_trace.current_span().name == "inner"
+                assert obs_trace.current_span().name == "outer"
+        doc = session.to_dict()
+        (outer,) = doc["spans"]
+        assert outer["name"] == "outer"
+        assert outer["attrs"] == {"mode": "m"}
+        assert [c["name"] for c in outer["children"]] == ["inner"]
+
+    def test_sibling_spans_are_both_roots(self):
+        with obs.capture() as session:
+            with obs_trace.trace_span("a"):
+                pass
+            with obs_trace.trace_span("b"):
+                pass
+        assert [s["name"] for s in session.to_dict()["spans"]] == ["a", "b"]
+
+    def test_span_set_attribute(self):
+        with obs.capture() as session:
+            with obs_trace.trace_span("s") as span:
+                span.set("designs", 7)
+        assert session.to_dict()["spans"][0]["attrs"]["designs"] == 7
+
+    def test_span_timings_are_nonnegative_and_monotone(self):
+        with obs.capture() as session:
+            with obs_trace.trace_span("outer"):
+                with obs_trace.trace_span("inner"):
+                    sum(range(1_000))
+        (outer,) = session.to_dict()["spans"]
+        inner = outer["children"][0]
+        for span in (outer, inner):
+            assert span["start_s"] >= 0
+            assert span["wall_s"] >= 0
+            assert span["cpu_s"] >= 0
+        assert inner["start_s"] >= outer["start_s"]
+        assert inner["wall_s"] <= outer["wall_s"]
+
+    def test_snapshot_matches_session(self):
+        with obs.capture(command="snap") as session:
+            with obs_trace.trace_span("s"):
+                snap = obs_trace.snapshot()
+        assert snap["command"] == "snap"
+        assert snap["version"] == 1
+        # snapshot() mid-run already carries the open span
+        assert snap["spans"][0]["name"] == "s"
+        assert session.to_dict()["command"] == "snap"
+
+    def test_sessions_do_not_bleed(self):
+        with obs.capture() as first:
+            obs_trace.metrics().counter("c").inc()
+        with obs.capture() as second:
+            pass
+        assert first.to_dict()["metrics"]["counters"] == {"c": 1}
+        assert second.to_dict()["metrics"]["counters"] == {}
+
+    def test_timing_fields_constant(self):
+        assert obs_trace.TIMING_FIELDS == ("start_s", "wall_s", "cpu_s")
+        with obs.capture() as session:
+            with obs_trace.trace_span("s"):
+                pass
+        span = session.to_dict()["spans"][0]
+        for field in obs_trace.TIMING_FIELDS:
+            assert field in span

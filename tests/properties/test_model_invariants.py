@@ -1,0 +1,155 @@
+"""Property-based model invariants: geometry, utilization, bitstream.
+
+The three contracts the cost models must never violate, regardless of
+input: a produced geometry always accommodates its demand and only grows
+when the demand grows; utilization of a fitting placement is a true
+fraction; and eq. (18) yields positive, word-aligned sizes that are
+monotone in the configuration frame count.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitstream_model import (
+    config_frames_per_row,
+    estimate_bitstream,
+)
+from repro.core.params import PRMRequirements
+from repro.core.prr_model import (
+    InfeasibleGeometryError,
+    prr_geometry_for_rows,
+)
+from repro.core.utilization import utilization
+from repro.devices.family import VIRTEX4, VIRTEX5, VIRTEX6
+from repro.devices.resources import ResourceVector
+
+FAMILIES = st.sampled_from([VIRTEX4, VIRTEX5, VIRTEX6])
+
+
+@st.composite
+def requirements(draw, max_pairs=20_000):
+    """Valid PRMRequirements honouring the pair-class identities."""
+    luts = draw(st.integers(0, max_pairs))
+    ffs = draw(st.integers(0, max_pairs))
+    pairs = draw(st.integers(max(luts, ffs), luts + ffs))
+    dsps = draw(st.integers(0, 200))
+    brams = draw(st.integers(0, 100))
+    return PRMRequirements("prop", pairs, luts, ffs, dsps=dsps, brams=brams)
+
+
+@st.composite
+def demand_pairs(draw):
+    """Two PRMs where the second dominates the first component-wise."""
+    small = draw(requirements(max_pairs=10_000))
+    luts = small.luts + draw(st.integers(0, 5_000))
+    ffs = small.ffs + draw(st.integers(0, 5_000))
+    pairs = draw(
+        st.integers(max(small.lut_ff_pairs, max(luts, ffs)), luts + ffs)
+    )
+    big = PRMRequirements(
+        "prop-big",
+        pairs,
+        luts,
+        ffs,
+        dsps=small.dsps + draw(st.integers(0, 50)),
+        brams=small.brams + draw(st.integers(0, 25)),
+    )
+    return small, big
+
+
+@st.composite
+def geometries(draw):
+    """A random well-formed PRR shape on one of the families."""
+    family = draw(FAMILIES)
+    rows = draw(st.integers(1, 16))
+    clb = draw(st.integers(0, 10))
+    dsp = draw(st.integers(0, 4))
+    bram = draw(st.integers(0, 4))
+    if clb + dsp + bram == 0:
+        clb = 1
+    from repro.core.prr_model import PRRGeometry
+
+    return PRRGeometry(family, rows, ResourceVector(clb=clb, dsp=dsp, bram=bram))
+
+
+# -- geometry ---------------------------------------------------------------
+
+
+@given(requirements(), FAMILIES, st.integers(1, 16))
+@settings(max_examples=80)
+def test_geometry_fits_and_utilization_is_a_fraction(prm, family, rows):
+    """A produced geometry fits its demand, and every RU is in [0, 1]."""
+    if prm.lut_ff_pairs == 0 and prm.dsps == 0 and prm.brams == 0:
+        return
+    try:
+        geometry = prr_geometry_for_rows(prm, family, rows, single_dsp_column=False)
+    except InfeasibleGeometryError:
+        return
+    assert geometry.fits(prm)
+    report = utilization(prm, geometry)
+    for kind in ("clb", "ff", "lut", "dsp", "bram"):
+        value = getattr(report, kind)
+        assert 0.0 <= value <= 1.0, f"RU_{kind}={value} outside [0, 1]"
+
+
+@given(demand_pairs(), FAMILIES, st.integers(1, 16))
+@settings(max_examples=80)
+def test_geometry_monotone_in_demand(pair, family, rows):
+    """More demand never yields a narrower PRR (per kind or in total)."""
+    small, big = pair
+    if small.lut_ff_pairs == 0 and small.dsps == 0 and small.brams == 0:
+        return
+    try:
+        geo_small = prr_geometry_for_rows(
+            small, family, rows, single_dsp_column=False
+        )
+        geo_big = prr_geometry_for_rows(
+            big, family, rows, single_dsp_column=False
+        )
+    except InfeasibleGeometryError:
+        return
+    assert geo_big.columns.clb >= geo_small.columns.clb
+    assert geo_big.columns.dsp >= geo_small.columns.dsp
+    assert geo_big.columns.bram >= geo_small.columns.bram
+    assert geo_big.size >= geo_small.size
+
+
+# -- bitstream --------------------------------------------------------------
+
+
+@given(geometries())
+@settings(max_examples=100)
+def test_bitstream_positive_and_word_aligned(geometry):
+    """Eq. (18): sizes are positive, word-aligned, and sum per section."""
+    estimate = estimate_bitstream(geometry)
+    assert estimate.total_bytes > 0
+    assert estimate.total_bytes % estimate.bytes_per_word == 0
+    assert estimate.total_bytes == estimate.total_words * estimate.bytes_per_word
+    breakdown = estimate.breakdown()
+    assert breakdown["total"] == sum(
+        v for k, v in breakdown.items() if k != "total"
+    )
+
+
+@given(geometries(), st.integers(1, 8), st.integers(0, 3))
+@settings(max_examples=100)
+def test_bitstream_monotone_in_frame_count(geometry, extra_rows, extra_clb):
+    """More configuration frames never shrink the bitstream."""
+    from repro.core.prr_model import PRRGeometry
+
+    grown = PRRGeometry(
+        geometry.family,
+        geometry.rows + extra_rows,
+        ResourceVector(
+            clb=geometry.columns.clb + extra_clb,
+            dsp=geometry.columns.dsp,
+            bram=geometry.columns.bram,
+        ),
+    )
+    frames = config_frames_per_row(geometry.family, geometry.columns)
+    grown_frames = config_frames_per_row(grown.family, grown.columns)
+    assert grown_frames >= frames
+    assert (
+        estimate_bitstream(grown).total_bytes
+        >= estimate_bitstream(geometry).total_bytes
+    )

@@ -1,0 +1,46 @@
+"""Golden-file regression tests for the paper tables (V–VIII).
+
+Each table's rendered grid is compared byte-for-byte against a checked-in
+reference under ``tests/reports/golden/``.  Any model change that moves a
+published number shows up as a readable text diff; deliberate changes are
+blessed with ``pytest --update-golden``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.reports import tables as report_tables
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+TABLE_NUMBERS = (5, 6, 7, 8)
+
+
+def render_table(number: int) -> str:
+    """Render a paper table exactly like ``repro-fpga table <n>`` prints it."""
+    data = getattr(report_tables, f"table{number}")()
+    rows = []
+    for (prm, device_name), cells in data.items():
+        row = {"prm": prm, "device": device_name}
+        row.update(cells)
+        rows.append(row)
+    return report_tables.render_grid(rows) + "\n"
+
+
+@pytest.mark.parametrize("number", TABLE_NUMBERS)
+def test_table_matches_golden(number, update_golden):
+    rendered = render_table(number)
+    golden_path = GOLDEN_DIR / f"table{number}.txt"
+    if update_golden:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        golden_path.write_text(rendered, encoding="utf-8")
+        return
+    assert golden_path.exists(), (
+        f"missing golden file {golden_path}; run `pytest --update-golden` "
+        "to create it"
+    )
+    assert rendered == golden_path.read_text(encoding="utf-8"), (
+        f"table {number} drifted from its golden rendering; if the change "
+        "is intentional, bless it with `pytest --update-golden`"
+    )

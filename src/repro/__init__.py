@@ -19,8 +19,8 @@ Quickstart::
     print(result.summary())
 """
 
-from . import core, devices
+from . import core, devices, errors, serve
 
 __version__ = "1.0.0"
 
-__all__ = ["core", "devices", "__version__"]
+__all__ = ["core", "devices", "errors", "serve", "__version__"]

@@ -26,6 +26,7 @@ from .core.api import evaluate_prm
 from .core.explorer import explore, pareto_front
 from .core.placement_search import find_prr, search_with_trace
 from .devices.catalog import DEVICES, get_device
+from .errors import ReproError
 from .reports import tables as report_tables
 from .reports.figures import fig1_traces, fig2_structure, render_fig2
 from .synth.report import render_syr
@@ -49,6 +50,14 @@ def _add_explore_args(p: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help="evaluate partitions on a process pool of this size",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="anytime search: return the best designs found within this "
+        "wall-clock budget (the result is marked degraded if cut short)",
     )
 
 
@@ -346,8 +355,20 @@ def _cmd_explore(args: argparse.Namespace) -> int:
         synthesize(builder(device.family), device.family).requirements
         for builder in PAPER_WORKLOADS.values()
     ]
-    designs = explore(device, prms, mode=args.mode, workers=args.workers)
+    designs = explore(
+        device,
+        prms,
+        mode=args.mode,
+        workers=args.workers,
+        deadline_s=args.deadline,
+    )
     print(f"{len(designs)} feasible partitionings on {device.name}")
+    if args.deadline is not None:
+        print(
+            f"  status={designs.status} mode={designs.mode} "
+            f"elapsed={designs.elapsed_s:.3f}s "
+            f"evaluations={designs.evaluations}"
+        )
     for design in pareto_front(designs):
         print("  *", design.summary())
     return 0
@@ -528,7 +549,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         "advise": lambda: _cmd_advise(args),
         "report": lambda: _cmd_report(),
     }
-    return handlers[args.command]()
+    try:
+        return handlers[args.command]()
+    except ReproError as error:
+        # Typed taxonomy failures exit cleanly with their documented
+        # status code — no traceback spew for expected error classes.
+        print(f"error: {error.describe()}", file=sys.stderr)
+        return error.exit_code
 
 
 if __name__ == "__main__":

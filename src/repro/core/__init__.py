@@ -32,9 +32,11 @@ from .bitstream_model import (
     ncw_row,
     ndw_bram,
 )
+from .budget import Budget
 from .explorer import (
     DEFAULT_BEAM_WIDTH,
     MAX_EXHAUSTIVE_PRMS,
+    ExploreResult,
     PartitioningDesign,
     PRRAssignment,
     evaluate_partition,
@@ -106,6 +108,8 @@ __all__ = [
     "evaluate_partition",
     "explore",
     "pareto_front",
+    "ExploreResult",
+    "Budget",
     "MAX_EXHAUSTIVE_PRMS",
     "DEFAULT_BEAM_WIDTH",
     "RegionOccupancy",

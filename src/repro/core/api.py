@@ -8,9 +8,11 @@ size and reconfiguration time in one structured result.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from ..devices.fabric import Device
+from ..errors import InvalidInput
 from .bitstream_model import BitstreamEstimate, estimate_bitstream
 from .params import PRMRequirements
 from .placement_search import PlacedPRR, find_prr
@@ -23,6 +25,44 @@ from .reconfig_model import (
 from .utilization import UtilizationReport, utilization
 
 __all__ = ["CostModelResult", "evaluate_prm", "evaluate_shared_prr"]
+
+
+def _resolve_device(device: Device | str) -> Device:
+    """Accept a :class:`Device` or a catalog name (serving-layer input).
+
+    Unknown names raise :class:`~repro.errors.InvalidInput` listing the
+    valid choices (via :func:`repro.devices.catalog.get_device`).
+    """
+    if isinstance(device, Device):
+        return device
+    if isinstance(device, str):
+        from ..devices.catalog import get_device
+
+        return get_device(device)
+    raise InvalidInput(
+        f"device must be a Device or a catalog name, got {type(device).__name__}"
+    )
+
+
+def _validate_prm(prm: PRMRequirements) -> None:
+    if not isinstance(prm, PRMRequirements):
+        raise InvalidInput(
+            f"expected PRMRequirements, got {type(prm).__name__}; build one "
+            f"from a synthesis report via SynthesisReport.requirements"
+        )
+
+
+def _validate_controller_rate(controller_bytes_per_s: float) -> None:
+    if (
+        not isinstance(controller_bytes_per_s, (int, float))
+        or isinstance(controller_bytes_per_s, bool)
+        or not math.isfinite(controller_bytes_per_s)
+        or controller_bytes_per_s <= 0
+    ):
+        raise InvalidInput(
+            f"controller_bytes_per_s must be a positive finite number, got "
+            f"{controller_bytes_per_s!r}"
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,11 +116,19 @@ class CostModelResult:
 
 def evaluate_prm(
     prm: PRMRequirements,
-    device: Device,
+    device: Device | str,
     *,
     controller_bytes_per_s: float = ICAP_VIRTEX5_BYTES_PER_S,
 ) -> CostModelResult:
-    """Run both cost models for one PRM on one device."""
+    """Run both cost models for one PRM on one device.
+
+    ``device`` may be a :class:`Device` or a catalog name; malformed
+    inputs raise :class:`~repro.errors.InvalidInput` instead of
+    propagating nonsense geometry downstream.
+    """
+    _validate_prm(prm)
+    _validate_controller_rate(controller_bytes_per_s)
+    device = _resolve_device(device)
     placement = find_prr(device, prm)
     bitstream = estimate_bitstream(placement.geometry)
     return CostModelResult(
@@ -98,7 +146,7 @@ def evaluate_prm(
 
 def evaluate_shared_prr(
     prms: list[PRMRequirements],
-    device: Device,
+    device: Device | str,
     *,
     controller_bytes_per_s: float = ICAP_VIRTEX5_BYTES_PER_S,
 ) -> list[CostModelResult]:
@@ -109,7 +157,11 @@ def evaluate_shared_prr(
     shared PRR).
     """
     if not prms:
-        raise ValueError("at least one PRM is required")
+        raise InvalidInput("at least one PRM is required")
+    for prm in prms:
+        _validate_prm(prm)
+    _validate_controller_rate(controller_bytes_per_s)
+    device = _resolve_device(device)
     placement = find_prr(device, prms)
     bitstream = estimate_bitstream(placement.geometry)
     reconfig = estimate_reconfig_time(

@@ -1,0 +1,95 @@
+"""Search budgets for anytime exploration.
+
+A :class:`Budget` bounds a design-space search along two independent
+axes:
+
+* **wall clock** — ``deadline_s`` seconds from construction (measured
+  with ``time.monotonic``); the serving layer's lever;
+* **evaluation count** — ``max_evaluations`` full-partition
+  evaluations; deterministic, so tests can cut a search at an exact,
+  reproducible point and assert properties of the degraded result.
+
+Searches call :meth:`charge` once per completed candidate evaluation
+and poll :attr:`expired` at their loop heads; when the budget runs out
+they stop expanding and return whatever they have (the *anytime*
+contract — see :func:`repro.core.explorer.explore`).  A ``Budget`` is
+single-use: it starts ticking at construction.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import InvalidInput
+
+__all__ = ["Budget"]
+
+
+class Budget:
+    """Wall-clock + evaluation-count budget for one search run."""
+
+    __slots__ = (
+        "deadline_s",
+        "max_evaluations",
+        "evaluations",
+        "exhausted_reason",
+        "_start",
+    )
+
+    def __init__(
+        self,
+        *,
+        deadline_s: float | None = None,
+        max_evaluations: int | None = None,
+    ) -> None:
+        if deadline_s is not None and deadline_s <= 0:
+            raise InvalidInput(
+                f"deadline_s must be positive, got {deadline_s!r}"
+            )
+        if max_evaluations is not None and max_evaluations < 1:
+            raise InvalidInput(
+                f"max_evaluations must be >= 1, got {max_evaluations!r}"
+            )
+        self.deadline_s = deadline_s
+        self.max_evaluations = max_evaluations
+        self.evaluations = 0
+        #: ``None`` while within budget; ``"deadline"`` / ``"evaluations"``
+        #: once a limit tripped (sticky — a budget never un-expires).
+        self.exhausted_reason: str | None = None
+        self._start = time.monotonic()
+
+    @property
+    def limited(self) -> bool:
+        """Whether any limit is set at all."""
+        return self.deadline_s is not None or self.max_evaluations is not None
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self._start
+
+    @property
+    def remaining_s(self) -> float | None:
+        """Seconds left, or ``None`` when no deadline is set."""
+        if self.deadline_s is None:
+            return None
+        return max(0.0, self.deadline_s - self.elapsed_s)
+
+    def charge(self, evaluations: int = 1) -> None:
+        """Record completed candidate evaluations."""
+        self.evaluations += evaluations
+
+    @property
+    def expired(self) -> bool:
+        """True once either limit has tripped (and stays true)."""
+        if self.exhausted_reason is not None:
+            return True
+        if (
+            self.max_evaluations is not None
+            and self.evaluations >= self.max_evaluations
+        ):
+            self.exhausted_reason = "evaluations"
+            return True
+        if self.deadline_s is not None and self.elapsed_s >= self.deadline_s:
+            self.exhausted_reason = "deadline"
+            return True
+        return False

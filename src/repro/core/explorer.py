@@ -25,17 +25,36 @@ Four search strategies share the evaluation machinery (see
   is intractable;
 * ``auto`` — exhaustive up to :data:`MAX_EXHAUSTIVE_PRMS` PRMs, beam
   beyond.
+
+Two resilience layers sit on top (ISSUE 5):
+
+* **anytime search** — ``explore(..., deadline_s=...)`` (or
+  ``max_evaluations=...``) bounds the search with a
+  :class:`~repro.core.budget.Budget`; the result is an
+  :class:`ExploreResult` (a ``list`` subclass) carrying a
+  ``degraded``/``exhausted`` status, and ``mode="auto"`` escalates
+  exhaustive → pruned → beam when the budget is too tight for complete
+  enumeration.  An all-PRMs-share-one-PRR *incumbent* is evaluated first
+  so even a severely cut search returns a usable design.
+* **worker-crash recovery** — the process-pool path retries chunks whose
+  worker died (``BrokenProcessPool``, killed pid, unpicklable result)
+  with :class:`~repro.faults.reliable.RetryPolicy` backoff, and a
+  circuit breaker trips the remaining chunks to in-process serial
+  evaluation after repeated pool breakage.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Iterator, Literal, Sequence
 
 from ..devices.fabric import Device
+from ..errors import BackendBroken, InvalidInput, ReproError
 from ..obs import trace as _obs
 from .bitstream_model import bitstream_size_bytes
+from .budget import Budget
 from .fastpath import (
     PlacementCache,
     RegionOccupancy,
@@ -53,6 +72,7 @@ from .utilization import UtilizationReport, utilization
 __all__ = [
     "PRRAssignment",
     "PartitioningDesign",
+    "ExploreResult",
     "iter_set_partitions",
     "evaluate_partition",
     "explore",
@@ -60,6 +80,7 @@ __all__ = [
     "ExploreMode",
     "MAX_EXHAUSTIVE_PRMS",
     "DEFAULT_BEAM_WIDTH",
+    "POOL_BREAKER_THRESHOLD",
 ]
 
 #: Exploring more PRMs than this exhaustively would enumerate > 21k set
@@ -69,7 +90,13 @@ MAX_EXHAUSTIVE_PRMS = 8
 #: Partial partitions kept per level by the beam fallback.
 DEFAULT_BEAM_WIDTH = 64
 
+#: Process-pool breakages tolerated before the circuit breaker stops
+#: recreating pools and finishes the remaining chunks serially.
+POOL_BREAKER_THRESHOLD = 2
+
 ExploreMode = Literal["auto", "exhaustive", "pruned", "beam"]
+
+_EXPLORE_MODES = ("auto", "exhaustive", "pruned", "beam")
 
 
 def _record_search_metrics(
@@ -194,6 +221,61 @@ class PartitioningDesign:
         )
 
 
+class ExploreResult(list):
+    """The designs :func:`explore` found, plus anytime-search metadata.
+
+    A ``list`` subclass, so every pre-existing caller (slicing, equality,
+    ``pareto_front(designs)``) keeps working unchanged.  The extra
+    attributes only carry information when a budget was supplied:
+
+    * ``status`` — ``"exhausted"`` (the strategy ran to completion) or
+      ``"degraded"`` (the budget cut it; the list is the best-so-far);
+    * ``mode`` — the strategy actually used after any auto escalation;
+    * ``exhausted_reason`` — ``"deadline"`` / ``"evaluations"`` when
+      degraded, else ``None``;
+    * ``elapsed_s`` / ``evaluations`` — search cost actually spent;
+    * ``deadline_s`` — the wall-clock budget that applied, if any.
+    """
+
+    __slots__ = (
+        "status",
+        "mode",
+        "exhausted_reason",
+        "elapsed_s",
+        "evaluations",
+        "deadline_s",
+    )
+
+    def __init__(
+        self,
+        designs: Sequence[PartitioningDesign] = (),
+        *,
+        mode: str = "exhaustive",
+        status: str = "exhausted",
+        exhausted_reason: str | None = None,
+        elapsed_s: float = 0.0,
+        evaluations: int = 0,
+        deadline_s: float | None = None,
+    ) -> None:
+        super().__init__(designs)
+        self.mode = mode
+        self.status = status
+        self.exhausted_reason = exhausted_reason
+        self.elapsed_s = elapsed_s
+        self.evaluations = evaluations
+        self.deadline_s = deadline_s
+
+    @property
+    def degraded(self) -> bool:
+        """True when the budget cut the search before completion."""
+        return self.status == "degraded"
+
+    @property
+    def front(self) -> "list[PartitioningDesign]":
+        """Pareto front of the designs found so far."""
+        return pareto_front(self)
+
+
 def evaluate_partition(
     device: Device,
     groups: Sequence[Sequence[PRMRequirements]],
@@ -243,10 +325,13 @@ def explore(
     mode: ExploreMode = "auto",
     beam_width: int = DEFAULT_BEAM_WIDTH,
     workers: int | None = None,
-) -> list[PartitioningDesign]:
+    deadline_s: float | None = None,
+    max_evaluations: int | None = None,
+) -> ExploreResult:
     """Search PRM-to-PRR set partitions; return feasible designs.
 
-    Designs come back sorted by the objective tuple (best first).
+    Designs come back sorted by the objective tuple (best first), as an
+    :class:`ExploreResult` (a ``list`` subclass).
 
     ``mode`` selects the strategy:
 
@@ -254,21 +339,41 @@ def explore(
       :data:`MAX_EXHAUSTIVE_PRMS` PRMs; beyond that it degrades
       gracefully to beam search (bounded width ``beam_width``) instead of
       raising, so >8-PRM workloads return a good — not provably complete
-      — design set.
-    * ``"exhaustive"`` — every set partition; raises :class:`ValueError`
-      above :data:`MAX_EXHAUSTIVE_PRMS` PRMs.  With ``workers`` > 1 the
-      partition candidates are chunked across a process pool.
+      — design set.  With a budget (below), auto additionally escalates
+      exhaustive → pruned → beam when the budget looks too tight for the
+      cheaper-to-pick strategy.
+    * ``"exhaustive"`` — every set partition; raises
+      :class:`~repro.errors.InvalidInput` above
+      :data:`MAX_EXHAUSTIVE_PRMS` PRMs.  With ``workers`` > 1 the
+      partition candidates are chunked across a process pool (with
+      worker-crash recovery — see :func:`_explore_parallel`).
     * ``"pruned"`` — branch-and-bound: partial partitions whose
       admissible lower bound is already strictly dominated by a completed
       design are abandoned.  Returns a subset of the exhaustive design
       list whose Pareto front is identical (asserted by tests).
     * ``"beam"`` — beam search at any PRM count.
 
+    ``deadline_s`` / ``max_evaluations`` make the search *anytime*: the
+    all-PRMs-in-one-PRR incumbent is evaluated first, then the selected
+    strategy runs until it completes or the budget expires, and the
+    result reports ``status="degraded"`` with the best designs found so
+    far instead of raising.  Without a budget the search behaves — and
+    its outputs are byte-identical to — the pre-anytime code path.
+
     ``workers`` only applies to the exhaustive path; the other modes are
     sequential (their search order is the point).
     """
+    if mode not in _EXPLORE_MODES:
+        raise InvalidInput(
+            f"unknown explore mode {mode!r}; valid: {', '.join(_EXPLORE_MODES)}"
+        )
     n = len(prms)
-    if mode == "auto":
+    budget = (
+        Budget(deadline_s=deadline_s, max_evaluations=max_evaluations)
+        if deadline_s is not None or max_evaluations is not None
+        else None
+    )
+    if mode == "auto" and budget is None:
         mode = "exhaustive" if n <= MAX_EXHAUSTIVE_PRMS else "beam"
     with _obs.trace_span(
         "explore", mode=mode, prms=n, device=device.name
@@ -276,15 +381,28 @@ def explore(
         window_before = (
             device.window_index.stats() if _obs.enabled else None
         )
-        designs = _explore_dispatch(
-            device,
-            prms,
-            mode=mode,
-            controller_bytes_per_s=controller_bytes_per_s,
-            max_prrs=max_prrs,
-            beam_width=beam_width,
-            workers=workers,
-        )
+        if budget is None:
+            designs = _explore_dispatch(
+                device,
+                prms,
+                mode=mode,
+                controller_bytes_per_s=controller_bytes_per_s,
+                max_prrs=max_prrs,
+                beam_width=beam_width,
+                workers=workers,
+            )
+            result = ExploreResult(designs, mode=mode, status="exhausted")
+        else:
+            result = _explore_anytime(
+                device,
+                prms,
+                mode=mode,
+                budget=budget,
+                controller_bytes_per_s=controller_bytes_per_s,
+                max_prrs=max_prrs,
+                beam_width=beam_width,
+                workers=workers,
+            )
         if window_before is not None:
             registry = _obs.metrics()
             if registry is not None:
@@ -293,8 +411,132 @@ def explore(
                     registry.counter(f"window_index.{key}").inc(
                         after[key] - window_before[key]
                     )
-            span.set("designs", len(designs))
-    return designs
+            span.set("designs", len(result))
+            if budget is not None:
+                span.set("status", result.status)
+                span.set("anytime_mode", result.mode)
+    return result
+
+
+def _explore_anytime(
+    device: Device,
+    prms: Sequence[PRMRequirements],
+    *,
+    mode: str,
+    budget: Budget,
+    controller_bytes_per_s: float,
+    max_prrs: int | None,
+    beam_width: int,
+    workers: int | None,
+) -> ExploreResult:
+    """Budgeted search: incumbent first, then the (escalated) strategy.
+
+    The incumbent — every PRM sharing one PRR — is the cheapest complete
+    design and doubles as the timing probe for deadline-driven mode
+    escalation.  When that grouping is infeasible (one PRM's demands
+    blow the shared PRR past the fabric) the opposite endpoint — one PRR
+    per PRM — is probed instead.  The incumbent is merged into the final
+    design list if the cut-off strategy did not reach that grouping
+    itself, so a degraded result is non-empty whenever either endpoint
+    grouping is feasible.
+    """
+    incumbent: PartitioningDesign | None = None
+    probe_s = 0.0
+    if prms and (max_prrs is None or max_prrs >= 1):
+        probe_start = time.perf_counter()
+        incumbent = evaluate_partition(
+            device,
+            [list(prms)],
+            controller_bytes_per_s=controller_bytes_per_s,
+        )
+        probe_s = time.perf_counter() - probe_start
+        budget.charge()
+        if (
+            incumbent is None
+            and len(prms) > 1
+            and (max_prrs is None or max_prrs >= len(prms))
+        ):
+            incumbent = evaluate_partition(
+                device,
+                [[prm] for prm in prms],
+                controller_bytes_per_s=controller_bytes_per_s,
+            )
+            budget.charge()
+    if mode == "auto":
+        mode = _escalate_mode(len(prms), budget, probe_s)
+    designs: list[PartitioningDesign] = []
+    if not budget.expired:
+        designs = _explore_dispatch(
+            device,
+            prms,
+            mode=mode,
+            controller_bytes_per_s=controller_bytes_per_s,
+            max_prrs=max_prrs,
+            beam_width=beam_width,
+            workers=workers,
+            budget=budget,
+        )
+    if incumbent is not None and not any(
+        _same_grouping(d, incumbent) for d in designs
+    ):
+        designs = sorted([*designs, incumbent], key=lambda d: d.objectives)
+    status = "degraded" if budget.exhausted_reason is not None else "exhausted"
+    if _obs.enabled and status == "degraded":
+        registry = _obs.metrics()
+        if registry is not None:
+            registry.counter("explore.budget_cutoffs").inc()
+    return ExploreResult(
+        designs,
+        mode=mode,
+        status=status,
+        exhausted_reason=budget.exhausted_reason,
+        elapsed_s=budget.elapsed_s,
+        evaluations=budget.evaluations,
+        deadline_s=budget.deadline_s,
+    )
+
+
+def _bell_number(n: int) -> int:
+    """Number of set partitions of *n* items (exhaustive candidate count)."""
+    row = [1]
+    for _ in range(n):
+        nxt = [row[-1]]
+        for value in row:
+            nxt.append(nxt[-1] + value)
+        row = nxt
+    return row[0]
+
+
+def _escalate_mode(n: int, budget: Budget, probe_s: float) -> str:
+    """Pick the strongest strategy the budget can plausibly afford.
+
+    Exhaustive enumerates Bell(n) candidates; the incumbent evaluation
+    time is the per-candidate cost estimate (an overestimate once the
+    placement cache warms up, which biases toward completing in budget).
+    Pruned typically evaluates a small fraction of Bell(n) but has no
+    useful a-priori bound, so it gets a generous multiplier; beam is the
+    always-bounded fallback.
+    """
+    candidates = _bell_number(n)
+    if budget.max_evaluations is not None:
+        allowed = budget.max_evaluations - budget.evaluations
+        if n <= MAX_EXHAUSTIVE_PRMS and candidates <= allowed:
+            pass  # exhaustive still in play; deadline check below
+        elif n <= MAX_EXHAUSTIVE_PRMS:
+            return "pruned"
+        else:
+            return "beam"
+    if n > MAX_EXHAUSTIVE_PRMS:
+        return "beam"
+    remaining = budget.remaining_s
+    if remaining is None:
+        return "exhaustive"
+    projected = candidates * max(probe_s, 1e-6)
+    if projected <= 0.5 * remaining:
+        return "exhaustive"
+    if projected <= 4.0 * remaining:
+        return "pruned"
+    return "beam"
 
 
 def _explore_dispatch(
@@ -306,11 +548,12 @@ def _explore_dispatch(
     max_prrs: int | None,
     beam_width: int,
     workers: int | None,
+    budget: Budget | None = None,
 ) -> list[PartitioningDesign]:
     n = len(prms)
     if mode == "exhaustive":
         if n > MAX_EXHAUSTIVE_PRMS:
-            raise ValueError(
+            raise InvalidInput(
                 f"exhaustive exploration capped at {MAX_EXHAUSTIVE_PRMS} PRMs; "
                 f"got {n} — use mode='beam'/'pruned' (or mode='auto', which "
                 f"falls back to beam search automatically)"
@@ -322,12 +565,14 @@ def _explore_dispatch(
                 controller_bytes_per_s=controller_bytes_per_s,
                 max_prrs=max_prrs,
                 workers=workers,
+                budget=budget,
             )
         return _explore_exhaustive(
             device,
             prms,
             controller_bytes_per_s=controller_bytes_per_s,
             max_prrs=max_prrs,
+            budget=budget,
         )
     if mode == "pruned":
         return _explore_pruned(
@@ -335,6 +580,7 @@ def _explore_dispatch(
             prms,
             controller_bytes_per_s=controller_bytes_per_s,
             max_prrs=max_prrs,
+            budget=budget,
         )
     if mode == "beam":
         return _explore_beam(
@@ -343,8 +589,9 @@ def _explore_dispatch(
             controller_bytes_per_s=controller_bytes_per_s,
             max_prrs=max_prrs,
             beam_width=beam_width,
+            budget=budget,
         )
-    raise ValueError(f"unknown explore mode {mode!r}")
+    raise InvalidInput(f"unknown explore mode {mode!r}")
 
 
 def _explore_exhaustive(
@@ -353,11 +600,14 @@ def _explore_exhaustive(
     *,
     controller_bytes_per_s: float,
     max_prrs: int | None,
+    budget: Budget | None = None,
 ) -> list[PartitioningDesign]:
     cache = PlacementCache()
     designs: list[PartitioningDesign] = []
     evaluated = 0
     for partition in iter_set_partitions(range(len(prms))):
+        if budget is not None and budget.expired:
+            break
         if max_prrs is not None and len(partition) > max_prrs:
             continue
         groups = [[prms[i] for i in group] for group in partition]
@@ -368,6 +618,8 @@ def _explore_exhaustive(
             controller_bytes_per_s=controller_bytes_per_s,
             placement_cache=cache,
         )
+        if budget is not None:
+            budget.charge()
         if design is not None:
             designs.append(design)
     designs.sort(key=lambda d: d.objectives)
@@ -407,6 +659,31 @@ def _evaluate_partition_chunk(
     return designs
 
 
+#: The function worker processes run per chunk.  Module-level so tests and
+#: the soak benchmark can swap in fault-injecting evaluators (the crash
+#: path is otherwise unreachable on a healthy machine).
+_CHUNK_EVALUATOR = _evaluate_partition_chunk
+
+
+def _record_recovery_metrics(
+    *,
+    crashes: int,
+    retry_rounds: int,
+    circuit_tripped: bool,
+    serial_chunks: int,
+) -> None:
+    """Publish the worker-crash recovery counters (no-op when disabled)."""
+    registry = _obs.metrics()
+    if registry is None:
+        return
+    registry.counter("explore.worker_crashes").inc(crashes)
+    registry.counter("explore.pool_retry_rounds").inc(retry_rounds)
+    registry.counter("explore.pool_circuit_tripped").inc(
+        1 if circuit_tripped else 0
+    )
+    registry.counter("explore.chunks_serial_fallback").inc(serial_chunks)
+
+
 def _explore_parallel(
     device: Device,
     prms: Sequence[PRMRequirements],
@@ -414,7 +691,24 @@ def _explore_parallel(
     controller_bytes_per_s: float,
     max_prrs: int | None,
     workers: int,
+    budget: Budget | None = None,
 ) -> list[PartitioningDesign]:
+    """Chunked evaluation on a process pool, with worker-crash recovery.
+
+    Failure handling (ISSUE 5): any chunk whose future raises — a worker
+    killed mid-chunk (``BrokenProcessPool``), an unpicklable result, an
+    exception escaping the chunk evaluator — is retried on a fresh pool
+    with :class:`~repro.faults.reliable.RetryPolicy` exponential backoff.
+    After :data:`POOL_BREAKER_THRESHOLD` pool breakages (or once retries
+    are exhausted) the circuit breaker stops paying pool-restart costs
+    and the remaining chunks run serially in-process, so a deterministic
+    crasher cannot take the search down; a chunk that fails even serially
+    raises :class:`~repro.errors.BackendBroken`.  Chunk results are
+    reassembled in submission order, so the pre-sort design order — and
+    therefore the final output — is identical to the sequential path.
+    """
+    from ..faults.reliable import RetryPolicy
+
     partitions = [
         [tuple(group) for group in partition]
         for partition in iter_set_partitions(range(len(prms)))
@@ -426,22 +720,80 @@ def _explore_parallel(
         partitions[i : i + chunk_size]
         for i in range(0, len(partitions), chunk_size)
     ]
-    designs: list[PartitioningDesign] = []
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [
-            pool.submit(
-                _evaluate_partition_chunk,
-                device,
-                list(prms),
-                chunk,
-                controller_bytes_per_s,
+    chunk_fn = _CHUNK_EVALUATOR
+    policy = RetryPolicy(
+        max_attempts=3, backoff_base_s=0.05, backoff_factor=2.0, backoff_cap_s=0.5
+    )
+    results: dict[int, list[PartitioningDesign]] = {}
+    pending = list(range(len(chunks)))
+    crashes = 0
+    pool_breaks = 0
+    retry_rounds = 0
+    deadline_cut = False
+    for round_no in range(1, policy.max_attempts + 1):
+        if not pending or pool_breaks >= POOL_BREAKER_THRESHOLD:
+            break
+        if round_no > 1:
+            retry_rounds += 1
+            time.sleep(policy.backoff_seconds(round_no - 1))
+        failed: list[int] = []
+        pool_broke = False
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                index: pool.submit(
+                    chunk_fn,
+                    device,
+                    list(prms),
+                    chunks[index],
+                    controller_bytes_per_s,
+                )
+                for index in pending
+            }
+            # Collect in submission order so the pre-sort design order
+            # matches the sequential path exactly.
+            for index in pending:
+                if budget is not None and budget.expired:
+                    deadline_cut = True
+                    for future in futures.values():
+                        future.cancel()
+                    break
+                try:
+                    results[index] = futures[index].result()
+                    if budget is not None:
+                        budget.charge(len(chunks[index]))
+                except Exception as exc:
+                    crashes += 1
+                    failed.append(index)
+                    if isinstance(exc, BrokenExecutor):
+                        pool_broke = True
+        if pool_broke:
+            pool_breaks += 1
+        pending = failed
+        if deadline_cut:
+            pending = []
+            break
+    circuit_tripped = pool_breaks >= POOL_BREAKER_THRESHOLD
+    serial_chunks = len(pending)
+    for index in pending:
+        # Retries/circuit breaker exhausted the pool path: finish the
+        # chunk in-process, where there is no worker to lose.
+        try:
+            results[index] = chunk_fn(
+                device, list(prms), chunks[index], controller_bytes_per_s
             )
-            for chunk in chunks
-        ]
-        # Collect in submission order so the pre-sort design order matches
-        # the sequential path exactly.
-        for future in futures:
-            designs.extend(future.result())
+            if budget is not None:
+                budget.charge(len(chunks[index]))
+        except ReproError:
+            raise
+        except Exception as exc:
+            raise BackendBroken(
+                f"partition chunk {index} failed even in serial fallback "
+                f"after {crashes} worker crash(es)",
+                cause=repr(exc),
+            ) from exc
+    designs = [
+        design for index in sorted(results) for design in results[index]
+    ]
     designs.sort(key=lambda d: d.objectives)
     if _obs.enabled:
         # Worker-local placement caches cannot report back; candidate and
@@ -452,6 +804,12 @@ def _explore_parallel(
             pruned=0,
             feasible=len(designs),
             cache=None,
+        )
+        _record_recovery_metrics(
+            crashes=crashes,
+            retry_rounds=retry_rounds,
+            circuit_tripped=circuit_tripped,
+            serial_chunks=serial_chunks,
         )
     return designs
 
@@ -510,12 +868,17 @@ def _strictly_dominates(a: tuple, b: tuple) -> bool:
     )
 
 
+class _BudgetExhausted(Exception):
+    """Internal unwind signal for the recursive pruned search."""
+
+
 def _explore_pruned(
     device: Device,
     prms: Sequence[PRMRequirements],
     *,
     controller_bytes_per_s: float,
     max_prrs: int | None,
+    budget: Budget | None = None,
 ) -> list[PartitioningDesign]:
     """Branch-and-bound enumeration with an exact Pareto front.
 
@@ -523,6 +886,11 @@ def _explore_pruned(
     is *strictly* dominated by a completed design — every completion of
     such a partial is itself strictly dominated, so dropping it cannot
     change the Pareto front (ties are deliberately kept).
+
+    With a budget, expiry unwinds the recursion and the designs completed
+    so far are returned; because the descent visits join-existing-group
+    branches first, the early designs are the heavily shared (small-area)
+    ones, which keeps a cut-off front useful.
     """
     n = len(prms)
     cache = PlacementCache()
@@ -547,6 +915,8 @@ def _explore_pruned(
 
     def descend(index: int) -> None:
         nonlocal evaluated
+        if budget is not None and budget.expired:
+            raise _BudgetExhausted
         if index == n:
             evaluated += 1
             design = evaluate_partition(
@@ -555,6 +925,8 @@ def _explore_pruned(
                 controller_bytes_per_s=controller_bytes_per_s,
                 placement_cache=cache,
             )
+            if budget is not None:
+                budget.charge()
             if design is not None:
                 designs.append(design)
                 archived.append(design.objectives)
@@ -574,8 +946,11 @@ def _explore_pruned(
 
     if n == 0:
         return []
-    if viable(0):
-        descend(0)
+    try:
+        if viable(0):
+            descend(0)
+    except _BudgetExhausted:
+        pass
     designs.sort(key=lambda d: d.objectives)
     if _obs.enabled:
         _record_search_metrics(
@@ -595,6 +970,7 @@ def _explore_beam(
     controller_bytes_per_s: float,
     max_prrs: int | None,
     beam_width: int,
+    budget: Budget | None = None,
 ) -> list[PartitioningDesign]:
     """Bounded-width beam search over partial partitions.
 
@@ -602,15 +978,20 @@ def _explore_beam(
     PRMs, ranked by the same admissible lower bound the pruned path uses;
     survivors of the final level are evaluated exactly.  Completes in
     O(n x beam_width x n) partial expansions regardless of PRM count.
+
+    Budget expiry stops the level expansion; completed designs seen so
+    far (only the final level produces any) are returned, and the
+    anytime wrapper's incumbent guarantees a non-empty overall result.
     """
     if beam_width < 1:
-        raise ValueError("beam_width must be >= 1")
+        raise InvalidInput("beam_width must be >= 1")
     n = len(prms)
     if n == 0:
         return []
     cache = PlacementCache()
     evaluated = 0
     pruned = 0
+    cut = False
 
     def partial_score(
         candidate: tuple[tuple[int, ...], ...], next_index: int
@@ -659,12 +1040,17 @@ def _explore_beam(
             if max_prrs is None or len(partial) < max_prrs:
                 expansions.append(partial + ((index,),))
             for candidate in expansions:
+                if budget is not None and budget.expired:
+                    cut = True
+                    break
                 canonical = tuple(sorted(candidate))
                 if canonical in seen:
                     continue
                 seen.add(canonical)
                 evaluated += 1
                 result = partial_score(candidate, index + 1)
+                if budget is not None:
+                    budget.charge()
                 if result is None:
                     pruned += 1
                     continue
@@ -672,12 +1058,19 @@ def _explore_beam(
                 scored.append((score, candidate))
                 if index + 1 == n:
                     final[candidate] = design
+            if cut:
+                break
         scored.sort(key=lambda item: item[0])
         pruned += max(0, len(scored) - beam_width)
         beam = [candidate for _, candidate in scored[:beam_width]]
-        if not beam:
-            return []
+        if cut or not beam:
+            break
     designs = [final[candidate] for candidate in beam if candidate in final]
+    if cut and not designs:
+        # The budget expired before the last level: salvage any exactly
+        # evaluated complete designs (there are none unless n was reached,
+        # so this usually stays empty and the incumbent covers the result).
+        designs = list(final.values())
     designs.sort(key=lambda d: d.objectives)
     if _obs.enabled:
         _record_search_metrics(

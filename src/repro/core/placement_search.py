@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Iterator, Literal, Sequence
 
 from ..devices.fabric import Device, Region
+from ..errors import InfeasiblePlacement
 from .bitstream_model import bitstream_size_bytes
 from .fastpath import RegionOccupancy
 from .params import PRMRequirements
@@ -50,8 +51,13 @@ __all__ = [
 Objective = Literal["size", "bitstream"]
 
 
-class PlacementNotFoundError(LookupError):
-    """No feasible PRR placement exists on the device for the PRM(s)."""
+class PlacementNotFoundError(InfeasiblePlacement):
+    """No feasible PRR placement exists on the device for the PRM(s).
+
+    Part of the :mod:`repro.errors` taxonomy
+    (:class:`~repro.errors.InfeasiblePlacement`, itself a ``LookupError``
+    for back-compat with pre-taxonomy handlers).
+    """
 
 
 @dataclass(frozen=True, slots=True)

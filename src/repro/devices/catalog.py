@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import re
 
+from ..errors import InvalidInput
 from .fabric import Device
 from .family import (
     DeviceFamily,
@@ -47,8 +48,18 @@ __all__ = [
     "XC7Z020",
     "XC6SLX45",
     "DEVICES",
+    "UnknownDeviceError",
     "get_device",
 ]
+
+
+class UnknownDeviceError(InvalidInput, KeyError):
+    """A device name not present in :data:`DEVICES`.
+
+    Both an :class:`~repro.errors.InvalidInput` (typed taxonomy, exit
+    code 2, lists the valid choices) and a ``KeyError`` (what
+    :func:`get_device` raised before the taxonomy existed).
+    """
 
 _LETTER_TO_KIND = {
     "C": ColumnKind.CLB,
@@ -167,10 +178,20 @@ DEVICES: dict[str, Device] = {
 
 
 def get_device(name: str) -> Device:
-    """Look up a catalog device by (case-insensitive) part name."""
+    """Look up a catalog device by (case-insensitive) part name.
+
+    Raises :class:`UnknownDeviceError` (an ``InvalidInput`` *and* a
+    ``KeyError``) listing the valid choices for unknown names.
+    """
+    if not isinstance(name, str):
+        raise UnknownDeviceError(
+            f"device name must be a string, got {type(name).__name__}"
+        )
     key = name.lower()
     if key not in DEVICES:
-        raise KeyError(f"unknown device {name!r}; known: {sorted(DEVICES)}")
+        raise UnknownDeviceError(
+            f"unknown device {name!r}; valid choices: {', '.join(sorted(DEVICES))}"
+        )
     return DEVICES[key]
 
 

@@ -29,6 +29,7 @@ from ..bitgen.words import ConfigRegister
 from ..icap.controllers import ReconfigController
 from ..icap.reconfig import simulate_reconfiguration
 from ..icap.storage import StorageMedium
+from ..obs import trace as _obs
 from .injector import FaultInjector, TransferOutcome
 
 __all__ = [
@@ -192,6 +193,23 @@ class ReliableReconfigurer:
         verify = nbytes / self.verify_bytes_per_s
         result = ReliableReconfigResult(bitstream_bytes=nbytes, verified_crc=golden)
 
+        try:
+            return self._reconfigure_attempts(
+                data, now, target, base, verify, result
+            )
+        finally:
+            _publish_reliability_metrics(result)
+
+    def _reconfigure_attempts(
+        self,
+        data: bytes | None,
+        now: float,
+        target: str,
+        base,
+        verify: float,
+        result: ReliableReconfigResult,
+    ) -> ReliableReconfigResult:
+        golden = result.verified_crc
         elapsed = 0.0
         for attempt in range(1, self.policy.max_attempts + 1):
             outcome = self._attempt_outcome(now + elapsed, target, attempt)
@@ -260,3 +278,25 @@ class ReliableReconfigurer:
             bit = int(self.injector.rng.integers(len(data) * 8))
             received[bit // 8] ^= 1 << (bit % 8)
         return bytes(received)
+
+
+def _publish_reliability_metrics(result: ReliableReconfigResult) -> None:
+    """Emit retry/fault counters for one verified reconfiguration.
+
+    No-op when observability is disabled; counters only (no span state),
+    so this is safe from any thread.
+    """
+    registry = _obs.metrics()
+    if registry is None:
+        return
+    registry.counter("reconfig.attempts").inc(len(result.attempts))
+    registry.counter("reconfig.retries").inc(result.retries)
+    outcomes = [a.outcome for a in result.attempts]
+    registry.counter("reconfig.crc_mismatches").inc(
+        outcomes.count("crc_mismatch")
+    )
+    registry.counter("reconfig.timeouts").inc(outcomes.count("timeout"))
+    if result.deadline_exceeded:
+        registry.counter("reconfig.deadline_exceeded").inc(1)
+    if not result.success:
+        registry.counter("reconfig.failures").inc(1)

@@ -1,0 +1,23 @@
+"""``repro.serve`` — a resilient serving layer over the cost models.
+
+* :mod:`~repro.serve.service` — :class:`CostModelService`: bounded work
+  queue, backpressure/load shedding (:class:`~repro.errors.Overloaded`),
+  per-request deadlines (:class:`~repro.errors.DeadlineExceeded`,
+  anytime exploration under the remaining budget) and graceful drain.
+"""
+
+from .service import (
+    CostModelService,
+    EvaluateRequest,
+    ExploreRequest,
+    ServiceConfig,
+    Ticket,
+)
+
+__all__ = [
+    "CostModelService",
+    "EvaluateRequest",
+    "ExploreRequest",
+    "ServiceConfig",
+    "Ticket",
+]

@@ -1,0 +1,319 @@
+"""Bounded-queue cost-model service with backpressure and deadlines.
+
+:class:`CostModelService` turns the library's synchronous entry points
+(:func:`repro.core.evaluate_prm`, :func:`repro.core.explore`) into a
+small resilient serving layer, the way a reconfiguration manager would
+embed them:
+
+* a **bounded work queue** — when it is full, :meth:`submit` sheds the
+  request immediately with a typed :class:`~repro.errors.Overloaded`
+  carrying ``retry_after_s`` (load shedding beats unbounded latency);
+* **per-request deadlines** — a request whose budget elapsed while
+  queued fails fast with :class:`~repro.errors.DeadlineExceeded`
+  instead of wasting a worker; an explore request that starts with
+  budget remaining runs as an *anytime* search bounded by what is left,
+  so it returns a degraded-but-valid front rather than timing out;
+* **graceful drain** — :meth:`stop` finishes accepted work by default;
+  ``drain=False`` cancels queued requests with ``Overloaded``.
+
+Worker threads only ever *call into* the library; process-level crash
+recovery for parallel exploration lives in
+:func:`repro.core.explorer._explore_parallel` and composes with this
+layer unchanged.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+
+from ..core.api import CostModelResult, evaluate_prm
+from ..core.explorer import ExploreResult, explore
+from ..core.params import PRMRequirements
+from ..devices.fabric import Device
+from ..errors import DeadlineExceeded, InvalidInput, Overloaded, ReproError
+from ..obs import trace as _obs
+
+__all__ = [
+    "ServiceConfig",
+    "EvaluateRequest",
+    "ExploreRequest",
+    "Ticket",
+    "CostModelService",
+]
+
+
+def _count(name: str, n: int = 1) -> None:
+    """Increment a service counter; no-op when observability is off."""
+    registry = _obs.metrics()
+    if registry is not None:
+        registry.counter(name).inc(n)
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Sizing and shedding knobs for :class:`CostModelService`."""
+
+    workers: int = 2
+    queue_depth: int = 16
+    default_deadline_s: float | None = None  #: applied when a request has none
+    shed_retry_after_s: float = 0.05  #: retry hint attached to ``Overloaded``
+    drain_timeout_s: float = 30.0  #: how long :meth:`stop` waits for drain
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise InvalidInput(f"workers must be >= 1, got {self.workers}")
+        if self.queue_depth < 1:
+            raise InvalidInput(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise InvalidInput("default_deadline_s must be positive when set")
+        if self.shed_retry_after_s < 0:
+            raise InvalidInput("shed_retry_after_s must be non-negative")
+        if self.drain_timeout_s <= 0:
+            raise InvalidInput("drain_timeout_s must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class EvaluateRequest:
+    """One PRM through both cost models (Tables V–VII workflow)."""
+
+    prm: PRMRequirements
+    device: Device | str
+    controller_bytes_per_s: float | None = None
+    deadline_s: float | None = None
+
+    def run(self, remaining_s: float | None) -> CostModelResult:
+        kwargs = {}
+        if self.controller_bytes_per_s is not None:
+            kwargs["controller_bytes_per_s"] = self.controller_bytes_per_s
+        return evaluate_prm(self.prm, self.device, **kwargs)
+
+
+@dataclass(frozen=True, slots=True)
+class ExploreRequest:
+    """A design-space exploration; runs *anytime* under its deadline."""
+
+    device: Device
+    prms: tuple[PRMRequirements, ...]
+    mode: str = "auto"
+    max_prrs: int | None = None
+    beam_width: int | None = None
+    workers: int | None = None
+    max_evaluations: int | None = None
+    deadline_s: float | None = None
+
+    def run(self, remaining_s: float | None) -> ExploreResult:
+        kwargs = {
+            "mode": self.mode,
+            "max_prrs": self.max_prrs,
+            "workers": self.workers,
+            "max_evaluations": self.max_evaluations,
+        }
+        if self.beam_width is not None:
+            kwargs["beam_width"] = self.beam_width
+        if remaining_s is not None:
+            kwargs["deadline_s"] = remaining_s
+        return explore(self.device, list(self.prms), **kwargs)
+
+
+class Ticket:
+    """Handle for one submitted request (a minimal thread-safe future)."""
+
+    __slots__ = ("_done", "_value", "_error")
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+
+    def _resolve(self, value) -> None:
+        self._value = value
+        self._done.set()
+
+    def _reject(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None):
+        """Block until resolved; re-raise the request's typed error."""
+        if not self._done.wait(timeout):
+            raise TimeoutError("request not finished")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+@dataclass(slots=True)
+class _Job:
+    request: EvaluateRequest | ExploreRequest
+    ticket: Ticket
+    enqueued_at: float
+    deadline_s: float | None
+
+    def remaining_s(self) -> float | None:
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s - (time.monotonic() - self.enqueued_at)
+
+
+_STOP = object()
+
+
+class CostModelService:
+    """Thread-pool service over the cost models; see module docstring.
+
+    Usage::
+
+        with CostModelService(ServiceConfig(workers=2)) as service:
+            ticket = service.submit(EvaluateRequest(prm, "xc5vlx110t"))
+            result = ticket.result(timeout=5.0)
+    """
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self._queue: queue.Queue = queue.Queue(maxsize=self.config.queue_depth)
+        self._threads: list[threading.Thread] = []
+        self._accepting = False
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "CostModelService":
+        with self._lock:
+            if self._threads:
+                raise InvalidInput("service already started")
+            self._accepting = True
+            for index in range(self.config.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-serve-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    def stop(self, *, drain: bool = True) -> None:
+        """Stop accepting work; finish (``drain=True``) or shed the queue."""
+        with self._lock:
+            self._accepting = False
+            threads, self._threads = self._threads, []
+        if not threads:
+            return
+        if not drain:
+            self._shed_pending()
+        for _ in threads:
+            self._queue.put(_STOP)
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        for thread in threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+
+    def __enter__(self) -> "CostModelService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop(drain=exc_type is None)
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, request: EvaluateRequest | ExploreRequest) -> Ticket:
+        """Enqueue a request; sheds with ``Overloaded`` when full."""
+        if not isinstance(request, (EvaluateRequest, ExploreRequest)):
+            raise InvalidInput(
+                f"expected EvaluateRequest or ExploreRequest, "
+                f"got {type(request).__name__}"
+            )
+        if not self._accepting:
+            raise Overloaded(
+                "service is not accepting requests (stopped or never started)",
+                retry_after_s=None,
+                queue_depth=self._queue.qsize(),
+            )
+        deadline_s = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.config.default_deadline_s
+        )
+        if deadline_s is not None and deadline_s <= 0:
+            raise InvalidInput(
+                f"deadline_s must be positive, got {deadline_s}"
+            )
+        ticket = Ticket()
+        job = _Job(
+            request=request,
+            ticket=ticket,
+            enqueued_at=time.monotonic(),
+            deadline_s=deadline_s,
+        )
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            _count("serve.shed")
+            raise Overloaded(
+                f"work queue full ({self.config.queue_depth} deep); "
+                f"retry after {self.config.shed_retry_after_s}s",
+                retry_after_s=self.config.shed_retry_after_s,
+                queue_depth=self.config.queue_depth,
+            ) from None
+        _count("serve.accepted")
+        return ticket
+
+    # -- internals -----------------------------------------------------------
+
+    def _shed_pending(self) -> None:
+        while True:
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if job is _STOP:
+                continue
+            _count("serve.shed")
+            job.ticket._reject(
+                Overloaded(
+                    "service stopped before this request was served",
+                    retry_after_s=None,
+                    queue_depth=0,
+                )
+            )
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _STOP:
+                return
+            self._run_job(job)
+
+    def _run_job(self, job: _Job) -> None:
+        remaining = job.remaining_s()
+        if remaining is not None and remaining <= 0:
+            _count("serve.deadline_exceeded")
+            job.ticket._reject(
+                DeadlineExceeded(
+                    "deadline elapsed while queued",
+                    deadline_s=job.deadline_s,
+                    elapsed_s=time.monotonic() - job.enqueued_at,
+                )
+            )
+            return
+        try:
+            value = job.request.run(remaining)
+        except ReproError as error:
+            _count(f"serve.errors.{error.code}")
+            _count("serve.errors")
+            job.ticket._reject(error)
+        except Exception as error:  # noqa: BLE001 - workers must not die
+            _count("serve.errors")
+            job.ticket._reject(error)
+        else:
+            _count("serve.completed")
+            if isinstance(value, ExploreResult) and value.degraded:
+                _count("serve.degraded_results")
+            job.ticket._resolve(value)

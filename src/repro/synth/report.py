@@ -19,6 +19,7 @@ import re
 from dataclasses import dataclass, field
 
 from ..core.params import PRMRequirements
+from ..errors import ParseError
 from .netlist import OptimizationHints
 from .packer import PairBreakdown
 
@@ -116,9 +117,23 @@ def render_syr(report: SynthesisReport) -> str:
     )
 
 
-class SyrParseError(ValueError):
-    """A `.syr` text lacked a required utilization line."""
+class SyrParseError(ParseError):
+    """Malformed, truncated or implausible `.syr` text.
 
+    Part of the :mod:`repro.errors` taxonomy
+    (:class:`~repro.errors.ParseError`, itself a ``ValueError`` for
+    back-compat); carries ``line_no``/``line`` when the failure is
+    attributable to one input line.
+    """
+
+
+#: Inputs larger than this are not synthesis reports (real `.syr` files
+#: are well under a megabyte); bail before running regexes over them.
+_MAX_SYR_CHARS = 8 * 1024 * 1024
+
+#: No shipping FPGA has resource counts anywhere near this; a larger
+#: value means corrupted input or wrong units, not a design.
+_MAX_PLAUSIBLE_COUNT = 100_000_000
 
 # Patterns tolerate the punctuation drift across ISE releases and also
 # match the "Number of DSP48E1s"/"RAMB36E1" spellings of later families.
@@ -134,6 +149,21 @@ _PATTERNS: dict[str, re.Pattern[str]] = {
     "control_sets": re.compile(r"Number of control sets\s*:?\s+(\d+)"),
 }
 
+# Line prefixes used to *detect* a utilization line whose value part is
+# garbage (the full pattern above then fails to match and the parser
+# reports the exact line instead of silently dropping it to zero).
+_PREFIXES: dict[str, re.Pattern[str]] = {
+    "ffs": re.compile(r"Number of Slice Registers"),
+    "luts": re.compile(r"Number of Slice LUTs"),
+    "pairs": re.compile(r"Number of LUT Flip Flop pairs used"),
+    "lut_only": re.compile(r"Number with an unused Flip Flop"),
+    "ff_only": re.compile(r"Number with an unused LUT"),
+    "full": re.compile(r"Number of fully used LUT-FF pairs"),
+    "brams": re.compile(r"Number of Block RAM/FIFO"),
+    "dsps": re.compile(r"Number of DSP48"),
+    "control_sets": re.compile(r"Number of control sets"),
+}
+
 _DESIGN_RE = re.compile(r"Top Level Output File Name\s*:?\s+(\S+?)(?:\.ngc)?\s*$",
                         re.MULTILINE)
 _FAMILY_RE = re.compile(r"Target Device\s*:?\s+(\S+)")
@@ -144,13 +174,43 @@ def parse_syr(text: str, *, design_name: str | None = None) -> SynthesisReport:
 
     Missing optional sections (DSP/BRAM/control sets) default to zero; the
     mandatory slice-logic lines raise :class:`SyrParseError` when absent.
-    The pair split is cross-checked for internal consistency.
+    A utilization line whose value part is garbage raises with the line
+    number and offending text instead of silently dropping to zero, as do
+    implausibly large counts.  The pair split is cross-checked for
+    internal consistency.
     """
+    if not isinstance(text, str):
+        raise SyrParseError(
+            f"expected .syr report text as str, got {type(text).__name__}"
+        )
+    if len(text) > _MAX_SYR_CHARS:
+        raise SyrParseError(
+            f"input is {len(text)} characters — far larger than any "
+            f"synthesis report (limit {_MAX_SYR_CHARS}); not a .syr file"
+        )
+
     values: dict[str, int] = {}
-    for key, pattern in _PATTERNS.items():
-        match = pattern.search(text)
-        if match:
-            values[key] = int(match.group(1))
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        for key, pattern in _PATTERNS.items():
+            if key in values:
+                continue  # first occurrence wins, as before
+            match = pattern.search(line)
+            if match:
+                value = int(match.group(1))
+                if value > _MAX_PLAUSIBLE_COUNT:
+                    raise SyrParseError(
+                        f"implausibly large count {value} for {key!r} — "
+                        f"check the report units",
+                        line_no=line_no,
+                        line=line,
+                    )
+                values[key] = value
+            elif _PREFIXES[key].search(line):
+                raise SyrParseError(
+                    f"malformed value for {key!r}",
+                    line_no=line_no,
+                    line=line,
+                )
 
     for required in ("luts", "ffs"):
         if required not in values:

@@ -1,0 +1,172 @@
+"""Anytime exploration: budgets, degradation, escalation, back-compat."""
+
+import time
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.explorer import (
+    ExploreResult,
+    _bell_number,
+    _escalate_mode,
+    explore,
+    pareto_front,
+)
+from repro.devices.catalog import XC5VLX110T
+from repro.errors import InvalidInput
+
+from tests.conftest import paper_requirements
+
+
+@pytest.fixture(scope="module")
+def v5_prms():
+    return [
+        paper_requirements("fir", "virtex5"),
+        paper_requirements("mips", "virtex5"),
+        paper_requirements("sdram", "virtex5"),
+    ]
+
+
+class TestBudget:
+    def test_unlimited_budget_never_expires(self):
+        budget = Budget()
+        assert not budget.limited
+        budget.charge(10_000)
+        assert not budget.expired
+        assert budget.exhausted_reason is None
+
+    def test_evaluation_budget_expires_sticky(self):
+        budget = Budget(max_evaluations=2)
+        budget.charge()
+        assert not budget.expired
+        budget.charge()
+        assert budget.expired
+        assert budget.exhausted_reason == "evaluations"
+        assert budget.expired  # sticky
+
+    def test_deadline_budget_expires(self):
+        budget = Budget(deadline_s=0.01)
+        time.sleep(0.02)
+        assert budget.expired
+        assert budget.exhausted_reason == "deadline"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_s": 0},
+            {"deadline_s": -1.0},
+            {"max_evaluations": 0},
+            {"max_evaluations": -3},
+        ],
+    )
+    def test_invalid_budget_rejected(self, kwargs):
+        with pytest.raises(InvalidInput):
+            Budget(**kwargs)
+
+
+class TestExploreResultBackCompat:
+    def test_unbudgeted_result_is_plain_exhausted_list(self, v5_prms):
+        result = explore(XC5VLX110T, v5_prms)
+        assert isinstance(result, ExploreResult)
+        assert isinstance(result, list)
+        assert result.status == "exhausted"
+        assert not result.degraded
+        # list behaviours callers rely on
+        assert result[:1] == [result[0]]
+        assert list(result) == result
+
+    def test_front_property_matches_pareto_front(self, v5_prms):
+        result = explore(XC5VLX110T, v5_prms)
+        assert result.front == pareto_front(result)
+
+
+class TestDeadlines:
+    def test_deadline_respected_with_margin(self, v5_prms):
+        deadline = 0.5
+        start = time.perf_counter()
+        result = explore(XC5VLX110T, v5_prms, deadline_s=deadline)
+        elapsed = time.perf_counter() - start
+        assert elapsed < deadline * 1.1 + 0.2
+        assert result  # never empty: the incumbent is always merged
+
+    def test_tiny_deadline_returns_degraded_incumbent(self, v5_prms):
+        result = explore(XC5VLX110T, v5_prms, deadline_s=1e-9, mode="exhaustive")
+        assert result.degraded
+        assert result.exhausted_reason == "deadline"
+        assert len(result) >= 1
+        # the incumbent is an endpoint grouping: all-shared when feasible,
+        # else one PRR per PRM
+        assert any(
+            len(d.assignments) in (1, len(v5_prms)) for d in result
+        )
+
+    def test_invalid_deadline_rejected(self, v5_prms):
+        with pytest.raises(InvalidInput):
+            explore(XC5VLX110T, v5_prms, deadline_s=-1.0)
+        with pytest.raises(InvalidInput):
+            explore(XC5VLX110T, v5_prms, mode="warp")
+
+
+class TestEvaluationBudgets:
+    @staticmethod
+    def _grouping(design):
+        return frozenset(
+            frozenset(p.name for p in a.prms) for a in design.assignments
+        )
+
+    def test_degraded_designs_subset_of_exhaustive(self, v5_prms):
+        full = explore(XC5VLX110T, v5_prms, mode="exhaustive")
+        full_keys = {self._grouping(d) for d in full}
+        for cut in (2, 3, 4):
+            degraded = explore(
+                XC5VLX110T, v5_prms, mode="exhaustive", max_evaluations=cut
+            )
+            assert degraded.degraded
+            assert degraded.exhausted_reason == "evaluations"
+            degraded_keys = {self._grouping(d) for d in degraded}
+            # no invented designs: everything found under the budget is a
+            # real design the exhaustive search also finds
+            assert degraded_keys <= full_keys
+            # and the degraded front is exactly the front of what it found
+            assert degraded.front == pareto_front(list(degraded))
+
+    def test_evaluation_budget_is_deterministic(self, v5_prms):
+        first = explore(XC5VLX110T, v5_prms, mode="exhaustive", max_evaluations=3)
+        second = explore(XC5VLX110T, v5_prms, mode="exhaustive", max_evaluations=3)
+        assert [d.objectives for d in first] == [d.objectives for d in second]
+        assert first.evaluations == second.evaluations
+
+    def test_generous_budget_matches_unbudgeted(self, v5_prms):
+        unbudgeted = explore(XC5VLX110T, v5_prms, mode="exhaustive")
+        budgeted = explore(
+            XC5VLX110T, v5_prms, mode="exhaustive", max_evaluations=10_000
+        )
+        assert budgeted.status == "exhausted"
+        assert [d.objectives for d in budgeted] == [
+            d.objectives for d in unbudgeted
+        ]
+
+    @pytest.mark.parametrize("mode", ["pruned", "beam"])
+    def test_other_modes_degrade_not_raise(self, v5_prms, mode):
+        result = explore(XC5VLX110T, v5_prms, mode=mode, max_evaluations=2)
+        assert result.degraded
+        assert len(result) >= 1
+
+
+class TestModeEscalation:
+    def test_bell_numbers(self):
+        assert [_bell_number(n) for n in range(6)] == [1, 1, 2, 5, 15, 52]
+
+    def test_roomy_deadline_stays_exhaustive(self):
+        budget = Budget(deadline_s=100.0)
+        assert _escalate_mode(3, budget, probe_s=1e-4) == "exhaustive"
+
+    def test_tight_deadline_escalates_to_pruned_then_beam(self):
+        budget = Budget(deadline_s=100.0)
+        # projected exhaustive cost >> deadline -> beam
+        assert _escalate_mode(8, budget, probe_s=1e3) == "beam"
+
+    def test_auto_with_budget_records_resolved_mode(self, v5_prms):
+        result = explore(XC5VLX110T, v5_prms, mode="auto", deadline_s=60.0)
+        assert result.mode in ("exhaustive", "pruned", "beam")
+        assert result.status == "exhausted"

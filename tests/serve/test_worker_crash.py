@@ -1,0 +1,141 @@
+"""Worker-crash recovery in parallel exploration (ISSUE 5 tentpole).
+
+A fault-injecting chunk evaluator — swapped in through the module-level
+``_CHUNK_EVALUATOR`` hook — SIGKILLs the pool worker mid-explore.  The
+search must absorb the ``BrokenProcessPool``, retry on a fresh pool (or
+trip the circuit breaker into the in-process serial fallback) and return
+a design list identical to the sequential path.  Only when even the
+serial fallback fails may :class:`~repro.errors.BackendBroken` surface.
+"""
+
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.core import explorer
+from repro.devices.catalog import XC5VLX110T
+from repro.errors import BackendBroken
+
+from tests.conftest import paper_requirements
+
+pytestmark = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="fault injectors are delivered to pool workers via fork",
+)
+
+#: Marker-file path for crash-once evaluators; set by each test (the
+#: forked worker inherits the value).
+_MARKER: str | None = None
+
+
+def _prms():
+    return [
+        paper_requirements("fir", "virtex5"),
+        paper_requirements("mips", "virtex5"),
+        paper_requirements("sdram", "virtex5"),
+    ]
+
+
+def _in_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def _crash_once_evaluator(device, prms, partitions, rate):
+    """Kill the first worker that runs a chunk; behave normally after."""
+    if _in_worker() and _MARKER and not os.path.exists(_MARKER):
+        with open(_MARKER, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return explorer._evaluate_partition_chunk(device, prms, partitions, rate)
+
+
+def _always_crash_evaluator(device, prms, partitions, rate):
+    """Deterministic killer: every pool round breaks until the breaker trips."""
+    if _in_worker():
+        os.kill(os.getpid(), signal.SIGKILL)
+    return explorer._evaluate_partition_chunk(device, prms, partitions, rate)
+
+
+def _always_raise_evaluator(device, prms, partitions, rate):
+    raise RuntimeError("chunk evaluator is broken everywhere")
+
+
+def _unpicklable_result_evaluator(device, prms, partitions, rate):
+    if _in_worker():
+        return lambda: None  # cannot cross the process boundary
+    return explorer._evaluate_partition_chunk(device, prms, partitions, rate)
+
+
+def _objectives(designs):
+    return [d.objectives for d in designs]
+
+
+@pytest.fixture()
+def serial_designs():
+    return explorer.explore(XC5VLX110T, _prms(), mode="exhaustive")
+
+
+class TestCrashRecovery:
+    def test_crash_once_recovers_and_matches_serial(
+        self, tmp_path, monkeypatch, serial_designs
+    ):
+        global _MARKER
+        _MARKER = str(tmp_path / "crashed-once")
+        monkeypatch.setattr(explorer, "_CHUNK_EVALUATOR", _crash_once_evaluator)
+        try:
+            parallel = explorer.explore(
+                XC5VLX110T, _prms(), mode="exhaustive", workers=2
+            )
+        finally:
+            _MARKER = None
+        assert os.path.exists(str(tmp_path / "crashed-once"))  # it did crash
+        assert _objectives(parallel) == _objectives(serial_designs)
+
+    def test_deterministic_crasher_trips_breaker_to_serial(
+        self, monkeypatch, serial_designs
+    ):
+        monkeypatch.setattr(
+            explorer, "_CHUNK_EVALUATOR", _always_crash_evaluator
+        )
+        parallel = explorer.explore(
+            XC5VLX110T, _prms(), mode="exhaustive", workers=2
+        )
+        assert _objectives(parallel) == _objectives(serial_designs)
+
+    def test_unpicklable_result_recovers(self, monkeypatch, serial_designs):
+        monkeypatch.setattr(
+            explorer, "_CHUNK_EVALUATOR", _unpicklable_result_evaluator
+        )
+        parallel = explorer.explore(
+            XC5VLX110T, _prms(), mode="exhaustive", workers=2
+        )
+        assert _objectives(parallel) == _objectives(serial_designs)
+
+    def test_broken_everywhere_raises_backend_broken(self, monkeypatch):
+        monkeypatch.setattr(
+            explorer, "_CHUNK_EVALUATOR", _always_raise_evaluator
+        )
+        with pytest.raises(BackendBroken) as excinfo:
+            explorer.explore(XC5VLX110T, _prms(), mode="exhaustive", workers=2)
+        error = excinfo.value
+        assert error.retryable
+        assert error.exit_code == 7
+        assert "serial fallback" in str(error)
+
+    def test_recovery_counters_emitted(self, monkeypatch, serial_designs):
+        from repro import obs
+
+        monkeypatch.setattr(
+            explorer, "_CHUNK_EVALUATOR", _always_crash_evaluator
+        )
+        with obs.capture(command="crash-test") as session:
+            parallel = explorer.explore(
+                XC5VLX110T, _prms(), mode="exhaustive", workers=2
+            )
+        assert _objectives(parallel) == _objectives(serial_designs)
+        counters = session.to_dict()["metrics"]["counters"]
+        assert counters["explore.worker_crashes"] >= 1
+        assert counters["explore.pool_circuit_tripped"] == 1
+        assert counters["explore.chunks_serial_fallback"] >= 1

@@ -1,0 +1,104 @@
+"""Malformed/hostile `.syr` corpus: parse_syr must fail loudly and typed.
+
+The satellite contract: truncated, corrupted or hostile report text
+raises :class:`SyrParseError` (a :class:`repro.errors.ParseError`) with
+the line number and offending text — never an ``AttributeError`` and
+never a silent zero that would feed garbage into the cost models.
+"""
+
+import pytest
+
+from repro.errors import ParseError, ReproError
+from repro.synth.report import SyrParseError, parse_syr
+
+VALID = """
+ Number of Slice Registers: 394
+ Number of Slice LUTs: 1150
+ Number of LUT Flip Flop pairs used: 1300
+   Number of fully used LUT-FF pairs: 244
+ Number of DSP48Es: 32
+"""
+
+
+class TestTaxonomyMembership:
+    def test_syr_parse_error_is_typed(self):
+        assert issubclass(SyrParseError, ParseError)
+        assert issubclass(SyrParseError, ReproError)
+        assert issubclass(SyrParseError, ValueError)  # back-compat
+        assert SyrParseError.exit_code == 4
+
+    def test_valid_corpus_still_parses(self):
+        report = parse_syr(VALID)
+        assert report.pairs.lut_ff_pairs == 1300
+        assert report.dsps == 32
+
+
+class TestMalformedValueLines:
+    @pytest.mark.parametrize(
+        "bad_line",
+        [
+            " Number of Slice LUTs: garbage",
+            " Number of Slice LUTs: -40",
+            " Number of Slice LUTs:",
+            " Number of Slice LUTs: NaN out of 69120",
+        ],
+    )
+    def test_garbage_value_raises_with_line_info(self, bad_line):
+        text = f"\n Number of Slice Registers: 394\n{bad_line}\n"
+        with pytest.raises(SyrParseError) as excinfo:
+            parse_syr(text)
+        err = excinfo.value
+        assert err.line_no == 3
+        assert err.line == bad_line
+        assert "line 3" in str(err)
+        assert "offending text" in str(err)
+
+    def test_malformed_dsp_line_raises(self):
+        text = VALID + " Number of DSP48E1s: lots\n"
+        # DSP value already parsed from VALID -> append-only corpus needs
+        # its own report without a good DSP line first.
+        good = parse_syr(text)
+        assert good.dsps == 32  # first occurrence won; duplicate ignored
+        with pytest.raises(SyrParseError, match="dsps"):
+            parse_syr(
+                "\n Number of Slice Registers: 10\n"
+                " Number of Slice LUTs: 10\n"
+                " Number of DSP48E1s: lots\n"
+            )
+
+
+class TestTruncatedAndHostileInput:
+    def test_empty_input_raises_not_attribute_error(self):
+        with pytest.raises(SyrParseError, match="luts"):
+            parse_syr("")
+
+    def test_truncated_report_names_missing_line(self):
+        with pytest.raises(SyrParseError, match="ffs"):
+            parse_syr(" Number of Slice LUTs: 100\n")
+
+    def test_non_string_input_rejected(self):
+        with pytest.raises(SyrParseError, match="bytes"):
+            parse_syr(b" Number of Slice LUTs: 100\n")
+
+    def test_oversized_input_rejected_before_regex_work(self):
+        blob = "x" * (8 * 1024 * 1024 + 1)
+        with pytest.raises(SyrParseError, match="larger than any"):
+            parse_syr(blob)
+
+    def test_implausibly_large_count_rejected(self):
+        text = (
+            "\n Number of Slice Registers: 394\n"
+            " Number of Slice LUTs: 999999999999\n"
+        )
+        with pytest.raises(SyrParseError, match="implausibly large") as excinfo:
+            parse_syr(text)
+        assert excinfo.value.line_no == 3
+
+    def test_inconsistent_split_still_caught(self):
+        text = (
+            "\n Number of Slice Registers: 10\n"
+            " Number of Slice LUTs: 10\n"
+            " Number of LUT Flip Flop pairs used: 100\n"
+        )
+        with pytest.raises(SyrParseError, match="inconsistent"):
+            parse_syr(text)

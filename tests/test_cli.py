@@ -144,3 +144,40 @@ class TestExtensionCommands:
         out = capsys.readouterr().out
         assert "[suggestion]" in out and "L-shaped" in out
         assert "task period" in out
+
+
+class TestTypedErrorExitCodes:
+    def test_explore_deadline_reports_anytime_status(self, capsys):
+        assert main(["explore", "--device", "xc5vlx110t",
+                     "--deadline", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "status=" in out and "evaluations=" in out
+
+    def test_unknown_device_exits_2_without_traceback(
+        self, capsys, monkeypatch
+    ):
+        import repro.cli as cli_module
+        from repro.devices.catalog import get_device
+
+        monkeypatch.setattr(
+            cli_module, "get_device", lambda name: get_device("bogus")
+        )
+        rc = main(["estimate", "fir", "--device", "xc5vlx110t"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "error: invalid_input" in captured.err
+        assert "valid choices" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_infeasible_placement_exits_3(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+        from repro.core.placement_search import PlacementNotFoundError
+
+        def no_fit(*args, **kwargs):
+            raise PlacementNotFoundError("no feasible PRR for this PRM")
+
+        monkeypatch.setattr(cli_module, "find_prr", no_fit)
+        rc = main(["bitgen", "fir", "--device", "xc5vlx110t"])
+        captured = capsys.readouterr()
+        assert rc == 3
+        assert "error: infeasible_placement" in captured.err

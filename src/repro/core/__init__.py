@@ -10,11 +10,34 @@
 * :mod:`~repro.core.explorer` — PRM→PRR partitioning design-space search.
 * :mod:`~repro.core.fastpath` — occupancy structure, placement caches and
   pruning bounds shared by the search fast paths.
-* :mod:`~repro.core.api` — one-call convenience wrappers.
+* :mod:`~repro.core.batch` — numpy columnar engine: whole PRM batches
+  evaluated against the (geometry × device) grid as array ops.
+* :mod:`~repro.core.api` — one-call convenience wrappers (scalar and
+  batch).
 """
 
 from .advisor import Advice, Finding, Severity, advise
-from .api import CostModelResult, evaluate_prm, evaluate_shared_prr
+from .api import (
+    BatchCostResult,
+    CostModelResult,
+    batch_evaluate,
+    evaluate_prm,
+    evaluate_shared_prr,
+)
+from .batch import (
+    BatchSelection,
+    DeviceColumns,
+    GeometryGrid,
+    batch_bitstream_bytes,
+    batch_prr_geometry,
+    batch_reconfig_time,
+    batch_select,
+    batch_window_placement,
+    device_columns,
+    find_prr_batch,
+    numpy_available,
+    requirement_columns,
+)
 from .calibration import FittedConstants, SizeSample, fit_family_constants
 from .floorplanner import (
     Floorplan,
@@ -126,6 +149,20 @@ __all__ = [
     "fit_family_constants",
     "evaluate_prm",
     "evaluate_shared_prr",
+    "BatchCostResult",
+    "batch_evaluate",
+    "BatchSelection",
+    "DeviceColumns",
+    "GeometryGrid",
+    "batch_bitstream_bytes",
+    "batch_prr_geometry",
+    "batch_reconfig_time",
+    "batch_select",
+    "batch_window_placement",
+    "device_columns",
+    "find_prr_batch",
+    "numpy_available",
+    "requirement_columns",
     "Floorplan",
     "FloorplanError",
     "floorplan",

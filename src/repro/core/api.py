@@ -10,13 +10,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Any, Sequence
 
-from ..devices.fabric import Device
+from ..devices.fabric import Device, Region
+from ..devices.resources import ResourceVector
 from ..errors import InvalidInput
+from . import batch as _batch
 from .bitstream_model import BitstreamEstimate, estimate_bitstream
 from .params import PRMRequirements
-from .placement_search import PlacedPRR, find_prr
-from .prr_model import clb_requirement
+from .placement_search import PlacedPRR, PlacementNotFoundError, find_prr
+from .prr_model import PRRGeometry, clb_requirement
 from .reconfig_model import (
     ICAP_VIRTEX5_BYTES_PER_S,
     ReconfigEstimate,
@@ -24,7 +27,13 @@ from .reconfig_model import (
 )
 from .utilization import UtilizationReport, utilization
 
-__all__ = ["CostModelResult", "evaluate_prm", "evaluate_shared_prr"]
+__all__ = [
+    "CostModelResult",
+    "evaluate_prm",
+    "evaluate_shared_prr",
+    "BatchCostResult",
+    "batch_evaluate",
+]
 
 
 def _resolve_device(device: Device | str) -> Device:
@@ -179,3 +188,186 @@ def evaluate_shared_prr(
         )
         for prm in prms
     ]
+
+
+@dataclass(frozen=True, slots=True)
+class BatchCostResult:
+    """Columnar answers for a whole PRM batch on one device.
+
+    The hot outputs stay as numpy columns (``feasible``, ``rows``,
+    ``bitstream_bytes``, ``reconfig_seconds``, ... — all length N);
+    :meth:`result` materializes the exact scalar
+    :class:`CostModelResult` for one index on demand, so callers that
+    only rank or filter a batch never pay per-PRM object construction.
+
+    Infeasible members (including all-zero requirement vectors, which
+    the scalar path rejects with an exception) are *masked*:
+    ``feasible[i]`` is ``False`` and the other columns hold zeros.
+    """
+
+    prms: tuple[PRMRequirements, ...]
+    device: Device
+    objective: str
+    selection: "_batch.BatchSelection"
+    controller_bytes_per_s: Any  #: (N,) float64
+    reconfig_seconds: Any  #: (N,) float64 seconds (0 where infeasible)
+
+    def __len__(self) -> int:
+        return len(self.prms)
+
+    @property
+    def feasible(self):
+        """(N,) bool — which PRMs found a placed PRR."""
+        return self.selection.feasible
+
+    @property
+    def n_feasible(self) -> int:
+        return self.selection.n_feasible
+
+    @property
+    def rows(self):
+        """(N,) selected H (0 where infeasible)."""
+        return self.selection.rows
+
+    @property
+    def size(self):
+        """(N,) eq. (7) PRR size of the selected geometry."""
+        return self.selection.size
+
+    @property
+    def bitstream_bytes(self):
+        """(N,) eq. (18) S_bitstream of the selected geometry."""
+        return self.selection.bitstream_bytes
+
+    def result(self, index: int) -> CostModelResult:
+        """Materialize the scalar :class:`CostModelResult` for one PRM.
+
+        Equal (dataclass equality) to ``evaluate_prm(prms[index], ...)``;
+        raises the scalar search's
+        :class:`~repro.core.placement_search.PlacementNotFoundError`
+        when the member is infeasible.
+        """
+        prm = self.prms[index]
+        sel = self.selection
+        if not bool(sel.feasible[index]):
+            raise PlacementNotFoundError(
+                f"no feasible PRR on {self.device.name} for {prm.name} "
+                f"(objective={self.objective})"
+            )
+        geometry = PRRGeometry(
+            family=self.device.family,
+            rows=int(sel.rows[index]),
+            columns=ResourceVector(
+                clb=int(sel.w_clb[index]),
+                dsp=int(sel.w_dsp[index]),
+                bram=int(sel.w_bram[index]),
+            ),
+        )
+        region = Region(
+            row=1,
+            col=int(sel.start_col[index]),
+            height=geometry.rows,
+            width=geometry.width,
+        )
+        bitstream = estimate_bitstream(geometry)
+        return CostModelResult(
+            prm=prm,
+            device_name=self.device.name,
+            clb_req=clb_requirement(prm, self.device.family),
+            placement=PlacedPRR(
+                device=self.device, geometry=geometry, region=region
+            ),
+            utilization=utilization(prm, geometry),
+            bitstream=bitstream,
+            reconfig=estimate_reconfig_time(
+                bitstream.total_bytes,
+                controller_bytes_per_s=float(self.controller_bytes_per_s[index]),
+            ),
+        )
+
+    def results(self) -> list[CostModelResult | None]:
+        """All members materialized; ``None`` where infeasible."""
+        return [
+            self.result(i) if bool(self.selection.feasible[i]) else None
+            for i in range(len(self))
+        ]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready columnar export (plain Python lists)."""
+        sel = self.selection
+        return {
+            "device": self.device.name,
+            "objective": self.objective,
+            "n_prms": len(self),
+            "n_feasible": self.n_feasible,
+            "prm_names": [prm.name for prm in self.prms],
+            "feasible": sel.feasible.tolist(),
+            "rows": sel.rows.tolist(),
+            "w_clb": sel.w_clb.tolist(),
+            "w_dsp": sel.w_dsp.tolist(),
+            "w_bram": sel.w_bram.tolist(),
+            "width": sel.width.tolist(),
+            "size": sel.size.tolist(),
+            "start_col": sel.start_col.tolist(),
+            "clb_req": sel.clb_req.tolist(),
+            "bitstream_bytes": sel.bitstream_bytes.tolist(),
+            "reconfig_seconds": self.reconfig_seconds.tolist(),
+        }
+
+
+def batch_evaluate(
+    prms: Sequence[PRMRequirements],
+    device: Device | str,
+    *,
+    controller_bytes_per_s: float | Sequence[float] = ICAP_VIRTEX5_BYTES_PER_S,
+    objective: str = "size",
+) -> BatchCostResult:
+    """Run both cost models for N PRMs on one device in one array pass.
+
+    The batch analogue of calling :func:`evaluate_prm` in a loop:
+    geometry search (Fig. 1), bitstream size (eq. (18)) and
+    reconfiguration time are each evaluated once over the whole
+    ``(N, device.rows)`` candidate grid via :mod:`repro.core.batch`.
+    ``controller_bytes_per_s`` may be one rate for the batch or a
+    length-N sequence (one per PRM, as the serving layer supplies).
+
+    Requires numpy; raises :class:`~repro.errors.MissingDependency`
+    otherwise.  Per-member infeasibility never raises — see
+    :class:`BatchCostResult`.
+    """
+    np = _batch.require_numpy()
+    prms = tuple(prms)
+    for prm in prms:
+        _validate_prm(prm)
+    device = _resolve_device(device)
+    if isinstance(controller_bytes_per_s, (int, float)) and not isinstance(
+        controller_bytes_per_s, bool
+    ):
+        _validate_controller_rate(controller_bytes_per_s)
+        rates = np.full(len(prms), float(controller_bytes_per_s))
+    else:
+        rate_list = [float(rate) for rate in controller_bytes_per_s]
+        if len(rate_list) != len(prms):
+            raise InvalidInput(
+                f"controller_bytes_per_s must be one rate or {len(prms)} "
+                f"rates, got {len(rate_list)}"
+            )
+        for rate in rate_list:
+            _validate_controller_rate(rate)
+        rates = np.asarray(rate_list, dtype=np.float64)
+    pairs, dsps, brams = _batch.requirement_columns(prms)
+    selection = _batch.batch_select(
+        device, pairs, dsps, brams, objective=objective
+    )
+    # Masked members have bitstream_bytes == 0, so their time is 0.0 too.
+    seconds = _batch.batch_reconfig_time(
+        selection.bitstream_bytes, controller_bytes_per_s=rates
+    )
+    return BatchCostResult(
+        prms=prms,
+        device=device,
+        objective=objective,
+        selection=selection,
+        controller_bytes_per_s=rates,
+        reconfig_seconds=seconds,
+    )

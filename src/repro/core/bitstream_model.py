@@ -27,6 +27,7 @@ FAR/FDRI preamble plus flush frame for a nonexistent BRAM block write).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..devices.family import DeviceFamily
 from ..devices.resources import ResourceVector
@@ -39,6 +40,9 @@ __all__ = [
     "BitstreamEstimate",
     "estimate_bitstream",
     "bitstream_size_bytes",
+    "cached_bitstream_bytes",
+    "bitstream_cache_info",
+    "clear_bitstream_cache",
     "full_device_bitstream_bytes",
 ]
 
@@ -139,6 +143,30 @@ def estimate_bitstream(geometry: PRRGeometry) -> BitstreamEstimate:
 def bitstream_size_bytes(geometry: PRRGeometry) -> int:
     """Eq. (18): the headline S_bitstream number, in bytes."""
     return estimate_bitstream(geometry).total_bytes
+
+
+@lru_cache(maxsize=65536)
+def cached_bitstream_bytes(geometry: PRRGeometry) -> int:
+    """Memoized :func:`bitstream_size_bytes`.
+
+    The search hot paths (objective comparisons in
+    :func:`~repro.core.placement_search.find_prr`, the explorer's
+    objective tuples and Pareto filtering) re-ask the same geometry's
+    byte count thousands of times; geometries are immutable, so the
+    answer is cached per geometry instead of rebuilding a
+    :class:`BitstreamEstimate` on every comparison.
+    """
+    return estimate_bitstream(geometry).total_bytes
+
+
+def bitstream_cache_info():
+    """Hit/miss statistics of the per-geometry byte-count cache."""
+    return cached_bitstream_bytes.cache_info()
+
+
+def clear_bitstream_cache() -> None:
+    """Drop memoized byte counts (used by equivalence tests)."""
+    cached_bitstream_bytes.cache_clear()
 
 
 def full_device_bitstream_bytes(device) -> int:

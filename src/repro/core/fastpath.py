@@ -28,7 +28,8 @@ from functools import lru_cache
 from typing import Iterable, Iterator, Sequence
 
 from ..devices.fabric import Device, Region
-from .bitstream_model import bitstream_size_bytes
+from ..errors import InvalidInput
+from .bitstream_model import cached_bitstream_bytes
 from .params import PRMRequirements
 from .prr_model import InfeasibleGeometryError, prr_geometry_for_rows
 
@@ -122,14 +123,28 @@ class PlacementCache:
     :class:`~repro.core.placement_search.PlacementNotFoundError`, so
     infeasible groups — the common case deep in a partition enumeration —
     are as cheap to re-ask as feasible ones.
+
+    ``engine`` selects how misses are computed: ``"scalar"`` (default)
+    runs the Fig. 1 loop in :func:`~repro.core.placement_search.
+    find_prr`; ``"batch"`` answers empty-fabric misses — the bulk of an
+    explorer run, since the first-placed group of every partition sees
+    an empty fabric — with one vectorized
+    :func:`~repro.core.batch.find_prr_batch` call.  Occupied-fabric
+    misses always use the scalar path, so results are identical either
+    way (the differential suite asserts it).
     """
 
-    __slots__ = ("_entries", "hits", "misses")
+    __slots__ = ("_entries", "hits", "misses", "engine")
 
-    def __init__(self) -> None:
+    def __init__(self, engine: str = "scalar") -> None:
+        if engine not in ("scalar", "batch"):
+            raise InvalidInput(
+                f"unknown placement engine {engine!r}; valid: scalar, batch"
+            )
         self._entries: dict[tuple, object] = {}
         self.hits = 0
         self.misses = 0
+        self.engine = engine
 
     def find_prr(
         self,
@@ -151,7 +166,14 @@ class PlacementCache:
             return cached
         self.misses += 1
         try:
-            placed = find_prr(device, list(group), objective=objective, forbidden=forbidden)
+            if self.engine == "batch" and len(forbidden) == 0:
+                from .batch import find_prr_batch
+
+                placed = find_prr_batch(device, list(group), objective=objective)
+            else:
+                placed = find_prr(
+                    device, list(group), objective=objective, forbidden=forbidden
+                )
         except PlacementNotFoundError as error:
             self._entries[key] = error
             raise
@@ -204,7 +226,7 @@ def _cached_bounds(
         except InfeasibleGeometryError:
             continue
         size = geometry.size
-        by = bitstream_size_bytes(geometry)
+        by = cached_bitstream_bytes(geometry)
         if min_size is None or size < min_size:
             min_size = size
         if min_bytes is None or by < min_bytes:

@@ -29,7 +29,7 @@ from typing import Iterator, Literal, Sequence
 
 from ..devices.fabric import Device, Region
 from ..errors import InfeasiblePlacement
-from .bitstream_model import bitstream_size_bytes
+from .bitstream_model import cached_bitstream_bytes
 from .fastpath import RegionOccupancy
 from .params import PRMRequirements
 from .prr_model import (
@@ -86,8 +86,8 @@ class PlacedPRR:
 
     @property
     def bitstream_bytes(self) -> int:
-        """Eq. (18) estimate for this PRR."""
-        return bitstream_size_bytes(self.geometry)
+        """Eq. (18) estimate for this PRR (memoized per geometry)."""
+        return cached_bitstream_bytes(self.geometry)
 
     def utilization_for(self, requirements: PRMRequirements) -> UtilizationReport:
         return utilization(requirements, self.geometry)

@@ -146,6 +146,22 @@ class ColumnWindowIndex:
         index = bisect_left(starts, start_col)
         return starts[index] if index < len(starts) else None
 
+    def prefix_sums(self) -> dict[str, Sequence[int]]:
+        """The four per-kind prefix-sum sequences (length ``columns + 1``).
+
+        ``clb``/``dsp``/``bram`` count columns of that kind in
+        ``columns[:i]``; ``blocked`` counts IOB/CLK columns.  Exposed so
+        the batch engine (:mod:`repro.core.batch`) can lift the exact
+        arrays this index already computed into numpy columns instead of
+        re-walking the layout.
+        """
+        return {
+            "clb": self._clb,
+            "dsp": self._dsp,
+            "bram": self._bram,
+            "blocked": self._blocked,
+        }
+
     def stats(self) -> dict[str, int]:
         """Lifetime query counters (the obs layer diffs two snapshots)."""
         return {

@@ -14,7 +14,16 @@ embed them:
   budget remaining runs as an *anytime* search bounded by what is left,
   so it returns a degraded-but-valid front rather than timing out;
 * **graceful drain** — :meth:`stop` finishes accepted work by default;
-  ``drain=False`` cancels queued requests with ``Overloaded``.
+  ``drain=False`` cancels queued requests with ``Overloaded``;
+* **batch scoring** — a worker that dequeues an :class:`EvaluateRequest`
+  coalesces up to ``max_batch`` same-device evaluate requests already
+  waiting in the queue and scores them in one
+  :func:`repro.core.batch_evaluate` array call instead of one model run
+  each.  Coalescing is transparent: every request keeps its own ticket,
+  deadline and controller rate, results are bit-identical to the scalar
+  path, and any batch-path failure falls back to per-request scalar
+  evaluation so the error surface (typed errors included) is unchanged.
+  Set ``max_batch=1`` (or run without numpy) to disable.
 
 Worker threads only ever *call into* the library; process-level crash
 recovery for parallel exploration lives in
@@ -29,8 +38,10 @@ import threading
 import time
 from dataclasses import dataclass
 
-from ..core.api import CostModelResult, evaluate_prm
+from ..core import batch as _batch_engine
+from ..core.api import CostModelResult, batch_evaluate, evaluate_prm
 from ..core.explorer import ExploreResult, explore
+from ..core.reconfig_model import ICAP_VIRTEX5_BYTES_PER_S
 from ..core.params import PRMRequirements
 from ..devices.fabric import Device
 from ..errors import DeadlineExceeded, InvalidInput, Overloaded, ReproError
@@ -61,6 +72,7 @@ class ServiceConfig:
     default_deadline_s: float | None = None  #: applied when a request has none
     shed_retry_after_s: float = 0.05  #: retry hint attached to ``Overloaded``
     drain_timeout_s: float = 30.0  #: how long :meth:`stop` waits for drain
+    max_batch: int = 8  #: same-device evaluates coalesced per array call
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -68,6 +80,10 @@ class ServiceConfig:
         if self.queue_depth < 1:
             raise InvalidInput(
                 f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.max_batch < 1:
+            raise InvalidInput(
+                f"max_batch must be >= 1, got {self.max_batch}"
             )
         if self.default_deadline_s is not None and self.default_deadline_s <= 0:
             raise InvalidInput("default_deadline_s must be positive when set")
@@ -289,7 +305,119 @@ class CostModelService:
             job = self._queue.get()
             if job is _STOP:
                 return
-            self._run_job(job)
+            batch, leftovers, stop_after = self._coalesce(job)
+            if len(batch) == 1:
+                self._run_job(batch[0])
+            else:
+                self._run_batch(batch)
+            # Requests drained while probing for batch mates but not
+            # batchable themselves (explores, other devices) run here, in
+            # the order they were dequeued.
+            for other in leftovers:
+                self._run_job(other)
+            if stop_after:
+                # A _STOP drained during coalescing was addressed to some
+                # worker; this one consumes it by exiting once the work it
+                # already dequeued is finished.
+                return
+
+    def _coalesce(self, job: _Job) -> tuple[list[_Job], list[_Job], bool]:
+        """Drain queued same-device evaluates to score with *job*.
+
+        Returns ``(batch, leftovers, stop_after)``: the coalesced
+        evaluate jobs (always containing *job*), any drained jobs that
+        could not join the batch, and whether a ``_STOP`` sentinel was
+        consumed while draining.
+        """
+        if (
+            self.config.max_batch < 2
+            or not isinstance(job.request, EvaluateRequest)
+            or not _batch_engine.numpy_available()
+        ):
+            return [job], [], False
+        batch = [job]
+        leftovers: list[_Job] = []
+        stop_after = False
+        while len(batch) < self.config.max_batch:
+            try:
+                other = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if other is _STOP:
+                stop_after = True
+                break
+            if (
+                isinstance(other.request, EvaluateRequest)
+                and other.request.device == job.request.device
+            ):
+                batch.append(other)
+            else:
+                leftovers.append(other)
+        return batch, leftovers, stop_after
+
+    def _run_batch(self, jobs: list[_Job]) -> None:
+        """Score coalesced same-device evaluates in one array call.
+
+        Per-job deadlines are honored exactly as in :meth:`_run_job`;
+        members the batch engine cannot serve bit-identically — ones it
+        marks infeasible (so the scalar path owns the typed error) or any
+        whole-batch engine failure — fall back to scalar evaluation, so
+        callers cannot observe whether their request was batched.
+        """
+        live: list[_Job] = []
+        for job in jobs:
+            remaining = job.remaining_s()
+            if remaining is not None and remaining <= 0:
+                _count("serve.deadline_exceeded")
+                job.ticket._reject(
+                    DeadlineExceeded(
+                        "deadline elapsed while queued",
+                        deadline_s=job.deadline_s,
+                        elapsed_s=time.monotonic() - job.enqueued_at,
+                    )
+                )
+            else:
+                live.append(job)
+        if not live:
+            return
+        if len(live) == 1:
+            self._run_job(live[0])
+            return
+        try:
+            rates = [
+                job.request.controller_bytes_per_s
+                if job.request.controller_bytes_per_s is not None
+                else ICAP_VIRTEX5_BYTES_PER_S
+                for job in live
+            ]
+            scored = batch_evaluate(
+                [job.request.prm for job in live],
+                live[0].request.device,
+                controller_bytes_per_s=rates,
+            )
+        except Exception:  # noqa: BLE001 - fall back, never drop tickets
+            _count("serve.batch_fallbacks")
+            for job in live:
+                self._run_job(job)
+            return
+        _count("serve.batch_calls")
+        _count("serve.batch_coalesced", len(live))
+        registry = _obs.metrics()
+        if registry is not None:
+            registry.histogram(
+                "serve.batch_size", _batch_engine.BATCH_SIZE_BUCKETS
+            ).observe(len(live))
+        for index, job in enumerate(live):
+            if bool(scored.feasible[index]):
+                try:
+                    value = scored.result(index)
+                except Exception:  # noqa: BLE001 - scalar path decides
+                    self._run_job(job)
+                    continue
+                _count("serve.completed")
+                job.ticket._resolve(value)
+            else:
+                self._run_job(job)
 
     def _run_job(self, job: _Job) -> None:
         remaining = job.remaining_s()

@@ -1,0 +1,193 @@
+"""Differential: the numpy batch engine vs the scalar models.
+
+The batch engine re-derives eqs. (1)–(23) and the Fig. 1 selection as
+array expressions; nothing but these tests guarantees the two
+formulations agree.  Random PRM requirement vectors on random synthetic
+fabrics (plus the full catalog) are pushed through both paths and every
+observable — feasibility verdict, selected H, column mix, placement
+column, bitstream bytes, reconfiguration seconds — must match exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import batch
+from repro.core.api import batch_evaluate, evaluate_prm
+from repro.core.explorer import explore, pareto_front
+from repro.core.fastpath import PlacementCache, RegionOccupancy
+from repro.core.params import PRMRequirements
+from repro.core.placement_search import PlacementNotFoundError, find_prr
+from repro.devices import synthetic_device
+from repro.devices.catalog import DEVICES
+
+
+@st.composite
+def fabrics(draw):
+    rows = draw(st.integers(1, 8))
+    n_runs = draw(st.integers(1, 5))
+    clb_runs = tuple(draw(st.integers(1, 8)) for _ in range(n_runs))
+    boundaries = max(n_runs - 1, 0)
+    dsp_positions = (
+        tuple(sorted(draw(st.sets(st.integers(0, boundaries - 1), max_size=boundaries))))
+        if boundaries
+        else ()
+    )
+    bram_positions = (
+        tuple(sorted(draw(st.sets(st.integers(0, boundaries - 1), max_size=boundaries))))
+        if boundaries
+        else ()
+    )
+    return synthetic_device(
+        rows=rows,
+        clb_runs=clb_runs,
+        dsp_positions=dsp_positions,
+        bram_positions=bram_positions,
+    )
+
+
+@st.composite
+def prm_vectors(draw):
+    pairs = draw(st.integers(0, 30_000))
+    luts = draw(st.integers(0, pairs)) if pairs else 0
+    ffs = draw(st.integers(max(0, pairs - luts), pairs)) if pairs else 0
+    return PRMRequirements(
+        name=f"prm{draw(st.integers(0, 10**6))}",
+        lut_ff_pairs=pairs,
+        luts=luts,
+        ffs=ffs,
+        dsps=draw(st.integers(0, 120)),
+        brams=draw(st.integers(0, 60)),
+    )
+
+
+def scalar_verdict(device, prm, objective):
+    """(feasible, H, W_CLB, W_DSP, W_BRAM, col, bytes) via the scalar path."""
+    try:
+        placed = find_prr(device, prm, objective=objective)
+    except (PlacementNotFoundError, ValueError):
+        # ValueError covers all-zero requirement vectors, which the
+        # scalar geometry constructor rejects and the batch engine masks.
+        return (False, 0, 0, 0, 0, 0, 0)
+    return (
+        True,
+        placed.geometry.rows,
+        placed.geometry.columns.clb,
+        placed.geometry.columns.dsp,
+        placed.geometry.columns.bram,
+        placed.region.col,
+        placed.bitstream_bytes,
+    )
+
+
+@given(
+    device=fabrics(),
+    prms=st.lists(prm_vectors(), min_size=1, max_size=8),
+    objective=st.sampled_from(["size", "bitstream"]),
+)
+@settings(max_examples=60, deadline=None)
+def test_batch_select_equals_scalar_loop(device, prms, objective):
+    sel = batch.batch_select(
+        device,
+        [p.lut_ff_pairs for p in prms],
+        [p.dsps for p in prms],
+        [p.brams for p in prms],
+        objective=objective,
+    )
+    for i, prm in enumerate(prms):
+        got = (
+            bool(sel.feasible[i]),
+            int(sel.rows[i]),
+            int(sel.w_clb[i]),
+            int(sel.w_dsp[i]),
+            int(sel.w_bram[i]),
+            int(sel.start_col[i]),
+            int(sel.bitstream_bytes[i]),
+        )
+        assert got == scalar_verdict(device, prm, objective)
+
+
+@given(device=fabrics(), prms=st.lists(prm_vectors(), min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None)
+def test_find_prr_batch_equals_scalar_on_groups(device, prms):
+    try:
+        expected = find_prr(device, prms)
+    except (PlacementNotFoundError, ValueError):
+        expected = None
+    try:
+        got = batch.find_prr_batch(device, prms)
+    except PlacementNotFoundError:
+        got = None
+    assert got == expected
+
+
+@given(device=fabrics(), prms=st.lists(prm_vectors(), min_size=1, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_batch_evaluate_equals_looped_evaluate_prm(device, prms):
+    result = batch_evaluate(prms, device)
+    for i, prm in enumerate(prms):
+        try:
+            expected = evaluate_prm(prm, device)
+        except (PlacementNotFoundError, ValueError):
+            assert not bool(result.feasible[i])
+            continue
+        assert bool(result.feasible[i])
+        assert result.result(i) == expected
+
+
+def test_placement_cache_engines_agree_on_catalog():
+    prms = [
+        PRMRequirements(name="a", lut_ff_pairs=700, luts=700, ffs=350),
+        PRMRequirements(
+            name="b", lut_ff_pairs=2400, luts=2000, ffs=1500, brams=3
+        ),
+        PRMRequirements(name="c", lut_ff_pairs=300, luts=300, ffs=200, dsps=4),
+    ]
+    for device in DEVICES.values():
+        for objective in ("size", "bitstream"):
+            scalar_cache = PlacementCache(engine="scalar")
+            batch_cache = PlacementCache(engine="batch")
+            for group in ([prms[0]], [prms[1]], prms, prms[:2]):
+                empty = RegionOccupancy()
+                try:
+                    expected = scalar_cache.find_prr(
+                        device, group, forbidden=empty, objective=objective
+                    )
+                except PlacementNotFoundError:
+                    expected = None
+                try:
+                    got = batch_cache.find_prr(
+                        device, group, forbidden=empty, objective=objective
+                    )
+                except PlacementNotFoundError:
+                    got = None
+                assert got == expected, (device.name, objective)
+
+
+def test_explore_pareto_fronts_identical_on_all_catalog_devices():
+    """ISSUE 6 acceptance: engine="batch" explores bit-identically."""
+    prms = [
+        PRMRequirements(name="a", lut_ff_pairs=900, luts=900, ffs=500),
+        PRMRequirements(
+            name="b", lut_ff_pairs=2400, luts=2000, ffs=1500, brams=3
+        ),
+        PRMRequirements(name="c", lut_ff_pairs=300, luts=300, ffs=200, dsps=4),
+        PRMRequirements(name="d", lut_ff_pairs=5000, luts=5000, ffs=2500),
+    ]
+    for device in DEVICES.values():
+        scalar = explore(device, prms, engine="scalar")
+        vector = explore(device, prms, engine="batch")
+        assert list(scalar) == list(vector), device.name
+        assert pareto_front(scalar) == pareto_front(vector), device.name
+
+
+def test_explore_modes_agree_under_batch_engine():
+    prms = [
+        PRMRequirements(name="a", lut_ff_pairs=900, luts=900, ffs=500),
+        PRMRequirements(name="b", lut_ff_pairs=2400, luts=2000, ffs=1500),
+        PRMRequirements(name="c", lut_ff_pairs=300, luts=300, ffs=200),
+    ]
+    device = DEVICES["xc5vlx110t"]
+    for mode in ("exhaustive", "pruned", "beam"):
+        scalar = explore(device, prms, mode=mode, engine="scalar")
+        vector = explore(device, prms, mode=mode, engine="batch")
+        assert list(scalar) == list(vector), mode

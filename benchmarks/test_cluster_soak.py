@@ -1,0 +1,39 @@
+"""Cluster soak gates: quick counterpart of ``scripts/bench_cluster.py``.
+
+The committed ``BENCH_cluster.json`` records the full 10x soak; this gate
+runs a scaled-down wave in-process so CI catches serving-tier
+regressions:
+
+* with a self-crashing shard, an external SIGKILL, corrupted *and*
+  truncated disk-cache entries, and a disk-full window, every accepted
+  request must still resolve to a result or a typed error — 100% typed
+  resolution, zero untyped failures;
+* the content-addressed cache must absorb at least half the traffic
+  (the soak replays a small key population on purpose);
+* damaged entries must be quarantined, never served: every completed
+  result is compared against a fresh in-process evaluation.
+"""
+
+from __future__ import annotations
+
+from scripts.bench_cluster import run_soak
+
+
+def test_chaos_soak_resolves_typed_with_warm_cache():
+    outcome = run_soak(requests=96, shards=2, chaos=True)
+    assert outcome["untyped_failures"] == 0
+    assert outcome["typed_resolution_rate"] == 1.0
+    assert outcome["completed"] + outcome["typed_errors"] == 96
+    assert outcome["cache_hit_rate"] >= 0.5
+    assert outcome["quarantined"] >= 1
+    assert outcome["restarts"] >= 1
+    assert outcome["differential_mismatches"] == 0
+
+
+def test_fault_free_soak_is_clean_and_cache_dominated():
+    outcome = run_soak(requests=96, shards=2, chaos=False)
+    assert outcome["untyped_failures"] == 0
+    assert outcome["typed_resolution_rate"] == 1.0
+    assert outcome["quarantined"] == 0
+    assert outcome["cache_hit_rate"] >= 0.5
+    assert outcome["differential_mismatches"] == 0

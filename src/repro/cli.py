@@ -233,6 +233,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="expected task swap period for reconfiguration-budget advice",
     )
 
+    p = sub.add_parser(
+        "cluster",
+        help="mini soak of the sharded serving tier; prints stats and health",
+    )
+    p.add_argument(
+        "--shards", type=int, default=2, help="worker processes (default 2)"
+    )
+    p.add_argument(
+        "--requests", type=int, default=24,
+        help="evaluate requests to push through the tier (default 24)",
+    )
+    p.add_argument(
+        "--cache-dir", default=None,
+        help="persistent cache directory (default: memory-only)",
+    )
+    p.add_argument(
+        "--chaos", action="store_true",
+        help="crash one shard mid-soak to exercise the circuit breaker",
+    )
+
     sub.add_parser("report", help="print the full reproduction report")
     return parser
 
@@ -532,6 +552,60 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from .errors import ReproError as _ReproError
+    from .faults import ShardChaos
+    from .serve import ClusterConfig, ClusterService, EvaluateRequest
+    from .synth import synthesize
+    from .workloads import PAPER_WORKLOADS as _WORKLOADS
+
+    chaos = ()
+    if args.chaos:
+        plans = [ShardChaos() for _ in range(args.shards)]
+        plans[0] = ShardChaos(crash_after_requests=2)
+        chaos = tuple(plans)
+    config = ClusterConfig(
+        shards=args.shards,
+        probe_interval_s=0.1,
+        cache_dir=args.cache_dir,
+        chaos=chaos,
+    )
+    # The paper workloads only carry reference targets for the two
+    # evaluation devices, so the soak sticks to those.
+    device_names = ["xc5vlx110t", "xc6vlx75t"]
+    requests = []
+    for index in range(args.requests):
+        device = DEVICES[device_names[index % len(device_names)]]
+        builder = list(_WORKLOADS.values())[index % len(_WORKLOADS)]
+        prm = synthesize(builder(device.family), device.family).requirements
+        requests.append(EvaluateRequest(prm, device.name))
+    completed = typed = 0
+    with ClusterService(config) as cluster:
+        tickets = [cluster.submit(request) for request in requests]
+        for ticket in tickets:
+            try:
+                ticket.result(timeout=120)
+            except _ReproError:
+                typed += 1
+            else:
+                completed += 1
+        stats = cluster.stats()
+        health = cluster.health()
+    print(f"cluster soak: {args.requests} requests over {args.shards} shards")
+    print(
+        f"  completed={completed} typed_errors={typed} "
+        f"cache_hits={stats['cache_hits']} coalesced={stats['coalesced']} "
+        f"restarts={stats['restarts']} hedges={stats['hedges']}"
+    )
+    for row in health:
+        print(
+            f"  shard {row['shard_id']}: {row['health']} "
+            f"(restarts={row['restarts']}, "
+            f"probe={row['probe_latency_s'] * 1e3:.1f}ms)"
+        )
+    return 0
+
+
 def _cmd_report() -> int:
     from .reports.experiments import generate_report
 
@@ -555,6 +629,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "floorplan": lambda: _cmd_floorplan(args),
         "relocate": lambda: _cmd_relocate(args),
         "advise": lambda: _cmd_advise(args),
+        "cluster": lambda: _cmd_cluster(args),
         "report": lambda: _cmd_report(),
     }
     try:

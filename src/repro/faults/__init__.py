@@ -14,7 +14,10 @@ package supplies the failure side of the repo's otherwise-ideal models:
 * :mod:`degraded` — the fault-aware scheduler mode behind
   ``simulate_pr(..., faults=...)``: retries consume schedule time,
   repeatedly failing PRRs are quarantined and scrub-restored, and
-  unplaceable jobs spill to the full-reconfiguration baseline path.
+  unplaceable jobs spill to the full-reconfiguration baseline path;
+* :mod:`serve_injectors` — serve-tier chaos for the cluster soak:
+  shard SIGKILL plans (:class:`ShardChaos`), cache-file corruption/
+  truncation, torn-write temp files, and disk-full cache writes.
 """
 
 from .degraded import DegradedModePolicy, simulate_pr_with_faults
@@ -33,6 +36,13 @@ from .reliable import (
     RetryPolicy,
     payload_crc,
 )
+from .serve_injectors import (
+    ShardChaos,
+    corrupt_cache_entry,
+    disk_full,
+    leave_partial_temp_file,
+    truncate_cache_entry,
+)
 
 __all__ = [
     "FaultEvent",
@@ -49,4 +59,9 @@ __all__ = [
     "payload_crc",
     "DegradedModePolicy",
     "simulate_pr_with_faults",
+    "ShardChaos",
+    "corrupt_cache_entry",
+    "truncate_cache_entry",
+    "leave_partial_temp_file",
+    "disk_full",
 ]

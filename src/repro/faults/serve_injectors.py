@@ -1,0 +1,128 @@
+"""Serve-tier fault injectors: shard crashes, cache damage, disk-full.
+
+PR 2's injectors model *fabric*-level failures; this module adds the
+*topology*-level ones the cluster soak exercises (ISSUE 7):
+
+* :class:`ShardChaos` — a picklable per-shard chaos plan handed to the
+  shard worker process at spawn: self-SIGKILL after N requests (the
+  deterministic, fork/spawn-agnostic way to kill a shard mid-run),
+  per-request service delay (to force hedging and coalescing windows),
+  and health-probe stalls (to drive the ``degraded`` / ``down`` health
+  transitions without touching real work).
+* :func:`corrupt_cache_entry` / :func:`truncate_cache_entry` — flip a
+  real payload byte / cut a verified disk-cache file short, so the CRC
+  check in :class:`repro.serve.cache.DiskResultCache` has actual damage
+  to catch (the same philosophy as PR 2's real-byte bit flips).
+* :func:`leave_partial_temp_file` — simulate a writer that crashed
+  mid-atomic-write, leaving a garbage temp file for the sweep to clean.
+* :func:`disk_full` — context manager that makes every cache write fail
+  with ``ENOSPC``, verifying the serving path survives a full disk.
+
+All injectors are deterministic given their arguments; randomness (which
+byte to flip) comes from an explicit seeded :class:`random.Random`.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+__all__ = [
+    "ShardChaos",
+    "corrupt_cache_entry",
+    "truncate_cache_entry",
+    "leave_partial_temp_file",
+    "disk_full",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardChaos:
+    """Chaos plan for one shard worker process (picklable, inert by default).
+
+    ``crash_after_requests=N`` SIGKILLs the worker when it dequeues its
+    (N+1)-th work request — ``0`` kills it on first contact, ``None``
+    never.  ``request_delay_s`` sleeps before serving each request.
+    ``probe_stall_s`` sleeps before answering each health probe, which
+    is how the probe-stall fault drives the supervisor's
+    ``healthy -> degraded -> down`` escalation.
+    """
+
+    crash_after_requests: int | None = None
+    request_delay_s: float = 0.0
+    probe_stall_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.crash_after_requests is not None and self.crash_after_requests < 0:
+            raise ValueError("crash_after_requests must be >= 0 or None")
+        if self.request_delay_s < 0 or self.probe_stall_s < 0:
+            raise ValueError("delays must be non-negative")
+
+    @property
+    def inert(self) -> bool:
+        return (
+            self.crash_after_requests is None
+            and self.request_delay_s == 0.0
+            and self.probe_stall_s == 0.0
+        )
+
+
+def corrupt_cache_entry(path: str | os.PathLike, *, rng: random.Random) -> int:
+    """Flip one random payload byte of a cache entry file; returns offset.
+
+    The header line is left intact so the damage is to the *verified*
+    bytes — exactly what the CRC must catch.
+    """
+    target = Path(path)
+    raw = bytearray(target.read_bytes())
+    header_end = raw.find(b"\n") + 1
+    if header_end <= 0 or header_end >= len(raw):
+        raise ValueError(f"{target} does not look like a cache entry")
+    offset = rng.randrange(header_end, len(raw))
+    raw[offset] ^= 0xFF
+    target.write_bytes(bytes(raw))
+    return offset
+
+
+def truncate_cache_entry(
+    path: str | os.PathLike, *, keep_fraction: float = 0.5
+) -> int:
+    """Cut an entry file short (simulated torn write); returns new size."""
+    if not 0 <= keep_fraction < 1:
+        raise ValueError("keep_fraction must be in [0, 1)")
+    target = Path(path)
+    size = target.stat().st_size
+    new_size = max(1, int(size * keep_fraction))
+    with open(target, "r+b") as handle:
+        handle.truncate(new_size)
+    return new_size
+
+
+def leave_partial_temp_file(
+    directory: str | os.PathLike, *, payload: bytes = b"RPRC1 partial"
+) -> Path:
+    """Drop a garbage temp file as if a writer died mid-atomic-write."""
+    target = Path(directory) / "tmp-crashed-writer-0"
+    target.write_bytes(payload)
+    return target
+
+
+@contextmanager
+def disk_full() -> Iterator[None]:
+    """Every disk-cache write inside the block fails with ``ENOSPC``."""
+    from ..serve import cache as serve_cache
+
+    def _no_space(path, data):  # noqa: ARG001 - signature mirrors target
+        raise OSError(errno.ENOSPC, "No space left on device (injected)")
+
+    original = serve_cache._write_bytes
+    serve_cache._write_bytes = _no_space
+    try:
+        yield
+    finally:
+        serve_cache._write_bytes = original

@@ -34,6 +34,7 @@ layer unchanged.
 from __future__ import annotations
 
 import queue
+import random
 import threading
 import time
 from dataclasses import dataclass
@@ -53,7 +54,23 @@ __all__ = [
     "ExploreRequest",
     "Ticket",
     "CostModelService",
+    "jittered_retry_after",
 ]
+
+
+def jittered_retry_after(
+    base_s: float, jitter_fraction: float, rng: random.Random | None = None
+) -> float:
+    """``base * (1 + U(0, jitter))`` — de-synchronizes client retries.
+
+    A fixed ``retry_after_s`` teaches every shed client to come back at
+    the same instant, re-creating the overload it advertises; the
+    uniform jitter spreads the retry wave out.
+    """
+    if jitter_fraction <= 0:
+        return base_s
+    draw = (rng or random).random()
+    return base_s * (1.0 + draw * jitter_fraction)
 
 
 def _count(name: str, n: int = 1) -> None:
@@ -71,6 +88,7 @@ class ServiceConfig:
     queue_depth: int = 16
     default_deadline_s: float | None = None  #: applied when a request has none
     shed_retry_after_s: float = 0.05  #: retry hint attached to ``Overloaded``
+    shed_retry_jitter: float = 0.25  #: retry hint *= 1 + U(0, jitter)
     drain_timeout_s: float = 30.0  #: how long :meth:`stop` waits for drain
     max_batch: int = 8  #: same-device evaluates coalesced per array call
 
@@ -89,6 +107,11 @@ class ServiceConfig:
             raise InvalidInput("default_deadline_s must be positive when set")
         if self.shed_retry_after_s < 0:
             raise InvalidInput("shed_retry_after_s must be non-negative")
+        if not 0 <= self.shed_retry_jitter <= 10:
+            raise InvalidInput(
+                f"shed_retry_jitter must be within [0, 10], got "
+                f"{self.shed_retry_jitter}"
+            )
         if self.drain_timeout_s <= 0:
             raise InvalidInput("drain_timeout_s must be positive")
 
@@ -240,17 +263,17 @@ class CostModelService:
     # -- submission ----------------------------------------------------------
 
     def submit(self, request: EvaluateRequest | ExploreRequest) -> Ticket:
-        """Enqueue a request; sheds with ``Overloaded`` when full."""
+        """Enqueue a request; sheds with ``Overloaded`` when full.
+
+        The accepting check and the enqueue happen under the service
+        lock — the same lock :meth:`stop` takes to flip ``_accepting`` —
+        so a submission can never race a drain into the queue behind the
+        stop sentinels (where no worker would ever serve it).
+        """
         if not isinstance(request, (EvaluateRequest, ExploreRequest)):
             raise InvalidInput(
                 f"expected EvaluateRequest or ExploreRequest, "
                 f"got {type(request).__name__}"
-            )
-        if not self._accepting:
-            raise Overloaded(
-                "service is not accepting requests (stopped or never started)",
-                retry_after_s=None,
-                queue_depth=self._queue.qsize(),
             )
         deadline_s = (
             request.deadline_s
@@ -268,16 +291,28 @@ class CostModelService:
             enqueued_at=time.monotonic(),
             deadline_s=deadline_s,
         )
-        try:
-            self._queue.put_nowait(job)
-        except queue.Full:
-            _count("serve.shed")
-            raise Overloaded(
-                f"work queue full ({self.config.queue_depth} deep); "
-                f"retry after {self.config.shed_retry_after_s}s",
-                retry_after_s=self.config.shed_retry_after_s,
-                queue_depth=self.config.queue_depth,
-            ) from None
+        with self._lock:
+            if not self._accepting:
+                raise Overloaded(
+                    "service is not accepting requests "
+                    "(stopped, draining, or never started)",
+                    retry_after_s=None,
+                    queue_depth=self._queue.qsize(),
+                )
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                _count("serve.shed")
+                retry_after = jittered_retry_after(
+                    self.config.shed_retry_after_s,
+                    self.config.shed_retry_jitter,
+                )
+                raise Overloaded(
+                    f"work queue full ({self.config.queue_depth} deep); "
+                    f"retry after {retry_after:.3f}s",
+                    retry_after_s=retry_after,
+                    queue_depth=self.config.queue_depth,
+                ) from None
         _count("serve.accepted")
         return ticket
 

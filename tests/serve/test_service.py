@@ -14,6 +14,7 @@ from repro.serve import (
     EvaluateRequest,
     ExploreRequest,
     ServiceConfig,
+    jittered_retry_after,
 )
 
 from tests.conftest import paper_requirements
@@ -39,6 +40,8 @@ class TestConfigValidation:
             {"queue_depth": 0},
             {"default_deadline_s": -1.0},
             {"shed_retry_after_s": -0.1},
+            {"shed_retry_jitter": -0.1},
+            {"shed_retry_jitter": 11.0},
             {"drain_timeout_s": 0.0},
         ],
     )
@@ -140,11 +143,24 @@ class TestBackpressure:
                 service.submit(EvaluateRequest(FIR, "xc5vlx110t"))
             shed = excinfo.value
             assert shed.retryable
-            assert shed.retry_after_s == pytest.approx(0.123)
+            # retry_after_s is jittered upward by at most shed_retry_jitter
+            jitter = config.shed_retry_jitter
+            assert 0.123 <= shed.retry_after_s <= 0.123 * (1 + jitter) + 1e-9
             assert shed.queue_depth == 1
             gate.set()
             assert first.result(timeout=30) == "slow-done"
             assert queued.result(timeout=30) == "slow-done"
+
+    def test_jittered_retry_after_stays_in_band(self):
+        import random
+
+        rng = random.Random(1234)
+        for _ in range(200):
+            value = jittered_retry_after(0.1, 0.25, rng)
+            assert 0.1 <= value <= 0.1 * 1.25
+
+    def test_zero_jitter_is_exact(self):
+        assert jittered_retry_after(0.5, 0.0) == 0.5
 
     def test_deadline_elapsed_in_queue_fails_fast(self, monkeypatch):
         gate, started = _block_worker(monkeypatch)
@@ -185,6 +201,44 @@ class TestDrain:
         with pytest.raises(Overloaded, match="stopped"):
             queued.result(timeout=30)
         assert running.result(timeout=30) == "slow-done"
+
+
+class TestDrainRace:
+    def test_submit_during_drain_sheds_instead_of_racing(self, monkeypatch):
+        """stop(drain=True) must reject new submissions, not enqueue them."""
+        gate, started = _block_worker(monkeypatch)
+        config = ServiceConfig(workers=1, queue_depth=8, drain_timeout_s=10.0)
+        service = CostModelService(config).start()
+        running = service.submit(EvaluateRequest(FIR, "xc5vlx110t"))
+        assert started.wait(timeout=30)
+
+        stopping = threading.Event()
+        stopped = threading.Event()
+
+        def drain():
+            stopping.set()
+            service.stop(drain=True)
+            stopped.set()
+
+        stopper = threading.Thread(target=drain, daemon=True)
+        stopper.start()
+        assert stopping.wait(timeout=30)
+        # Give stop() time to flip _accepting while the worker is blocked.
+        deadline = time.monotonic() + 5.0
+        late_error = None
+        while time.monotonic() < deadline:
+            try:
+                service.submit(EvaluateRequest(FIR, "xc5vlx110t"))
+            except Overloaded as err:
+                late_error = err
+                break
+            time.sleep(0.01)
+        assert late_error is not None, "submit during drain was accepted"
+        assert "drain" in late_error.message or "stopped" in late_error.message
+        gate.set()
+        assert stopped.wait(timeout=30)
+        assert running.result(timeout=30) == "slow-done"
+        stopper.join(timeout=10)
 
 
 class TestObservability:

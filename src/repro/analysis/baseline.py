@@ -1,0 +1,154 @@
+"""Checked-in baseline of grandfathered findings.
+
+Adding an analyzer to a living codebase surfaces pre-existing findings
+that are deliberate, harmless, or too risky to churn in the same PR.
+Those are recorded — with a justification — in a baseline file
+(``analysis-baseline.json`` at the repo root) and the CI gate fails only
+on findings *not* in it.
+
+Matching is by :attr:`~repro.analysis.findings.Finding.fingerprint`
+(rule + path + stripped source text), with **multiset** semantics: two
+identical offending lines in one file need two baseline entries, and
+each entry excuses exactly one occurrence.  Line numbers are stored for
+human readers only and refreshed on ``--update-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from ..errors import ParseError
+from .findings import Finding, sort_key
+
+__all__ = [
+    "Baseline",
+    "BaselineDiff",
+    "diff_findings",
+    "load_baseline",
+    "write_baseline",
+]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Baseline:
+    """The grandfathered findings plus their per-fingerprint justifications."""
+
+    entries: tuple[dict, ...] = ()
+    #: fingerprint -> human justification for keeping it baselined
+    justifications: Mapping[str, str] = field(default_factory=dict)
+
+    def fingerprint_counts(self) -> Counter:
+        return Counter(entry["fingerprint"] for entry in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineDiff:
+    """Findings split against a baseline.
+
+    ``new`` is what the CI gate fails on.  ``stale`` entries excuse
+    nothing anymore (the offending line was fixed or changed) and should
+    be pruned with ``--update-baseline``; the self-run test keeps them
+    at zero.
+    """
+
+    new: tuple[Finding, ...] = ()
+    baselined: tuple[Finding, ...] = ()
+    stale: tuple[dict, ...] = ()
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file; a missing file is an empty baseline."""
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "entries" not in data:
+        raise ParseError(f"baseline {path} lacks an 'entries' list")
+    entries = tuple(dict(entry) for entry in data["entries"])
+    for entry in entries:
+        if "fingerprint" not in entry:
+            raise ParseError(
+                f"baseline {path} has an entry without a fingerprint: {entry}"
+            )
+    return Baseline(
+        entries=entries,
+        justifications=dict(data.get("justifications", {})),
+    )
+
+
+def write_baseline(
+    path: Path,
+    findings: Iterable[Finding],
+    justifications: Mapping[str, str] | None = None,
+) -> Baseline:
+    """Serialize *findings* as the new baseline, preserving justifications.
+
+    Justifications keyed by fingerprints that no longer occur are
+    dropped; new fingerprints get a placeholder so the diff in review
+    shows exactly which entries still need a reason.
+    """
+    ordered = sorted(findings, key=sort_key)
+    entries = tuple(
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,
+            "fingerprint": f.fingerprint,
+            "message": f.message,
+        }
+        for f in ordered
+    )
+    kept: dict[str, str] = {}
+    prior = dict(justifications or {})
+    for finding in ordered:
+        fp = finding.fingerprint
+        if fp not in kept:
+            kept[fp] = prior.get(fp, "TODO: justify or fix")
+    baseline = Baseline(entries=entries, justifications=kept)
+    payload: dict[str, Any] = {
+        "version": _FORMAT_VERSION,
+        "entries": [dict(e) for e in entries],
+        "justifications": {k: kept[k] for k in sorted(kept)},
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    return baseline
+
+
+def diff_findings(
+    findings: Iterable[Finding], baseline: Baseline
+) -> BaselineDiff:
+    """Split *findings* into new vs baselined; surface stale entries."""
+    budget = baseline.fingerprint_counts()
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    for finding in sorted(findings, key=sort_key):
+        fp = finding.fingerprint
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    stale: list[dict] = []
+    for entry in baseline.entries:
+        fp = entry["fingerprint"]
+        if budget.get(fp, 0) > 0:
+            budget[fp] -= 1
+            stale.append(entry)
+    return BaselineDiff(
+        new=tuple(new), baselined=tuple(matched), stale=tuple(stale)
+    )

@@ -1,0 +1,166 @@
+"""Command-line front end: ``repro-fpga analyze`` / ``python -m repro.analysis``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from ..errors import ReproError
+from .baseline import diff_findings, load_baseline, write_baseline
+from .config import default_config
+from .engine import analyze
+from .registry import ALL_RULES
+
+__all__ = ["build_parser", "main", "run"]
+
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+
+def build_parser(
+    parser: argparse.ArgumentParser | None = None,
+) -> argparse.ArgumentParser:
+    """Build (or populate, for CLI subcommand reuse) the argument parser."""
+    if parser is None:
+        parser = argparse.ArgumentParser(
+            prog="python -m repro.analysis",
+            description="Domain-aware static analysis for the repro codebase.",
+        )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to analyze (default: the root)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path("src"),
+        help="path root that finding paths are relative to (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(DEFAULT_BASELINE),
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline; report every finding as new",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this run's findings and exit 0",
+    )
+    parser.add_argument(
+        "--fail-on-new",
+        action="store_true",
+        help="exit 1 when any finding is not in the baseline (the CI gate)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default="",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the known rules and exit",
+    )
+    return parser
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        width = max(len(name) for name in ALL_RULES)
+        for name in sorted(ALL_RULES):
+            print(f"{name:<{width}}  {ALL_RULES[name].description}")
+        return 0
+
+    config = default_config()
+    if args.rules:
+        wanted = tuple(
+            part.strip() for part in args.rules.split(",") if part.strip()
+        )
+        config = config.restricted_to(wanted)
+
+    report = analyze(args.root, args.paths or None, config)
+
+    if args.update_baseline:
+        prior = (
+            load_baseline(args.baseline)
+            if args.baseline.exists()
+            else None
+        )
+        write_baseline(
+            args.baseline,
+            report.findings,
+            prior.justifications if prior else None,
+        )
+        print(
+            f"baseline {args.baseline} updated: "
+            f"{len(report.findings)} entries"
+        )
+        return 0
+
+    if args.no_baseline:
+        diff = None
+        new = report.findings
+    else:
+        baseline = load_baseline(args.baseline)
+        diff = diff_findings(report.findings, baseline)
+        new = list(diff.new)
+
+    if args.format == "json":
+        payload = report.to_dict()
+        payload["new"] = [f.to_dict() for f in new]
+        if diff is not None:
+            payload["baselined"] = len(diff.baselined)
+            payload["stale_baseline_entries"] = [dict(e) for e in diff.stale]
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in new:
+            print(finding.render())
+        if diff is not None and diff.stale:
+            for entry in diff.stale:
+                print(
+                    f"stale baseline entry: {entry['path']} "
+                    f"[{entry['rule']}] {entry.get('message', '')} "
+                    f"(fingerprint {entry['fingerprint']}) — "
+                    "run --update-baseline to prune"
+                )
+        suppressed = len(report.findings) - len(new)
+        summary = (
+            f"{len(new)} new finding(s), {suppressed} baselined, "
+            f"{report.files_checked} files checked"
+        )
+        if diff is not None and diff.stale:
+            summary += f", {len(diff.stale)} stale baseline entries"
+        print(summary)
+
+    if args.fail_on_new and new:
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return run(args)
+    except ReproError as exc:
+        print(f"error: {exc.describe()}", file=sys.stderr)
+        return exc.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""The analysis engine: file discovery, rule dispatch, reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from ..errors import InvalidInput
+from .config import AnalysisConfig, default_config
+from .findings import Finding, sort_key
+from .project import build_project
+from .registry import ALL_RULES
+from .visitor import ModuleInfo, parse_module
+
+__all__ = ["AnalysisReport", "analyze", "iter_python_files"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".pytest_cache", "node_modules"})
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under *paths*, deterministically ordered."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_file():
+            candidates: Iterable[Path] = [path] if path.suffix == ".py" else []
+        elif path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not any(part in _SKIP_DIRS for part in p.parts)
+            )
+        else:
+            raise InvalidInput(f"no such file or directory: {path}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+@dataclass(slots=True)
+class AnalysisReport:
+    """Everything one run produced, already deterministically ordered."""
+
+    root: Path
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        lines.append(
+            f"{len(self.findings)} {noun} across {self.files_checked} files "
+            f"({', '.join(self.rules_run) or 'no rules'})"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "root": str(self.root),
+            "files_checked": self.files_checked,
+            "rules_run": list(self.rules_run),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+def analyze(
+    root: Path,
+    paths: Iterable[Path] | None = None,
+    config: AnalysisConfig | None = None,
+) -> AnalysisReport:
+    """Run every enabled rule over the tree and return the ordered report.
+
+    *root* anchors the root-relative paths in findings (and therefore in
+    the baseline): analyzing ``src/repro/serve`` with ``root=src`` yields
+    paths like ``repro/serve/cluster.py``.  *paths* defaults to *root*
+    itself.  Files that fail to parse contribute a single ``parse``
+    finding instead of aborting the run.
+    """
+    root = Path(root)
+    if config is None:
+        config = default_config()
+    targets = [Path(p) for p in paths] if paths else [root]
+
+    modules: list[ModuleInfo] = []
+    findings: list[Finding] = []
+    for path in iter_python_files(targets):
+        parsed = parse_module(path, root)
+        if isinstance(parsed, Finding):
+            findings.append(parsed)
+        else:
+            modules.append(parsed)
+
+    project = build_project(modules)
+    rules_run = []
+    for name, rule in ALL_RULES.items():
+        options = config.for_rule(name)
+        in_scope = [m for m in modules if options.in_scope(m.relpath)]
+        if not options.enabled:
+            continue
+        rules_run.append(name)
+        for module in in_scope:
+            for finding in rule.check(module, options, project):
+                if not module.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+
+    findings.sort(key=sort_key)
+    return AnalysisReport(
+        root=root,
+        findings=findings,
+        files_checked=len(modules),
+        rules_run=tuple(sorted(rules_run)),
+    )

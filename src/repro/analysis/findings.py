@@ -1,0 +1,65 @@
+"""The :class:`Finding` dataclass and its baseline fingerprint."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``fingerprint`` identifies the finding for baseline matching.  It
+    hashes the rule id, the file path, and the *stripped source text* of
+    the offending line — not the line number — so a baselined finding
+    survives unrelated edits above it and dies when the offending line
+    itself changes.  Two identical lines in one file share a
+    fingerprint; the baseline matcher uses multiset semantics so each
+    entry excuses exactly one occurrence.
+    """
+
+    rule: str
+    path: str  #: root-relative posix path
+    line: int  #: 1-based
+    col: int  #: 0-based
+    message: str
+    hint: str = ""
+    source_line: str = field(default="", compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        blob = f"{self.rule}|{self.path}|{self.source_line.strip()}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def render(self) -> str:
+        text = f"{self.location()} [{self.rule}] {self.message}"
+        if self.hint:
+            text += f" (hint: {self.hint})"
+        return text
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def sort_key(finding: Finding) -> tuple:
+    """Deterministic output order: location first, then rule and text."""
+    return (
+        finding.path,
+        finding.line,
+        finding.col,
+        finding.rule,
+        finding.message,
+    )

@@ -1,0 +1,152 @@
+"""Cross-file context rules consult: class graph and metric declarations.
+
+Rules are per-module, but two of them need whole-project knowledge:
+
+* ``typed-errors`` must know which exception classes derive (possibly
+  transitively, possibly through another file) from
+  :class:`repro.errors.ReproError`;
+* ``obs-hygiene`` must know the metric names declared in
+  :data:`repro.obs.metrics.METRIC_NAMES` / ``METRIC_PREFIXES``.
+
+Both are extracted *syntactically* from the analyzed tree — nothing is
+imported — so the analyzer works on fixture trees and on checkouts whose
+code would not import.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .visitor import ModuleInfo
+
+__all__ = ["ProjectContext", "build_project"]
+
+#: Stdlib exception names treated as "outside the taxonomy" when raised
+#: directly.  (Raising a *variable* holding one is a re-raise and fine.)
+STDLIB_EXCEPTIONS = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "AttributeError",
+        "BaseException",
+        "BufferError",
+        "EOFError",
+        "Exception",
+        "FileExistsError",
+        "FileNotFoundError",
+        "IOError",
+        "ImportError",
+        "IndexError",
+        "InterruptedError",
+        "KeyError",
+        "LookupError",
+        "MemoryError",
+        "ModuleNotFoundError",
+        "NotADirectoryError",
+        "NotImplementedError",
+        "OSError",
+        "OverflowError",
+        "PermissionError",
+        "RecursionError",
+        "RuntimeError",
+        "StopIteration",
+        "TimeoutError",
+        "TypeError",
+        "UnicodeDecodeError",
+        "UnicodeEncodeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+
+@dataclass(slots=True)
+class ProjectContext:
+    """Whole-tree facts shared by every rule in one run."""
+
+    #: class name -> base-class last-segment names (every ClassDef seen)
+    class_bases: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: classes deriving (transitively) from ReproError
+    typed_exceptions: frozenset[str] = frozenset()
+    #: exact metric names declared in obs.metrics
+    metric_names: frozenset[str] = frozenset()
+    #: declared metric-name prefixes (dynamic/f-string names)
+    metric_prefixes: tuple[str, ...] = ()
+    #: whether a METRIC_NAMES declaration was found at all
+    metrics_declared: bool = False
+
+
+def _base_name(node: ast.expr) -> str | None:
+    """Last segment of a base-class expression (``errors.ParseError`` ->
+    ``ParseError``)."""
+    while isinstance(node, ast.Subscript):  # Generic[...] bases
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _literal(node: ast.expr):
+    """Evaluate a literal declaration, unwrapping ``frozenset({...})``."""
+    if isinstance(node, ast.Call) and len(node.args) == 1:
+        node = node.args[0]
+    try:
+        return ast.literal_eval(node)
+    except (ValueError, SyntaxError, TypeError):
+        return None
+
+
+def build_project(modules: Iterable[ModuleInfo]) -> ProjectContext:
+    context = ProjectContext()
+    bases: dict[str, tuple[str, ...]] = {}
+    for module in modules:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                names = tuple(
+                    name
+                    for name in (_base_name(b) for b in node.bases)
+                    if name is not None
+                )
+                # first definition wins; class names are unique in this tree
+                bases.setdefault(node.name, names)
+        if module.relpath.endswith("obs/metrics.py"):
+            _read_metric_declarations(module, context)
+    context.class_bases = bases
+
+    typed = {"ReproError"}
+    changed = True
+    while changed:
+        changed = False
+        for name, parents in bases.items():
+            if name not in typed and any(p in typed for p in parents):
+                typed.add(name)
+                changed = True
+    context.typed_exceptions = frozenset(typed)
+    return context
+
+
+def _read_metric_declarations(
+    module: ModuleInfo, context: ProjectContext
+) -> None:
+    for node in module.tree.body:
+        target = None
+        value = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if not isinstance(target, ast.Name) or value is None:
+            continue
+        if target.id == "METRIC_NAMES":
+            literal = _literal(value)
+            if literal is not None:
+                context.metric_names = frozenset(str(v) for v in literal)
+                context.metrics_declared = True
+        elif target.id == "METRIC_PREFIXES":
+            literal = _literal(value)
+            if literal is not None:
+                context.metric_prefixes = tuple(str(v) for v in literal)

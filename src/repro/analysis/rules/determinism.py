@@ -1,0 +1,217 @@
+"""``determinism`` — no wall clock, unseeded RNG, or set-order leaks.
+
+The PR 4 determinism suite asserts that a fixed seed reproduces model
+outputs bit-for-bit.  That property only survives codebase growth if the
+model paths (``core``, ``bitgen``, ``multitask``, ``devices``) never
+read sources the seed does not control:
+
+* **wall clock** — ``time.time()``, ``datetime.now()`` and friends.
+  ``time.monotonic``/``perf_counter`` stay legal: the anytime budget
+  machinery is *deliberately* wall-clock bounded and the determinism
+  suite scrubs its timing fields.
+* **unseeded RNG** — module-global ``random.*`` calls, ``random.Random()``
+  with no seed, ``numpy.random.default_rng()`` with no seed, and the
+  legacy ``numpy.random.*`` global-state functions.
+* **set iteration** — ``for x in {...}`` / ``set(...)``, comprehensions
+  over them, and ``list(set(...))`` materializations, whose order
+  depends on hash seeding.  ``sorted(set(...))`` is the fix and is not
+  flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from ..config import RuleOptions
+from ..findings import Finding
+from ..visitor import ModuleInfo, Rule, dotted_name, import_map
+
+__all__ = ["DeterminismRule"]
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: numpy.random attributes that are fine to call (seedable constructors).
+_NP_RANDOM_OK = frozenset({"default_rng", "Generator", "SeedSequence", "PCG64"})
+
+
+def _resolve(call: ast.Call, imports: dict[str, str]) -> str | None:
+    """Fully dotted callee, resolved through the module's imports."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    origin = imports.get(head)
+    if origin is None:
+        return name
+    return f"{origin}.{rest}" if rest else origin
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra: s1 | s2 etc. — only when an operand is clearly a set
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class DeterminismRule(Rule):
+    name = "determinism"
+    description = (
+        "model paths must not read wall clock, unseeded RNG, or "
+        "hash-order-dependent set iteration"
+    )
+
+    def check(
+        self, module: ModuleInfo, options: RuleOptions, project: Any
+    ) -> list[Finding]:
+        imports = import_map(module.tree)
+        findings: list[Finding] = []
+        # names locally bound to set expressions, per enclosing function
+        set_vars = self._set_variables(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                findings.extend(self._check_call(module, node, imports))
+            iter_expr = self._iteration_expr(node)
+            if iter_expr is not None and self._nondeterministic_iter(
+                iter_expr, set_vars
+            ):
+                findings.append(
+                    module.finding(
+                        self.name,
+                        iter_expr,
+                        "iteration over a set has hash-order-dependent "
+                        "(non-deterministic) element order",
+                        hint="wrap in sorted(...) to fix the order",
+                    )
+                )
+        return findings
+
+    # -- RNG + wall clock ----------------------------------------------------
+
+    def _check_call(
+        self, module: ModuleInfo, call: ast.Call, imports: dict[str, str]
+    ) -> list[Finding]:
+        resolved = _resolve(call, imports)
+        if resolved is None:
+            return []
+        if resolved in _WALL_CLOCK:
+            return [
+                module.finding(
+                    self.name,
+                    call,
+                    f"{resolved}() reads the wall clock on a model path",
+                    hint=(
+                        "model outputs must be functions of their inputs; "
+                        "pass timestamps in, or use time.monotonic only "
+                        "for anytime budgets"
+                    ),
+                )
+            ]
+        if resolved == "random.Random" and not call.args and not call.keywords:
+            return [
+                module.finding(
+                    self.name,
+                    call,
+                    "random.Random() without a seed is non-reproducible",
+                    hint="pass an explicit seed (random.Random(seed))",
+                )
+            ]
+        if resolved.startswith("random.") and resolved.count(".") == 1:
+            fn = resolved.split(".")[1]
+            if fn not in ("Random", "SystemRandom"):
+                return [
+                    module.finding(
+                        self.name,
+                        call,
+                        f"{resolved}() uses the unseeded module-global RNG",
+                        hint=(
+                            "construct random.Random(seed) (or accept an "
+                            "rng parameter) so runs reproduce"
+                        ),
+                    )
+                ]
+        if resolved.startswith("numpy.random."):
+            fn = resolved.split(".")[-1]
+            if fn == "default_rng" and not call.args and not call.keywords:
+                return [
+                    module.finding(
+                        self.name,
+                        call,
+                        "numpy.random.default_rng() without a seed is "
+                        "non-reproducible",
+                        hint="pass the run's seed: np.random.default_rng(seed)",
+                    )
+                ]
+            if fn not in _NP_RANDOM_OK:
+                return [
+                    module.finding(
+                        self.name,
+                        call,
+                        f"{resolved}() uses numpy's global RNG state",
+                        hint="use a seeded np.random.default_rng(seed) instead",
+                    )
+                ]
+        return []
+
+    # -- set iteration -------------------------------------------------------
+
+    def _set_variables(self, tree: ast.Module) -> set[str]:
+        """Names assigned a set expression anywhere in the module.
+
+        Single-file heuristic: good enough to catch ``s = set(...); for
+        x in s:`` without whole-program type inference.  A name later
+        rebound to a list simply stops matching at its set assignments —
+        false negatives are fine, false positives are not: a name is
+        only reported when *every* assignment to it is a set expression.
+        """
+        assigned: dict[str, list[bool]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        assigned.setdefault(target.id, []).append(
+                            _is_set_expr(node.value)
+                        )
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    assigned.setdefault(node.target.id, []).append(
+                        _is_set_expr(node.value)
+                    )
+        return {name for name, flags in assigned.items() if all(flags)}
+
+    def _iteration_expr(self, node: ast.AST) -> ast.expr | None:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            return node.iter
+        if isinstance(node, ast.comprehension):
+            return node.iter
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            # list(set(...)) / tuple(set(...)) — materializes hash order
+            if node.func.id in ("list", "tuple") and node.args:
+                return node.args[0] if _is_set_expr(node.args[0]) else None
+        return None
+
+    def _nondeterministic_iter(
+        self, expr: ast.expr, set_vars: set[str]
+    ) -> bool:
+        if _is_set_expr(expr):
+            return True
+        if isinstance(expr, ast.Name) and expr.id in set_vars:
+            return True
+        return False

@@ -1,0 +1,253 @@
+"""``lock-discipline`` — shared state is only mutated under its lock.
+
+For every class, the rule learns which ``self.<attr>`` fields are
+mutated inside ``with self.<lock>:`` blocks (any attribute whose name
+contains ``lock`` counts as a lock).  Those fields form the class's
+*guarded set*; any mutation of a guarded field outside a lock block is a
+finding.  Two escape hatches reflect real concurrency idioms:
+
+* ``__init__`` / ``__post_init__`` / ``__new__`` are exempt — the object
+  is not yet published;
+* a method whose docstring declares the contract (``caller holds
+  self._lock`` — any docstring containing both "hold" and the lock
+  name) is treated as running under the lock, the way
+  ``ClusterService._resolve`` documents itself.
+
+The rule also records the *order* in which nested ``with`` blocks
+acquire two locks; seeing both ``A then B`` and ``B then A`` in one
+class is an ABBA deadlock waiting for the right interleaving, and is
+flagged at the second site.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from types import SimpleNamespace
+from typing import Any
+
+from ..config import RuleOptions
+from ..findings import Finding
+from ..visitor import ModuleInfo, Rule
+
+__all__ = ["LockDisciplineRule"]
+
+#: Method calls that mutate common containers in place.
+_MUTATORS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "move_to_end",
+        "pop",
+        "popitem",
+        "popleft",
+        "remove",
+        "reverse",
+        "setdefault",
+        "sort",
+        "update",
+    }
+)
+
+_EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+_HOLDS_RE = re.compile(r"hold", re.IGNORECASE)
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``X`` when *node* is ``self.X`` (unwrapping subscripts)."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _lock_attr(item: ast.withitem) -> str | None:
+    """``X`` when the with-item is ``self.X`` and X looks like a lock."""
+    expr = item.context_expr
+    # ``with self._lock:`` or ``with self._lock.acquire_timeout(...)``
+    attr = _self_attr(expr)
+    if attr is None and isinstance(expr, ast.Call):
+        attr = _self_attr(expr.func)
+        if attr is not None:  # self._lock.something(...)
+            inner = _self_attr(expr.func.value) if isinstance(expr.func, ast.Attribute) else None
+            attr = inner if inner is not None else attr
+    if attr is not None and "lock" in attr.lower():
+        return attr
+    return None
+
+
+def _mutations(node: ast.AST) -> list[tuple[str, ast.AST]]:
+    """(attr, node) for every ``self.X`` mutation rooted at *node* itself."""
+    found: list[tuple[str, ast.AST]] = []
+    if isinstance(node, ast.Assign):
+        targets: list[ast.expr] = []
+        stack = list(node.targets)
+        while stack:
+            target = stack.pop()
+            if isinstance(target, (ast.Tuple, ast.List)):
+                stack.extend(target.elts)
+            elif isinstance(target, ast.Starred):
+                stack.append(target.value)
+            else:
+                targets.append(target)
+        for target in targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                found.append((attr, target))
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        if node.value is not None or isinstance(node, ast.AugAssign):
+            attr = _self_attr(node.target)
+            if attr is not None:
+                found.append((attr, node.target))
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            attr = _self_attr(target)
+            if attr is not None:
+                found.append((attr, target))
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATORS:
+            attr = _self_attr(node.func.value)
+            if attr is not None:
+                found.append((attr, node))
+    return found
+
+
+class _ClassScan:
+    """One pass over a class body, tracking the held-lock stack."""
+
+    def __init__(self) -> None:
+        self.guarded: dict[str, int] = {}  #: attr -> first guarded line
+        self.unguarded: list[tuple[str, ast.AST, bool]] = []  #: attr, node, held
+        self.lock_orders: dict[tuple[str, str], int] = {}  #: (outer, inner) -> line
+        self.lock_names: set[str] = set()
+
+    def scan_method(self, method: ast.AST, exempt: bool, held: bool) -> None:
+        self._walk(method, held=held, exempt=exempt, stack=[])
+
+    def _walk(
+        self,
+        node: ast.AST,
+        *,
+        held: bool,
+        exempt: bool,
+        stack: list[str],
+    ) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_held = held
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                locks = [
+                    name
+                    for name in (_lock_attr(item) for item in child.items)
+                    if name is not None
+                ]
+                if locks:
+                    for name in locks:
+                        self.lock_names.add(name)
+                        for outer in stack:
+                            if outer != name:
+                                self.lock_orders.setdefault(
+                                    (outer, name), child.lineno
+                                )
+                    self._walk(
+                        child,
+                        held=True,
+                        exempt=exempt,
+                        stack=stack + locks,
+                    )
+                    for name, mut_node in self._with_mutations(child):
+                        if name not in self.lock_names:
+                            self.guarded.setdefault(name, mut_node.lineno)
+                    continue
+            # nested defs keep the current held state (conservative:
+            # a closure created under the lock usually runs under it)
+            self._record(child, held=child_held, exempt=exempt)
+            self._walk(child, held=child_held, exempt=exempt, stack=stack)
+
+    def _with_mutations(self, block: ast.AST) -> list[tuple[str, ast.AST]]:
+        found: list[tuple[str, ast.AST]] = []
+        for node in ast.walk(block):
+            found.extend(_mutations(node))
+        return found
+
+    def _record(self, node: ast.AST, *, held: bool, exempt: bool) -> None:
+        if exempt:
+            return
+        for attr, mut_node in _mutations(node):
+            if not held:
+                self.unguarded.append((attr, mut_node, held))
+
+
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "attributes assigned under `with self._lock` must never be "
+        "mutated outside it; nested locks must keep one global order"
+    )
+
+    def check(
+        self, module: ModuleInfo, options: RuleOptions, project: Any
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(module, node))
+        return findings
+
+    def _check_class(
+        self, module: ModuleInfo, cls: ast.ClassDef
+    ) -> list[Finding]:
+        scan = _ClassScan()
+        methods = [
+            n
+            for n in cls.body
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for method in methods:
+            doc = ast.get_docstring(method) or ""
+            held = bool(_HOLDS_RE.search(doc)) and "lock" in doc.lower()
+            exempt = method.name in _EXEMPT_METHODS
+            scan.scan_method(method, exempt=exempt, held=held)
+        findings: list[Finding] = []
+        if scan.guarded:
+            for attr, node, _ in scan.unguarded:
+                if attr in scan.guarded and attr not in scan.lock_names:
+                    findings.append(
+                        module.finding(
+                            self.name,
+                            node,
+                            f"{cls.name}.{attr} is mutated under a lock "
+                            f"(first at line {scan.guarded[attr]}) but "
+                            f"mutated here without holding it",
+                            hint=(
+                                "wrap in `with self._lock:`, or document "
+                                "the contract in the method docstring "
+                                "('caller holds self._lock')"
+                            ),
+                        )
+                    )
+        for (outer, inner), line in sorted(scan.lock_orders.items()):
+            if (inner, outer) in scan.lock_orders and outer < inner:
+                other = scan.lock_orders[(inner, outer)]
+                site = SimpleNamespace(lineno=max(line, other), col_offset=0)
+                findings.append(
+                    module.finding(
+                        self.name,
+                        site,
+                        f"{cls.name} acquires self.{outer} then self.{inner} "
+                        f"(line {line}) but also self.{inner} then "
+                        f"self.{outer} (line {other}) — ABBA deadlock risk",
+                        hint="pick one acquisition order and stick to it",
+                    )
+                )
+        return findings

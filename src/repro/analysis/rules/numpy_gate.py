@@ -1,0 +1,95 @@
+"""``numpy-gate`` — top-level numpy imports go through the typed gate.
+
+PR 6 established the idiom: modules that want numpy soft-import it and
+surface a typed :class:`~repro.errors.MissingDependency` (exit code 8)
+instead of a bare ``ImportError`` traceback::
+
+    try:  # soft import: the rest of the package works without numpy
+        import numpy as np
+    except ImportError:
+        np = None            # ...or raise MissingDependency(...)
+
+This rule flags any module-top-level ``import numpy`` / ``from numpy
+import ...`` that is *not* inside such a ``try/except ImportError``
+gate.  Imports inside functions are lazy and always fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from ..config import RuleOptions
+from ..findings import Finding
+from ..visitor import ModuleInfo, Rule
+
+__all__ = ["NumpyGateRule"]
+
+
+def _is_numpy_import(node: ast.stmt) -> bool:
+    if isinstance(node, ast.Import):
+        return any(
+            alias.name == "numpy" or alias.name.startswith("numpy.")
+            for alias in node.names
+        )
+    if isinstance(node, ast.ImportFrom):
+        return node.module is not None and (
+            node.module == "numpy" or node.module.startswith("numpy.")
+        )
+    return False
+
+
+def _catches_import_error(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    kinds = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for kind in kinds:
+        name = None
+        if isinstance(kind, ast.Name):
+            name = kind.id
+        elif isinstance(kind, ast.Attribute):
+            name = kind.attr
+        if name in ("ImportError", "ModuleNotFoundError", "Exception"):
+            return True
+    return False
+
+
+class NumpyGateRule(Rule):
+    name = "numpy-gate"
+    description = (
+        "module-level numpy imports must sit inside a try/except "
+        "ImportError gate that produces a typed MissingDependency"
+    )
+
+    def check(
+        self, module: ModuleInfo, options: RuleOptions, project: Any
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in module.tree.body:
+            if _is_numpy_import(node):
+                findings.append(self._finding(module, node))
+            elif isinstance(node, ast.Try):
+                gated = any(
+                    _catches_import_error(h) for h in node.handlers
+                )
+                if not gated:
+                    for stmt in node.body:
+                        if _is_numpy_import(stmt):
+                            findings.append(self._finding(module, stmt))
+        return findings
+
+    def _finding(self, module: ModuleInfo, node: ast.stmt) -> Finding:
+        return module.finding(
+            self.name,
+            node,
+            "top-level numpy import outside the MissingDependency gate",
+            hint=(
+                "wrap in `try: import numpy as np / except ImportError:` "
+                "and raise repro.errors.MissingDependency (see "
+                "repro.core.batch), or import lazily inside the function"
+            ),
+        )

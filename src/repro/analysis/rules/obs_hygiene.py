@@ -1,0 +1,157 @@
+"""``obs-hygiene`` — spans close, metric names are declared.
+
+The observability layer (PR 4) has two easy-to-violate contracts:
+
+* :func:`repro.obs.trace.trace_span` returns a context manager; calling
+  it anywhere except as a ``with`` item leaks an unclosed span (the
+  nesting stack never pops, corrupting every span after it).
+* metric names are the schema of every exported trace document.  A typo
+  (``serve.sheded``) silently forks a new time series; dashboards and
+  the golden-trace tests keep reading the old one.  All names must be
+  declared in :data:`repro.obs.metrics.METRIC_NAMES` (exact) or covered
+  by :data:`repro.obs.metrics.METRIC_PREFIXES` (dynamic names built with
+  f-strings, e.g. ``serve.errors.<code>``).
+
+Checked call shapes: ``registry.counter("...")`` / ``.gauge`` /
+``.histogram`` and the conventional module-local helpers ``_count`` /
+``_gauge`` / ``_histogram``.  Non-literal names are skipped — they are
+checked at the call sites that supply the literal.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..config import RuleOptions
+from ..findings import Finding
+from ..project import ProjectContext
+from ..visitor import ModuleInfo, Rule
+
+__all__ = ["ObsHygieneRule"]
+
+_REGISTRY_METHODS = frozenset({"counter", "gauge", "histogram"})
+_HELPERS = frozenset({"_count", "_gauge", "_histogram"})
+
+
+def _metric_name_arg(call: ast.Call) -> tuple[str, bool] | None:
+    """(name-or-prefix, is_exact) for a checked metric call, else None."""
+    if not call.args:
+        return None
+    arg = call.args[0]
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value, True
+    if isinstance(arg, ast.JoinedStr):
+        prefix = ""
+        for part in arg.values:
+            if isinstance(part, ast.Constant) and isinstance(part.value, str):
+                prefix += part.value
+            else:
+                break
+        if prefix:
+            return prefix, False
+    return None
+
+
+class ObsHygieneRule(Rule):
+    name = "obs-hygiene"
+    description = (
+        "trace spans must open under `with`; metric names must be "
+        "declared in repro.obs.metrics"
+    )
+
+    def check(
+        self, module: ModuleInfo, options: RuleOptions, project: ProjectContext
+    ) -> list[Finding]:
+        declared = frozenset(options.options.get("declared_names", ()))
+        prefixes = tuple(options.options.get("declared_prefixes", ()))
+        have_declarations = bool(declared or prefixes)
+        if not have_declarations and project is not None:
+            declared = project.metric_names
+            prefixes = project.metric_prefixes
+            have_declarations = project.metrics_declared
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            finding = self._check_span(module, node)
+            if finding is not None:
+                findings.append(finding)
+            if have_declarations:
+                finding = self._check_metric(
+                    module, node, declared, prefixes
+                )
+                if finding is not None:
+                    findings.append(finding)
+        return findings
+
+    # -- spans ---------------------------------------------------------------
+
+    def _is_span_call(self, call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            return func.attr == "trace_span"
+        if isinstance(func, ast.Name):
+            return func.id == "trace_span"
+        return False
+
+    def _check_span(
+        self, module: ModuleInfo, call: ast.Call
+    ) -> Finding | None:
+        if not self._is_span_call(call):
+            return None
+        parent = module.parent(call)
+        if isinstance(parent, ast.withitem):
+            return None
+        # `return trace_span(...)` in a helper that forwards the context
+        # manager is fine — the caller still has to `with` it.
+        if isinstance(parent, ast.Return):
+            return None
+        return module.finding(
+            self.name,
+            call,
+            "trace_span(...) opened outside a `with` block leaks an "
+            "unclosed span and corrupts the span stack",
+            hint="use `with trace_span(...) as span:`",
+        )
+
+    # -- metric names --------------------------------------------------------
+
+    def _check_metric(
+        self,
+        module: ModuleInfo,
+        call: ast.Call,
+        declared: frozenset,
+        prefixes: tuple,
+    ) -> Finding | None:
+        func = call.func
+        checked = False
+        if isinstance(func, ast.Attribute) and func.attr in _REGISTRY_METHODS:
+            checked = True
+        elif isinstance(func, ast.Name) and func.id in _HELPERS:
+            checked = True
+        if not checked:
+            return None
+        parsed = _metric_name_arg(call)
+        if parsed is None:
+            return None
+        name, is_exact = parsed
+        if is_exact:
+            if name in declared or any(name.startswith(p) for p in prefixes):
+                return None
+            kind = f"metric name {name!r}"
+        else:
+            if any(
+                name.startswith(p) or p.startswith(name) for p in prefixes
+            ):
+                return None
+            kind = f"dynamic metric name prefix {name!r}"
+        return module.finding(
+            self.name,
+            call,
+            f"{kind} is not declared in repro.obs.metrics",
+            hint=(
+                "add it to METRIC_NAMES (or METRIC_PREFIXES for dynamic "
+                "names) in src/repro/obs/metrics.py — undeclared names "
+                "are usually typos forking a new time series"
+            ),
+        )

@@ -1,0 +1,166 @@
+"""``typed-errors`` — failures stay inside the ReproError taxonomy.
+
+PR 5 introduced :mod:`repro.errors` so every deliberate failure is a
+typed, exit-coded, ``describe()``-able error.  This rule keeps the
+taxonomy load-bearing as the codebase grows:
+
+* ``raise SomeClass(...)`` is flagged when ``SomeClass`` is a stdlib
+  exception or a repo-defined class that does not derive (transitively,
+  across files) from :class:`~repro.errors.ReproError`.  Re-raising a
+  bound variable, bare ``raise``, and underscore-prefixed internal
+  control-flow exceptions (``_BudgetExhausted``) are fine.
+* ``except Exception:`` handlers that *swallow* — no ``raise`` inside
+  and the bound exception (if any) never referenced — are flagged:
+  either convert to a typed error, handle a narrower class, or justify
+  with ``# analysis: allow(typed-errors): reason``.
+
+The class graph comes from the whole analyzed tree (see
+:mod:`repro.analysis.project`), so ``class SyrParseError(ParseError)``
+in one file legitimizes raises of it in another.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..config import RuleOptions
+from ..findings import Finding
+from ..project import STDLIB_EXCEPTIONS, ProjectContext
+from ..visitor import ModuleInfo, Rule
+
+__all__ = ["TypedErrorsRule"]
+
+
+def _raised_class(node: ast.Raise) -> str | None:
+    """Class name of ``raise X(...)`` / ``raise X``; None for re-raises."""
+    exc = node.exc
+    if exc is None:
+        return None
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Attribute):
+        # keep only the last segment: ``errors.ParseError`` -> ParseError
+        name = exc.attr
+        return name if name[:1].isupper() or name.startswith("_") else None
+    if isinstance(exc, ast.Name):
+        name = exc.id
+        # lowercase names are almost always bound exception variables
+        return name if name[:1].isupper() or name.startswith("_") else None
+    return None
+
+
+def _references_name(body: list[ast.stmt], name: str) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and node.id == name:
+                return True
+    return False
+
+
+def _contains_raise(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+    return False
+
+
+def _catches_broad(handler: ast.ExceptHandler) -> bool:
+    kinds = []
+    if handler.type is None:
+        return True  # bare except:
+    if isinstance(handler.type, ast.Tuple):
+        kinds = list(handler.type.elts)
+    else:
+        kinds = [handler.type]
+    for kind in kinds:
+        name = kind.attr if isinstance(kind, ast.Attribute) else None
+        if isinstance(kind, ast.Name):
+            name = kind.id
+        if name in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+class TypedErrorsRule(Rule):
+    name = "typed-errors"
+    description = (
+        "raises must stay inside the ReproError taxonomy; broad excepts "
+        "must not silently swallow"
+    )
+
+    def check(
+        self, module: ModuleInfo, options: RuleOptions, project: ProjectContext
+    ) -> list[Finding]:
+        allow = frozenset(options.options.get("allow_classes", ()))
+        findings: list[Finding] = []
+        typed = project.typed_exceptions if project is not None else frozenset()
+        known = project.class_bases if project is not None else {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Raise):
+                finding = self._check_raise(module, node, typed, known, allow)
+                if finding is not None:
+                    findings.append(finding)
+            elif isinstance(node, ast.ExceptHandler):
+                finding = self._check_handler(module, node)
+                if finding is not None:
+                    findings.append(finding)
+        return findings
+
+    def _check_raise(
+        self,
+        module: ModuleInfo,
+        node: ast.Raise,
+        typed: frozenset,
+        known: dict,
+        allow: frozenset,
+    ) -> Finding | None:
+        name = _raised_class(node)
+        if name is None or name in allow or name.startswith("_"):
+            return None
+        if name in typed:
+            return None
+        if name in known:
+            return module.finding(
+                self.name,
+                node,
+                f"raises {name}, which does not derive from ReproError",
+                hint=(
+                    f"make {name} subclass a taxonomy type (multiple "
+                    "inheritance keeps stdlib compatibility, e.g. "
+                    "`class X(InvalidInput)` is still a ValueError)"
+                ),
+            )
+        if name in STDLIB_EXCEPTIONS:
+            return module.finding(
+                self.name,
+                node,
+                f"raises bare stdlib {name} outside the ReproError taxonomy",
+                hint=(
+                    "raise the matching repro.errors type instead "
+                    "(InvalidInput is a ValueError; InfeasiblePlacement a "
+                    "LookupError)"
+                ),
+            )
+        return None  # unknown external class — not ours to police
+
+    def _check_handler(
+        self, module: ModuleInfo, handler: ast.ExceptHandler
+    ) -> Finding | None:
+        if not _catches_broad(handler):
+            return None
+        if _contains_raise(handler.body):
+            return None
+        if handler.name and _references_name(handler.body, handler.name):
+            return None  # the exception is forwarded/converted somewhere
+        what = "bare except:" if handler.type is None else "except Exception"
+        return module.finding(
+            self.name,
+            handler,
+            f"{what} swallows the failure without converting or "
+            "re-raising it",
+            hint=(
+                "catch the specific class, convert to a typed ReproError, "
+                "or justify with `# analysis: allow(typed-errors): reason`"
+            ),
+        )

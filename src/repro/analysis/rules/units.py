@@ -1,0 +1,136 @@
+"""``units`` — no arithmetic mixing differently-suffixed quantities.
+
+The codebase names quantities with unit suffixes (``deadline_s``,
+``stall_ms``, ``backoff_us``, ``size_bytes``, ``len_words``,
+``n_frames``) and converts explicitly (``stall_ms / 1e3``).  Adding,
+subtracting, or comparing two identifiers whose suffixes disagree is
+almost always a missing conversion — the class of bug that silently
+inflates a reconfiguration-time estimate by 1000×.
+
+Flagged: ``+``, ``-`` and comparisons where *both* operands are plain
+identifiers/attributes with recognized, conflicting unit suffixes.
+Multiplication and division are conversions by construction and never
+flagged; an operand that is a call (``to_seconds(x_ms)``) counts as an
+explicit conversion.  Rate suffixes (``bytes_per_s``) are distinct
+units from their numerators (``bytes``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Any
+
+from ..config import RuleOptions
+from ..findings import Finding
+from ..visitor import ModuleInfo, Rule
+
+__all__ = ["UnitsRule"]
+
+#: suffix -> canonical unit
+_CANONICAL = {
+    "s": "s",
+    "sec": "s",
+    "secs": "s",
+    "seconds": "s",
+    "ms": "ms",
+    "millis": "ms",
+    "us": "us",
+    "ns": "ns",
+    "bytes": "bytes",
+    "bits": "bits",
+    "words": "words",
+    "frames": "frames",
+}
+
+_SUFFIX_RE = re.compile(
+    r"_(" + "|".join(sorted(_CANONICAL, key=len, reverse=True)) + r")$"
+)
+_RATE_RE = re.compile(
+    r"_(" + "|".join(sorted(_CANONICAL, key=len, reverse=True)) + r")"
+    r"_per_(" + "|".join(sorted(_CANONICAL, key=len, reverse=True)) + r")$"
+)
+
+_FLAGGED_COMPARES = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def unit_of(name: str) -> str | None:
+    """Canonical unit of an identifier, or None when it carries none."""
+    rate = _RATE_RE.search(name)
+    if rate is not None:
+        return f"{_CANONICAL[rate.group(1)]}/{_CANONICAL[rate.group(2)]}"
+    suffix = _SUFFIX_RE.search(name)
+    if suffix is not None:
+        return _CANONICAL[suffix.group(1)]
+    return None
+
+
+def _operand_unit(node: ast.expr) -> str | None:
+    """Unit of an operand; only plain identifiers/attributes carry one.
+
+    Calls, subscripts, and arbitrary expressions return None — a call is
+    an explicit conversion, and anything else is beyond name-level
+    inference.
+    """
+    if isinstance(node, ast.Name):
+        return unit_of(node.id)
+    if isinstance(node, ast.Attribute):
+        return unit_of(node.attr)
+    return None
+
+
+class UnitsRule(Rule):
+    name = "units"
+    description = (
+        "additive arithmetic and comparisons must not mix _s/_ms/_bytes/"
+        "_words/_frames quantities without an explicit conversion"
+    )
+
+    def check(
+        self, module: ModuleInfo, options: RuleOptions, project: Any
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                finding = self._check_pair(
+                    module, node, node.left, node.right, "arithmetic"
+                )
+                if finding is not None:
+                    findings.append(finding)
+            elif isinstance(node, ast.Compare):
+                left = node.left
+                for op, right in zip(node.ops, node.comparators):
+                    if isinstance(op, _FLAGGED_COMPARES):
+                        finding = self._check_pair(
+                            module, node, left, right, "comparison"
+                        )
+                        if finding is not None:
+                            findings.append(finding)
+                    left = right
+        return findings
+
+    def _check_pair(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        left: ast.expr,
+        right: ast.expr,
+        what: str,
+    ) -> Finding | None:
+        lunit = _operand_unit(left)
+        runit = _operand_unit(right)
+        if lunit is None or runit is None or lunit == runit:
+            return None
+        lname = ast.unparse(left)
+        rname = ast.unparse(right)
+        return module.finding(
+            self.name,
+            node,
+            f"{what} mixes units: {lname} [{lunit}] vs {rname} [{runit}]",
+            hint=(
+                "convert explicitly before mixing (e.g. x_ms / 1e3, or an "
+                "ICAP rate to turn bytes into seconds)"
+            ),
+        )

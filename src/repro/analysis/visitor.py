@@ -1,0 +1,183 @@
+"""Shared AST infrastructure: parsed modules, the Rule base class, helpers."""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from .config import RuleOptions
+from .findings import Finding
+
+__all__ = [
+    "ModuleInfo",
+    "Rule",
+    "dotted_name",
+    "import_map",
+    "iter_nodes",
+    "parse_module",
+]
+
+#: ``# analysis: allow(rule-a, rule-b): optional reason``
+_ALLOW_RE = re.compile(
+    r"#\s*analysis:\s*allow\(\s*([a-z0-9_,\s-]+?)\s*\)", re.IGNORECASE
+)
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """One parsed source file plus the lookups rules need repeatedly."""
+
+    path: Path  #: absolute path on disk
+    relpath: str  #: root-relative posix path ("repro/serve/cluster.py")
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    #: line number -> set of rule names suppressed on that line
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    _parents: dict[ast.AST, ast.AST] | None = None
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        """Syntactic parent of *node* (lazily built once per module)."""
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for outer in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(outer):
+                    parents[child] = outer
+            self._parents = parents
+        return self._parents.get(node)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        allowed = self.suppressions.get(line)
+        return bool(allowed) and (rule in allowed or "*" in allowed)
+
+    def finding(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        hint: str = "",
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=self.relpath,
+            line=line,
+            col=col,
+            message=message,
+            hint=hint,
+            source_line=self.line_text(line),
+        )
+
+
+def _scan_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line -> rules allowed there, from ``# analysis: allow(...)``."""
+    suppressions: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _ALLOW_RE.search(token.string)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",")}
+            line = token.start[0]
+            suppressions.setdefault(line, set()).update(r for r in rules if r)
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        pass  # a file that does not tokenize still parses its suppressions as none
+    return suppressions
+
+
+def parse_module(path: Path, root: Path) -> ModuleInfo | Finding:
+    """Parse one file; a syntax error is itself reported as a finding."""
+    source = path.read_text(encoding="utf-8")
+    relpath = path.resolve().relative_to(root.resolve()).as_posix()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        line = exc.lineno or 1
+        lines = source.splitlines()
+        return Finding(
+            rule="parse",
+            path=relpath,
+            line=line,
+            col=(exc.offset or 1) - 1,
+            message=f"file does not parse: {exc.msg}",
+            source_line=lines[line - 1] if 0 < line <= len(lines) else "",
+        )
+    return ModuleInfo(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        lines=source.splitlines(),
+        suppressions=_scan_suppressions(source),
+    )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_map(tree: ast.Module) -> dict[str, str]:
+    """Local name -> fully dotted origin, from a module's imports.
+
+    ``import time`` maps ``time -> time``; ``from datetime import
+    datetime as dt`` maps ``dt -> datetime.datetime``.  Rules use this
+    to resolve calls like ``dt.now()`` back to ``datetime.datetime.now``.
+    """
+    mapping: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                mapping[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                mapping[local] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def iter_nodes(tree: ast.AST, *types: type) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, types):
+            yield node
+
+
+class Rule:
+    """Base class: one named invariant checked per module.
+
+    Subclasses set ``name``/``description`` and implement :meth:`check`,
+    returning raw findings; the engine applies scope, inline
+    suppressions, ordering, and the baseline.  ``project`` is the
+    cross-file :class:`~repro.analysis.project.ProjectContext` (class
+    graph, declared metric names) built once per run.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check(
+        self, module: ModuleInfo, options: RuleOptions, project: Any
+    ) -> list[Finding]:
+        raise NotImplementedError

@@ -31,7 +31,6 @@ from ..devices.frames import (
     FrameAddress,
     frames_in_column,
 )
-from ..devices.resources import ColumnKind
 from .crc import ConfigCrc
 from .words import (
     BUS_WIDTH_DETECT,

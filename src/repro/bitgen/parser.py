@@ -13,7 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..devices.frames import BLOCK_TYPE_BRAM_CONTENT, BLOCK_TYPE_CONFIG, FrameAddress
+from ..devices.frames import BLOCK_TYPE_BRAM_CONTENT, FrameAddress
+from ..errors import ParseError
 from .crc import ConfigCrc
 from .words import (
     Command,
@@ -27,7 +28,7 @@ from .words import (
 __all__ = ["BitstreamParseError", "FdriBlock", "ParsedBitstream", "parse_bitstream"]
 
 
-class BitstreamParseError(ValueError):
+class BitstreamParseError(ParseError):
     """The byte stream is not a well-formed partial bitstream."""
 
 

@@ -36,6 +36,7 @@ from ..devices.frames import (
     FrameAddress,
     frames_in_column,
 )
+from ..errors import ParseError
 from .crc import ConfigCrc
 from .words import Command, ConfigRegister
 
@@ -59,7 +60,7 @@ _COUNT_MASK = 0x1F
 SPARTAN_IDCODE = 0x24001093  # synthetic
 
 
-class SpartanParseError(ValueError):
+class SpartanParseError(ParseError):
     """Malformed 16-bit bitstream."""
 
 

@@ -13,6 +13,7 @@ Subcommands::
     repro-fpga trace explore --trace-out t.json   traced explorer run
     repro-fpga trace simulate --fault-rate 0.05   traced simulation run
     repro-fpga stats t.json                 summarize a trace file
+    repro-fpga analyze --fail-on-new        domain-aware static analysis
 """
 
 from __future__ import annotations
@@ -252,6 +253,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--chaos", action="store_true",
         help="crash one shard mid-soak to exercise the circuit breaker",
     )
+
+    p = sub.add_parser(
+        "analyze",
+        help="run the domain-aware static analysis suite (repro.analysis)",
+    )
+    from .analysis.cli import build_parser as _build_analyze_parser
+
+    _build_analyze_parser(p)
 
     sub.add_parser("report", help="print the full reproduction report")
     return parser
@@ -606,6 +615,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis.cli import run as _analysis_run
+
+    return _analysis_run(args)
+
+
 def _cmd_report() -> int:
     from .reports.experiments import generate_report
 
@@ -630,6 +645,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "relocate": lambda: _cmd_relocate(args),
         "advise": lambda: _cmd_advise(args),
         "cluster": lambda: _cmd_cluster(args),
+        "analyze": lambda: _cmd_analyze(args),
         "report": lambda: _cmd_report(),
     }
     try:

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..devices.fabric import Device, Region
+from ..errors import InfeasiblePlacement
 from .bitstream_model import bitstream_size_bytes
 from .params import PRMRequirements
 from .placement_search import (
@@ -33,7 +34,7 @@ from .placement_search import (
 __all__ = ["Floorplan", "FloorplanError", "floorplan", "render_floorplan"]
 
 
-class FloorplanError(LookupError):
+class FloorplanError(InfeasiblePlacement):
     """No joint placement of all PRRs exists on the device."""
 
 

@@ -30,6 +30,7 @@ from functools import lru_cache
 from typing import Sequence
 
 from ..devices.family import DeviceFamily
+from ..errors import InfeasiblePlacement
 from ..devices.resources import ResourceVector
 from .params import PRMRequirements
 
@@ -45,7 +46,7 @@ __all__ = [
 ]
 
 
-class InfeasibleGeometryError(ValueError):
+class InfeasibleGeometryError(InfeasiblePlacement, ValueError):
     """Raised when no PRR geometry can satisfy a requirement.
 
     The canonical case: a single-DSP-column fabric where

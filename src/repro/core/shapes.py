@@ -26,8 +26,8 @@ from ..devices.fabric import Device, Region
 from ..devices.resources import ResourceVector
 from .bitstream_model import ncw_row, ndw_bram
 from .params import PRMRequirements
-from .placement_search import PlacementNotFoundError, find_prr
-from .prr_model import PRRGeometry, clb_requirement
+from .placement_search import find_prr
+from .prr_model import clb_requirement
 from .utilization import UtilizationReport
 
 __all__ = ["CompositePRR", "composite_bitstream_bytes", "find_lshape_prr"]

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 from .family import DeviceFamily
-from .resources import PRR_COLUMN_KINDS, ColumnKind, ResourceVector
+from .resources import ColumnKind, ResourceVector
 from .window_index import ColumnWindowIndex
 
 __all__ = ["Device", "Region", "column_kind_counts"]

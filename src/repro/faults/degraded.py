@@ -51,6 +51,7 @@ from ..obs import trace as _obs
 from ..obs.metrics import SECONDS_BUCKETS
 from .injector import FaultInjector
 from .reliable import RetryPolicy
+from ..errors import InvalidInput
 
 __all__ = ["DegradedModePolicy", "simulate_pr_with_faults"]
 
@@ -67,13 +68,13 @@ class DegradedModePolicy:
 
     def __post_init__(self) -> None:
         if self.quarantine_threshold < 1:
-            raise ValueError(
+            raise InvalidInput(
                 f"quarantine_threshold must be >= 1, got {self.quarantine_threshold}"
             )
         if self.scrub_period_s is not None and self.scrub_period_s <= 0:
-            raise ValueError("scrub_period_s must be positive when set")
+            raise InvalidInput("scrub_period_s must be positive when set")
         if self.verify_overhead_factor < 0:
-            raise ValueError("verify_overhead_factor must be non-negative")
+            raise InvalidInput("verify_overhead_factor must be non-negative")
 
     @classmethod
     def no_retry(cls, **kwargs) -> "DegradedModePolicy":
@@ -136,7 +137,7 @@ def _run_degraded(
 ) -> ScheduleResult:
     """Dispatch loop behind :func:`simulate_pr_with_faults`."""
     if not prrs:
-        raise ValueError("need at least one PRR")
+        raise InvalidInput("need at least one PRR")
     policy = policy if policy is not None else DegradedModePolicy()
     retry = policy.retry
     states = [PRRState(index=i, geometry=g) for i, g in enumerate(prrs)]
@@ -177,7 +178,7 @@ def _run_degraded(
 
         fitting_all = [s for s in states if _fits(job, s.geometry)]
         if not fitting_all:
-            raise ValueError(
+            raise InvalidInput(
                 f"no PRR fits task {job.task.name!r} "
                 f"(needs {job.task.prm.lut_ff_pairs} pairs)"
             )

@@ -12,8 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
-import numpy as np
+try:  # soft import: only the generator construction needs numpy
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy ships with the package
+    np = None  # type: ignore[assignment]
 
+from ..errors import InvalidInput, MissingDependency
 from .models import (
     ControllerStallFault,
     FaultEvent,
@@ -58,7 +62,13 @@ class FaultInjector:
         seu: SeuArrivalFault | None = None,
     ) -> None:
         if (seed is None) == (rng is None):
-            raise ValueError("provide exactly one of seed= or rng=")
+            raise InvalidInput("provide exactly one of seed= or rng=")
+        if rng is None and np is None:  # pragma: no cover
+            raise MissingDependency(
+                "FaultInjector draws from a numpy Generator, and numpy is "
+                "not importable in this environment",
+                dependency="numpy",
+            )
         self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.transfer = transfer
         self.fetch = fetch
@@ -161,7 +171,7 @@ class FaultInjector:
     def choose(self, n: int) -> int:
         """Uniform choice among *n* targets (which PRR an SEU hits)."""
         if n <= 0:
-            raise ValueError("need at least one target to choose from")
+            raise InvalidInput("need at least one target to choose from")
         return int(self.rng.integers(n))
 
     def record_seu(self, now: float, target: str) -> None:

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..errors import InvalidInput
+
 __all__ = [
     "FaultEvent",
     "TransferBitFlipFault",
@@ -37,7 +39,7 @@ __all__ = [
 
 def _check_probability(name: str, value: float) -> None:
     if not 0.0 <= value <= 1.0:
-        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        raise InvalidInput(f"{name} must be in [0, 1], got {value!r}")
 
 
 @dataclass(frozen=True, slots=True)
@@ -71,7 +73,7 @@ class TransferBitFlipFault:
     def __post_init__(self) -> None:
         _check_probability("probability", self.probability)
         if self.bit_flips < 1:
-            raise ValueError(f"bit_flips must be >= 1, got {self.bit_flips}")
+            raise InvalidInput(f"bit_flips must be >= 1, got {self.bit_flips}")
 
 
 @dataclass(frozen=True, slots=True)
@@ -101,7 +103,7 @@ class ControllerStallFault:
         _check_probability("probability", self.probability)
         _check_probability("timeout_probability", self.timeout_probability)
         if self.stall_seconds < 0:
-            raise ValueError(
+            raise InvalidInput(
                 f"stall_seconds must be non-negative, got {self.stall_seconds!r}"
             )
 
@@ -119,6 +121,6 @@ class SeuArrivalFault:
 
     def __post_init__(self) -> None:
         if self.rate_per_s < 0:
-            raise ValueError(
+            raise InvalidInput(
                 f"rate_per_s must be non-negative, got {self.rate_per_s!r}"
             )

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from ..bitgen.crc import ConfigCrc
 from ..bitgen.words import ConfigRegister
+from ..errors import InvalidInput
 from ..icap.controllers import ReconfigController
 from ..icap.reconfig import simulate_reconfiguration
 from ..icap.storage import StorageMedium
@@ -68,15 +69,15 @@ class RetryPolicy:
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
-            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+            raise InvalidInput(f"max_attempts must be >= 1, got {self.max_attempts}")
         if self.backoff_base_s < 0:
-            raise ValueError("backoff_base_s must be non-negative")
+            raise InvalidInput("backoff_base_s must be non-negative")
         if self.backoff_factor < 1.0:
-            raise ValueError("backoff_factor must be >= 1")
+            raise InvalidInput("backoff_factor must be >= 1")
         if self.backoff_cap_s < 0:
-            raise ValueError("backoff_cap_s must be non-negative")
+            raise InvalidInput("backoff_cap_s must be non-negative")
         if self.deadline_s is not None and self.deadline_s <= 0:
-            raise ValueError("deadline_s must be positive when set")
+            raise InvalidInput("deadline_s must be positive when set")
 
     @classmethod
     def no_retry(cls) -> "RetryPolicy":
@@ -160,7 +161,7 @@ class ReliableReconfigurer:
         verify_bytes_per_s: float | None = None,
     ) -> None:
         if verify_bytes_per_s is not None and verify_bytes_per_s <= 0:
-            raise ValueError("verify_bytes_per_s must be positive when set")
+            raise InvalidInput("verify_bytes_per_s must be positive when set")
         self.controller = controller
         self.medium = medium
         self.policy = policy if policy is not None else RetryPolicy()
@@ -185,7 +186,7 @@ class ReliableReconfigurer:
         data = payload if isinstance(payload, bytes) else None
         nbytes = len(data) if data is not None else int(payload)
         if nbytes < 0:
-            raise ValueError("payload size must be non-negative")
+            raise InvalidInput("payload size must be non-negative")
         golden = payload_crc(data) if data is not None else None
         base = simulate_reconfiguration(
             nbytes, self.controller, self.medium, overlap=self.overlap

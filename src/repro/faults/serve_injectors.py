@@ -32,6 +32,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
+from ..errors import InvalidInput
+
 __all__ = [
     "ShardChaos",
     "corrupt_cache_entry",
@@ -59,9 +61,9 @@ class ShardChaos:
 
     def __post_init__(self) -> None:
         if self.crash_after_requests is not None and self.crash_after_requests < 0:
-            raise ValueError("crash_after_requests must be >= 0 or None")
+            raise InvalidInput("crash_after_requests must be >= 0 or None")
         if self.request_delay_s < 0 or self.probe_stall_s < 0:
-            raise ValueError("delays must be non-negative")
+            raise InvalidInput("delays must be non-negative")
 
     @property
     def inert(self) -> bool:
@@ -82,7 +84,7 @@ def corrupt_cache_entry(path: str | os.PathLike, *, rng: random.Random) -> int:
     raw = bytearray(target.read_bytes())
     header_end = raw.find(b"\n") + 1
     if header_end <= 0 or header_end >= len(raw):
-        raise ValueError(f"{target} does not look like a cache entry")
+        raise InvalidInput(f"{target} does not look like a cache entry")
     offset = rng.randrange(header_end, len(raw))
     raw[offset] ^= 0xFF
     target.write_bytes(bytes(raw))
@@ -94,7 +96,7 @@ def truncate_cache_entry(
 ) -> int:
     """Cut an entry file short (simulated torn write); returns new size."""
     if not 0 <= keep_fraction < 1:
-        raise ValueError("keep_fraction must be in [0, 1)")
+        raise InvalidInput("keep_fraction must be in [0, 1)")
     target = Path(path)
     size = target.stat().st_size
     new_size = max(1, int(size * keep_fraction))
@@ -118,7 +120,7 @@ def disk_full() -> Iterator[None]:
     from ..serve import cache as serve_cache
 
     def _no_space(path, data):  # noqa: ARG001 - signature mirrors target
-        raise OSError(errno.ENOSPC, "No space left on device (injected)")
+        raise OSError(errno.ENOSPC, "No space left on device (injected)")  # analysis: allow(typed-errors): the injected fault IS the stdlib error under test
 
     original = serve_cache._write_bytes
     serve_cache._write_bytes = _no_space

@@ -26,12 +26,13 @@ from ..core.placement_search import (
     find_prr,
 )
 from ..devices.fabric import Device, Region
+from ..errors import InfeasiblePlacement
 from ..relocation.relocate import compatible_regions
 
 __all__ = ["Allocation", "AllocationFailed", "PRRAllocator"]
 
 
-class AllocationFailed(LookupError):
+class AllocationFailed(InfeasiblePlacement):
     """No PRR fits, even after defragmentation (when enabled)."""
 
 

@@ -20,10 +20,104 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "METRIC_NAMES",
+    "METRIC_PREFIXES",
     "MetricsRegistry",
     "SECONDS_BUCKETS",
     "SIZE_BUCKETS",
 ]
+
+#: Every metric name this codebase records.  This is the schema of the
+#: metrics half of every exported trace document: dashboards and the
+#: golden-trace tests key on these strings, so a typo at a call site
+#: silently forks a new time series.  The ``obs-hygiene`` analysis rule
+#: (``repro analyze``) cross-checks every literal ``counter``/``gauge``/
+#: ``histogram`` name against this declaration — add new names here
+#: first.
+METRIC_NAMES: frozenset[str] = frozenset(
+    {
+        "batch.calls",
+        "batch.cells_evaluated",
+        "batch.infeasible_prms",
+        "batch.prms_evaluated",
+        "batch.size",
+        "batch.vectorization_ratio",
+        "explore.branches_pruned",
+        "explore.budget_cutoffs",
+        "explore.candidates_evaluated",
+        "explore.chunks_serial_fallback",
+        "explore.designs_feasible",
+        "explore.placement_cache_hits",
+        "explore.placement_cache_misses",
+        "explore.pool_circuit_tripped",
+        "explore.pool_retry_rounds",
+        "explore.worker_crashes",
+        "faults.events",
+        "reconfig.attempts",
+        "reconfig.crc_mismatches",
+        "reconfig.deadline_exceeded",
+        "reconfig.failures",
+        "reconfig.retries",
+        "reconfig.timeouts",
+        "sched.completion_rate",
+        "sched.deadline_misses",
+        "sched.failed_reconfigs",
+        "sched.jobs_completed",
+        "sched.jobs_dropped",
+        "sched.jobs_spilled",
+        "sched.makespan_seconds",
+        "sched.quarantine_seconds",
+        "sched.quarantine_seconds_total",
+        "sched.quarantines",
+        "sched.reconfig_seconds",
+        "sched.reconfigs",
+        "sched.retries",
+        "sched.retry_seconds",
+        "sched.retry_seconds_total",
+        "sched.scrub_repairs",
+        "sched.seu_hits",
+        "sched.wait_seconds",
+        "serve.accepted",
+        "serve.batch_calls",
+        "serve.batch_coalesced",
+        "serve.batch_fallbacks",
+        "serve.batch_size",
+        "serve.cluster.accepted",
+        "serve.cluster.cache_hits",
+        "serve.cluster.cache_invalidated",
+        "serve.cluster.cache_misses",
+        "serve.cluster.cache_quarantined",
+        "serve.cluster.cache_write_errors",
+        "serve.cluster.coalesced",
+        "serve.cluster.completed",
+        "serve.cluster.hedge_duplicates",
+        "serve.cluster.hedges",
+        "serve.cluster.hedges_lost",
+        "serve.cluster.hedges_won",
+        "serve.cluster.inline_fallbacks",
+        "serve.cluster.probe_misses",
+        "serve.cluster.redispatches",
+        "serve.cluster.restarts",
+        "serve.cluster.shed",
+        "serve.cluster.typed_errors",
+        "serve.completed",
+        "serve.deadline_exceeded",
+        "serve.degraded_results",
+        "serve.errors",
+        "serve.shed",
+    }
+)
+
+#: Prefixes that legitimize dynamically built (f-string) metric names:
+#: per-error-code counters, per-shard gauges, per-window counters, and
+#: per-ICAP-port transfer metrics keyed by the port name.
+METRIC_PREFIXES: tuple[str, ...] = (
+    "serve.cluster.errors.",
+    "serve.cluster.shard",
+    "serve.errors.",
+    "window_index.",
+    "icap.",
+)
 
 #: Default boundaries for duration histograms (simulated seconds).  Fixed
 #: so histograms from different runs/versions are directly comparable.

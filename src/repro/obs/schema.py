@@ -16,12 +16,14 @@ import json
 from pathlib import Path
 from typing import Any
 
+from ..errors import ParseError
+
 __all__ = ["TRACE_SCHEMA_PATH", "load_trace_schema", "validate_trace", "SchemaError"]
 
 TRACE_SCHEMA_PATH = Path(__file__).with_name("trace.schema.json")
 
 
-class SchemaError(ValueError):
+class SchemaError(ParseError):
     """A document does not conform to the trace schema."""
 
 

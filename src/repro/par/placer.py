@@ -12,13 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..devices.fabric import Device, Region
+from ..errors import InfeasiblePlacement
 from ..devices.resources import ColumnKind
 from .optimizer import OptimizedDesign
 
 __all__ = ["PlacementError", "PlacementResult", "place"]
 
 
-class PlacementError(ValueError):
+class PlacementError(InfeasiblePlacement, ValueError):
     """The design does not fit the constrained region."""
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from ..bitgen.generator import PartialBitstream, generate_partial_bitstream
 from ..devices.fabric import Device, Region
 from ..devices.frames import FrameAddress
+from ..errors import InvalidInput
 from .memory import ConfigMemory
 
 __all__ = [
@@ -28,7 +29,7 @@ __all__ = [
 ]
 
 
-class RelocationError(ValueError):
+class RelocationError(InvalidInput):
     """The source bitstream cannot be relocated to the target region."""
 
 

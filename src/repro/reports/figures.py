@@ -9,7 +9,6 @@
 
 from __future__ import annotations
 
-from typing import Any
 
 from ..bitgen.generator import generate_partial_bitstream
 from ..bitgen.parser import ParsedBitstream, parse_bitstream

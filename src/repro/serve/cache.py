@@ -319,9 +319,10 @@ class DiskResultCache:
         for leftover in self.directory.glob(f"{_TMP_PREFIX}*"):
             try:
                 leftover.unlink()
-                self.stats["swept_tmp"] += 1
             except OSError:
-                pass
+                continue
+            with self._lock:
+                self.stats["swept_tmp"] += 1
 
     # -- read ----------------------------------------------------------------
 

@@ -377,6 +377,7 @@ class ClusterService:
     # -- submission internals (hold self._lock) ------------------------------
 
     def _admit(self, pending: _Pending) -> None:
+        """Register an accepted request.  Caller holds ``self._lock``."""
         self._pending[pending.req_id] = pending
         self._by_key[pending.key] = pending.req_id
         self._stats["accepted"] += 1
@@ -425,6 +426,7 @@ class ClusterService:
         return True
 
     def _start_inline(self, pending: _Pending) -> None:
+        """Fall back to an in-process thread.  Caller holds ``self._lock``."""
         self._stats["inline_fallbacks"] += 1
         _count("serve.cluster.inline_fallbacks")
         thread = threading.Thread(
@@ -463,6 +465,7 @@ class ClusterService:
         error: ReproError | None = None,
         entry: dict[str, Any] | None = None,
     ) -> None:
+        """Settle every ticket of *pending*.  Caller holds ``self._lock``."""
         if pending.resolved:
             return
         pending.resolved = True
@@ -547,7 +550,7 @@ class ClusterService:
                 entry = message[3]
                 try:
                     result = decode_result(entry, pending.device)
-                except Exception:  # noqa: BLE001 - recompute, never serve junk
+                except Exception:  # analysis: allow(typed-errors): corrupt cache entry is recomputed inline, never served
                     self._start_inline(pending)
                     return
                 self._resolve(pending, result=result, entry=entry)
@@ -582,7 +585,10 @@ class ClusterService:
                         shard.last_probe_sent_s = now
 
     def _trip_breaker(self, shard: ShardHandle) -> None:
-        """Shard is gone: mark down, restart if budget remains, re-route."""
+        """Shard is gone: mark down, restart if budget remains, re-route.
+
+        Caller holds ``self._lock``.
+        """
         was_alive = shard.alive()
         shard.health = ShardHealth.DOWN
         if was_alive:
@@ -610,6 +616,7 @@ class ClusterService:
                 self._redispatch(pending, exclude={shard.shard_id})
 
     def _redispatch(self, pending: _Pending, exclude: set[int]) -> None:
+        """Re-route a stranded request.  Caller holds ``self._lock``."""
         target = self._choose_shard(pending.device.name, exclude=exclude)
         if target is None:
             target = self._choose_shard(pending.device.name)

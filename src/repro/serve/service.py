@@ -183,7 +183,10 @@ class Ticket:
     def result(self, timeout: float | None = None):
         """Block until resolved; re-raise the request's typed error."""
         if not self._done.wait(timeout):
-            raise TimeoutError("request not finished")
+            raise DeadlineExceeded(
+                "request not finished within the wait timeout",
+                timeout_s=timeout,
+            )
         if self._error is not None:
             raise self._error
         return self._value
@@ -430,7 +433,7 @@ class CostModelService:
                 live[0].request.device,
                 controller_bytes_per_s=rates,
             )
-        except Exception:  # noqa: BLE001 - fall back, never drop tickets
+        except Exception:  # analysis: allow(typed-errors): batch is an optimization; every ticket re-runs on the scalar path
             _count("serve.batch_fallbacks")
             for job in live:
                 self._run_job(job)
@@ -446,7 +449,7 @@ class CostModelService:
             if bool(scored.feasible[index]):
                 try:
                     value = scored.result(index)
-                except Exception:  # noqa: BLE001 - scalar path decides
+                except Exception:  # analysis: allow(typed-errors): scalar re-run raises the authoritative typed error
                     self._run_job(job)
                     continue
                 _count("serve.completed")

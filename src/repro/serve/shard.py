@@ -264,7 +264,7 @@ class ShardHandle:
             return False
         try:
             self.request_q.put_nowait(message)
-        except Exception:  # noqa: BLE001 - Full or a dead queue both refuse
+        except Exception:  # analysis: allow(typed-errors): Full or a dead queue both mean 'refused'
             return False
         return True
 
@@ -276,7 +276,7 @@ class ShardHandle:
         while True:
             try:
                 messages.append(self.response_q.get_nowait())
-            except Exception:  # noqa: BLE001 - Empty, or queue torn by a kill
+            except Exception:  # analysis: allow(typed-errors): Empty, or queue torn by a kill, both end the drain
                 break
         return messages
 
@@ -287,7 +287,7 @@ class ShardHandle:
         if self.alive():
             try:
                 self.request_q.put_nowait(None)
-            except Exception:  # noqa: BLE001
+            except Exception:  # analysis: allow(typed-errors): worker already gone; terminate below
                 pass
             self.process.join(timeout=join_timeout_s)
         if self.alive():

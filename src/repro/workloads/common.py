@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..devices.family import DeviceFamily
+from ..errors import InvalidInput
 from ..synth.library import library_for
 from ..synth.mapper import map_netlist
 from ..synth.netlist import GlueLogic, Netlist, OptimizationHints
@@ -53,7 +54,7 @@ class SynthesisTargets:
             )
 
 
-class CalibrationError(ValueError):
+class CalibrationError(InvalidInput):
     """Structural netlist counts exceed the reference targets.
 
     Raised when a generator's structural parts are larger than the counts

@@ -15,7 +15,6 @@ from ..synth.netlist import (
     Memory,
     Module,
     Multiplier,
-    Mux,
     Netlist,
     RegisterBank,
     ShiftRegister,

@@ -1,0 +1,40 @@
+"""Shared fixtures for the analyzer test suite."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisConfig, RuleOptions, analyze
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def run_rule(tmp_path):
+    """Run exactly one rule over a fixture snippet; return its findings.
+
+    The snippet is written as ``repro/fixture_mod.py`` under a temp tree
+    so root-relative paths look like the real ones.  ``extra`` adds more
+    files (``relpath -> source``) for cross-file scenarios.
+    """
+
+    def _run(rule, source, options=None, extra=None):
+        pkg = tmp_path / "repro"
+        pkg.mkdir(parents=True, exist_ok=True)
+        (pkg / "fixture_mod.py").write_text(
+            textwrap.dedent(source), encoding="utf-8"
+        )
+        for relname, text in (extra or {}).items():
+            dest = tmp_path / relname
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            dest.write_text(textwrap.dedent(text), encoding="utf-8")
+        config = AnalysisConfig(
+            rules={rule: RuleOptions(options=options or {})}
+        ).restricted_to((rule,))
+        report = analyze(tmp_path, config=config)
+        return report.findings
+
+    return _run

@@ -1,0 +1,89 @@
+"""Baseline round-trip, multiset matching, and staleness detection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    diff_findings,
+    load_baseline,
+    write_baseline,
+)
+from repro.errors import ParseError
+
+
+def _finding(line=3, source="raise ValueError('x')", path="repro/mod.py"):
+    return Finding(
+        rule="typed-errors",
+        path=path,
+        line=line,
+        col=4,
+        message="raises bare stdlib ValueError outside the ReproError taxonomy",
+        hint="",
+        source_line=source,
+    )
+
+
+def test_round_trip_matches_everything(tmp_path):
+    findings = [_finding(), _finding(line=9, source="raise KeyError('y')")]
+    path = tmp_path / "baseline.json"
+    write_baseline(path, findings, {findings[0].fingerprint: "legacy contract"})
+    baseline = load_baseline(path)
+    assert len(baseline) == 2
+    assert baseline.justifications[findings[0].fingerprint] == "legacy contract"
+    assert baseline.justifications[findings[1].fingerprint] == "TODO: justify or fix"
+
+    diff = diff_findings(findings, baseline)
+    assert diff.new == ()
+    assert diff.stale == ()
+    assert len(diff.baselined) == 2
+
+
+def test_fingerprint_survives_line_moves_but_not_edits():
+    moved = _finding(line=42)
+    edited = _finding(source="raise ValueError('other')")
+    assert moved.fingerprint == _finding().fingerprint
+    assert edited.fingerprint != _finding().fingerprint
+
+
+def test_multiset_semantics_each_entry_excuses_one_occurrence(tmp_path):
+    # two identical offending lines share a fingerprint
+    twins = [_finding(line=3), _finding(line=30)]
+    path = tmp_path / "baseline.json"
+    write_baseline(path, twins[:1])  # baseline only covers ONE of them
+    diff = diff_findings(twins, load_baseline(path))
+    assert len(diff.baselined) == 1
+    assert len(diff.new) == 1
+
+
+def test_fixed_finding_leaves_stale_entry(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [_finding()])
+    diff = diff_findings([], load_baseline(path))
+    assert diff.new == ()
+    assert len(diff.stale) == 1
+    assert diff.stale[0]["fingerprint"] == _finding().fingerprint
+
+
+def test_missing_baseline_is_empty_and_garbage_is_typed_error(tmp_path):
+    assert len(load_baseline(tmp_path / "absent.json")) == 0
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json", encoding="utf-8")
+    with pytest.raises(ParseError):
+        load_baseline(bad)
+    no_entries = tmp_path / "no_entries.json"
+    no_entries.write_text(json.dumps({"version": 1}), encoding="utf-8")
+    with pytest.raises(ParseError):
+        load_baseline(no_entries)
+
+
+def test_written_baseline_is_deterministic(tmp_path):
+    findings = [_finding(line=9, source="raise KeyError('y')"), _finding()]
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    write_baseline(first, findings)
+    write_baseline(second, list(reversed(findings)))
+    assert first.read_text() == second.read_text()

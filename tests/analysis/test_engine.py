@@ -1,0 +1,115 @@
+"""Engine behavior: discovery, ordering determinism, parse findings."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    RuleOptions,
+    analyze,
+    default_config,
+    iter_python_files,
+)
+from repro.errors import InvalidInput
+
+
+def _write_tree(root, files):
+    for relname, source in files.items():
+        dest = root / relname
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        dest.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def test_iter_python_files_is_sorted_and_skips_caches(tmp_path):
+    _write_tree(
+        tmp_path,
+        {
+            "repro/b.py": "",
+            "repro/a.py": "",
+            "repro/__pycache__/junk.py": "",
+            "repro/sub/c.py": "",
+        },
+    )
+    relative = [
+        p.relative_to(tmp_path).as_posix()
+        for p in iter_python_files([tmp_path])
+    ]
+    assert relative == ["repro/a.py", "repro/b.py", "repro/sub/c.py"]
+
+
+def test_iter_python_files_rejects_missing_path(tmp_path):
+    with pytest.raises(InvalidInput):
+        list(iter_python_files([tmp_path / "nope"]))
+
+
+def test_syntax_error_becomes_parse_finding(tmp_path):
+    _write_tree(tmp_path, {"repro/broken.py": "def f(:\n"})
+    report = analyze(tmp_path)
+    assert [f.rule for f in report.findings] == ["parse"]
+    assert report.findings[0].path == "repro/broken.py"
+    assert "does not parse" in report.findings[0].message
+
+
+def test_restricted_to_unknown_rule_raises(tmp_path):
+    with pytest.raises(InvalidInput):
+        default_config().restricted_to(("no-such-rule",))
+
+
+def test_output_is_deterministic_across_runs(tmp_path):
+    _write_tree(
+        tmp_path,
+        {
+            "repro/zz.py": """
+            import time
+
+            def stamp():
+                return time.time()
+
+            def f():
+                raise ValueError("bad")
+            """,
+            "repro/aa.py": """
+            def g(budget_s, stall_ms):
+                return budget_s + stall_ms
+
+            def h():
+                raise KeyError("x")
+            """,
+        },
+    )
+    config = AnalysisConfig(
+        rules={
+            "determinism": RuleOptions(),
+            "typed-errors": RuleOptions(),
+            "units": RuleOptions(),
+        }
+    ).restricted_to(("determinism", "typed-errors", "units"))
+    first = analyze(tmp_path, config=config)
+    second = analyze(tmp_path, config=config)
+    assert first.render_text() == second.render_text()
+    assert first.to_dict() == second.to_dict()
+    # ordering is by location, so aa.py findings precede zz.py findings
+    paths = [f.path for f in first.findings]
+    assert paths == sorted(paths)
+    assert len(first.findings) == 4
+
+
+def test_scope_prefixes_limit_rules_to_their_layer(tmp_path):
+    source = """
+    import time
+
+    def stamp():
+        return time.time()
+    """
+    _write_tree(
+        tmp_path,
+        {"repro/core/model.py": source, "repro/reports/render.py": source},
+    )
+    config = AnalysisConfig(
+        rules={"determinism": RuleOptions(include=("repro/core/",))}
+    ).restricted_to(("determinism",))
+    report = analyze(tmp_path, config=config)
+    assert [f.path for f in report.findings] == ["repro/core/model.py"]

@@ -1,0 +1,66 @@
+"""The CI gate catches a violation seeded into a copy of real source.
+
+This is the end-to-end guarantee the suite exists for: take the real
+``repro/serve/cluster.py``, add an out-of-lock mutation of a
+lock-guarded attribute, and the gate (``--fail-on-new``) must go red —
+while the pristine copy stays green against the checked-in baseline.
+"""
+
+from __future__ import annotations
+
+import shutil
+import textwrap
+
+from repro.analysis import main as analysis_main
+
+from .conftest import REPO_ROOT
+
+_SEEDED_METHOD = textwrap.dedent(
+    """
+
+    def _seeded_out_of_lock_mutation(self, req_id):
+        self._pending.pop(req_id, None)
+    """
+)
+
+
+def _copy_cluster(tmp_path, *, seed_violation):
+    dest = tmp_path / "repro" / "serve" / "cluster.py"
+    dest.parent.mkdir(parents=True)
+    shutil.copy(REPO_ROOT / "src" / "repro" / "serve" / "cluster.py", dest)
+    if seed_violation:
+        body = dest.read_text(encoding="utf-8")
+        # appended at method indentation, so it lands inside the last class
+        dest.write_text(
+            body + textwrap.indent(_SEEDED_METHOD, "    "), encoding="utf-8"
+        )
+    return dest
+
+
+def _gate(tmp_path):
+    return analysis_main(
+        [
+            "--root",
+            str(tmp_path),
+            "--baseline",
+            str(REPO_ROOT / "analysis-baseline.json"),
+            "--rules",
+            "lock-discipline",
+            "--fail-on-new",
+            str(tmp_path),
+        ]
+    )
+
+
+def test_pristine_copy_passes_the_gate(tmp_path, capsys):
+    _copy_cluster(tmp_path, seed_violation=False)
+    assert _gate(tmp_path) == 0
+    assert "0 new finding(s)" in capsys.readouterr().out
+
+
+def test_seeded_out_of_lock_mutation_fails_the_gate(tmp_path, capsys):
+    _copy_cluster(tmp_path, seed_violation=True)
+    assert _gate(tmp_path) == 1
+    out = capsys.readouterr().out
+    assert "lock-discipline" in out
+    assert "_pending" in out

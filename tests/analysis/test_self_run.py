@@ -1,0 +1,52 @@
+"""The analyzer must be clean on its own repository, modulo the baseline."""
+
+from __future__ import annotations
+
+from repro.analysis import analyze, default_config, diff_findings, load_baseline
+
+from .conftest import REPO_ROOT
+
+
+def _self_report():
+    root = REPO_ROOT / "src"
+    return analyze(root, [root / "repro"], default_config())
+
+
+def test_src_tree_has_no_new_findings():
+    report = _self_report()
+    baseline = load_baseline(REPO_ROOT / "analysis-baseline.json")
+    diff = diff_findings(report.findings, baseline)
+    rendered = "\n".join(f.render() for f in diff.new)
+    assert diff.new == (), f"non-baselined findings:\n{rendered}"
+
+
+def test_checked_in_baseline_has_no_stale_entries():
+    report = _self_report()
+    baseline = load_baseline(REPO_ROOT / "analysis-baseline.json")
+    diff = diff_findings(report.findings, baseline)
+    stale = [e["fingerprint"] for e in diff.stale]
+    assert diff.stale == (), (
+        f"stale baseline entries (fixed findings still listed): {stale}; "
+        "run `repro-fpga analyze --update-baseline` to prune"
+    )
+
+
+def test_every_baselined_fingerprint_is_justified():
+    baseline = load_baseline(REPO_ROOT / "analysis-baseline.json")
+    fingerprints = {e["fingerprint"] for e in baseline.entries}
+    missing = sorted(
+        fp
+        for fp in fingerprints
+        if not baseline.justifications.get(fp)
+        or baseline.justifications[fp].startswith("TODO")
+    )
+    assert missing == [], f"baseline entries without a justification: {missing}"
+
+
+def test_self_run_output_is_stable_across_runs():
+    first = _self_report()
+    second = _self_report()
+    assert first.render_text() == second.render_text()
+    assert [f.to_dict() for f in first.findings] == [
+        f.to_dict() for f in second.findings
+    ]

@@ -1,0 +1,53 @@
+"""General-purpose toolchain: ruff/mypy configs and, when installed, runs.
+
+The container this repo develops in does not ship ruff or mypy; CI
+installs them.  The config-sanity tests always run; the tool runs skip
+cleanly when the binaries are absent so local `pytest` stays green.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+
+import pytest
+
+from .conftest import REPO_ROOT
+
+_PYPROJECT = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+
+
+def test_pyproject_carries_ruff_and_mypy_config():
+    assert "[tool.ruff]" in _PYPROJECT
+    assert "[tool.ruff.lint]" in _PYPROJECT
+    assert "[tool.mypy]" in _PYPROJECT
+    # mypy is scoped to the modules whose contracts other layers import
+    assert "src/repro/errors.py" in _PYPROJECT
+    assert "src/repro/serve/cache.py" in _PYPROJECT
+
+
+def test_package_ships_py_typed_marker():
+    assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()
+    assert 'py.typed' in _PYPROJECT  # declared as package data
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_check_is_clean():
+    proc = subprocess.run(
+        ["ruff", "check", "."],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_scoped_modules_are_clean():
+    proc = subprocess.run(
+        ["mypy"],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,6 +1,5 @@
 """Tests for partition-pin (proxy logic) overhead modeling."""
 
-import pytest
 
 from repro.core import find_prr
 from repro.devices.catalog import XC5VLX110T

@@ -19,8 +19,8 @@ from repro.synth.netlist import (
     RegisterBank,
     ShiftRegister,
 )
-from repro.synth.packer import PairBreakdown, pack
-from repro.synth.report import SynthesisReport, parse_syr, render_syr
+from repro.synth.packer import pack
+from repro.synth.report import parse_syr, render_syr
 from repro.synth.xst import synthesize
 
 FAMILIES = st.sampled_from([VIRTEX4, VIRTEX5, VIRTEX6])

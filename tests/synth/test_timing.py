@@ -5,7 +5,6 @@ import pytest
 from repro.core.placement_search import find_prr
 from repro.devices.catalog import XC5VLX110T
 from repro.devices.fabric import Region
-from repro.devices.resources import ColumnKind
 from repro.synth.library import library_for
 from repro.synth.netlist import (
     Adder,

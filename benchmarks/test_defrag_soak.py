@@ -1,0 +1,72 @@
+"""Defrag-soak acceptance gates (self-healing fabric runtime).
+
+Assertion-only companion of ``scripts/bench_defrag.py`` (which writes
+the tracked ``BENCH_defrag.json``): on the tight soak-strip device the
+self-healing runtime promises —
+
+* defrag-on completes >= 95% of offered jobs under churn, with and
+  without the permanent-column-fault process, where defrag-off
+  degrades;
+* injected mid-migration crashes never lose a module (the copy ->
+  verify -> activate -> free transaction always recovers);
+* a fault-free, churn-free ``admit_group`` reproduces the static
+  ``floorplan()`` layout exactly;
+* a fixed seed makes every arm bit-deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from scripts.bench_defrag import (
+    PERMANENT_RATE_PER_S,
+    QUICK_HORIZON_S,
+    crash_soak,
+    job_stream,
+    run_arm,
+    static_equivalence,
+)
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    return job_stream(QUICK_HORIZON_S)
+
+
+def test_defrag_on_completes_95_percent_where_defrag_off_degrades(jobs):
+    on = run_arm(jobs, defrag=True, permanent_rate=0.0)
+    off = run_arm(jobs, defrag=False, permanent_rate=0.0)
+    assert on["completion_rate"] >= 0.95
+    assert on["completion_rate"] > off["completion_rate"]
+    assert on["migrations"] > 0
+    assert off["migrations"] == 0
+
+
+def test_defrag_on_survives_permanent_fault_soak(jobs):
+    # Rate chosen so the Poisson process actually strikes inside the
+    # quick horizon; the runtime must retire the columns and stay >=95%.
+    arm = run_arm(jobs, defrag=True, permanent_rate=4 * PERMANENT_RATE_PER_S)
+    assert arm["columns_retired"] > 0
+    assert arm["completion_rate"] >= 0.95
+
+
+def test_crash_soak_loses_zero_modules():
+    soak = crash_soak(rounds=8)
+    assert soak["crashes"] == soak["rounds"]
+    assert soak["module_loss_events"] == 0
+    # Crashes after activation complete on recovery; earlier ones abort.
+    assert soak["recovered_completed"] + soak["recovered_aborted"] == soak["rounds"]
+    assert soak["recovered_completed"] > 0
+    assert soak["recovered_aborted"] > 0
+
+
+def test_fault_free_run_reproduces_static_floorplan():
+    equivalence = static_equivalence()
+    assert equivalence["regions_match"] is True
+    assert equivalence["modules"] == 3
+
+
+def test_fixed_seed_is_deterministic(jobs):
+    first = run_arm(jobs, defrag=True, permanent_rate=PERMANENT_RATE_PER_S)
+    second = run_arm(jobs, defrag=True, permanent_rate=PERMANENT_RATE_PER_S)
+    assert first == second

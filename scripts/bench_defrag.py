@@ -1,0 +1,275 @@
+#!/usr/bin/env python
+"""Defragmentation soak: the self-healing fabric runtime under churn.
+
+Replays one seeded job stream on a deliberately tight 14-CLB-column
+strip device through four arms — defragmentation on/off, with and
+without a Poisson permanent-column-fault process — plus two safety
+soaks:
+
+* **crash soak** — a scripted admit/retire/defrag loop with a crash
+  injected at every migration phase boundary in rotation; counts
+  module-loss events (a module missing after crash recovery), which
+  must be zero;
+* **static equivalence** — a fault-free, churn-free ``admit_group`` on
+  the catalog XC5VLX110T must reproduce the static ``floorplan()``
+  layout region-for-region.
+
+The workload is narrow resident modules (widths 2+2+2+3) churned by
+idle retirement, plus a sparse width-5 task whose re-admission needs 5
+*contiguous* healthy columns — exactly what fragmentation denies and
+defragmentation restores.  Every arm replays the same stream with the
+same injector seed, so rows are deterministic.  Writes
+``BENCH_defrag.json`` at the repo root.  Run from the repo root::
+
+    PYTHONPATH=src python scripts/bench_defrag.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.floorplanner import floorplan  # noqa: E402
+from repro.core.params import PRMRequirements  # noqa: E402
+from repro.devices import XC5VLX110T, synthetic_device  # noqa: E402
+from repro.fabric import (  # noqa: E402
+    FabricConfig,
+    FabricRuntime,
+    simulate_on_fabric,
+)
+from repro.faults import FaultInjector  # noqa: E402
+from repro.multitask.tasks import HwTask, Job, poisson_arrivals  # noqa: E402
+
+SEED = 2015
+NARROW_WIDTHS = (2, 2, 2, 3)
+WIDE_WIDTH = 5
+NARROW_RATE_PER_S = 400.0
+WIDE_RATE_PER_S = 80.0
+IDLE_RETIRE_S = 0.01
+EXEC_SECONDS = 1e-3
+PERMANENT_RATE_PER_S = 2.0
+HORIZON_S = 1.0
+QUICK_HORIZON_S = 0.4
+
+SOAK_DEVICE = synthetic_device(rows=1, clb_runs=(14,), name="soak-strip")
+
+
+def clb_demand(name: str, columns: int) -> PRMRequirements:
+    cells = (
+        columns
+        * SOAK_DEVICE.family.clb_per_col
+        * SOAK_DEVICE.family.luts_per_clb
+    )
+    return PRMRequirements(name, cells, cells, cells)
+
+
+def job_stream(horizon_s: float) -> list[Job]:
+    """Narrow high-rate round-robin stream plus sparse wide arrivals."""
+    narrow = [
+        HwTask(clb_demand(f"n{i}_w{w}", w), exec_seconds=EXEC_SECONDS)
+        for i, w in enumerate(NARROW_WIDTHS)
+    ]
+    wide = HwTask(
+        clb_demand(f"wide{WIDE_WIDTH}", WIDE_WIDTH), exec_seconds=EXEC_SECONDS
+    )
+    jobs: list[Job] = []
+    for i, t in enumerate(
+        poisson_arrivals(NARROW_RATE_PER_S, horizon_s, seed=SEED)
+    ):
+        jobs.append(
+            Job(task=narrow[i % len(narrow)], arrival_seconds=t, job_id=len(jobs))
+        )
+    for t in poisson_arrivals(WIDE_RATE_PER_S, horizon_s, seed=SEED + 99):
+        jobs.append(Job(task=wide, arrival_seconds=t, job_id=len(jobs)))
+    return jobs
+
+
+def run_arm(jobs, *, defrag: bool, permanent_rate: float) -> dict:
+    injector = (
+        FaultInjector.from_rates(
+            seed=SEED, permanent_rate_per_s=permanent_rate
+        )
+        if permanent_rate > 0
+        else None
+    )
+    runtime = FabricRuntime(
+        SOAK_DEVICE,
+        config=FabricConfig(auto_defrag=defrag),
+        injector=injector,
+    )
+    result = simulate_on_fabric(jobs, runtime, idle_retire_s=IDLE_RETIRE_S)
+    runtime.check_invariants()
+    return {
+        "completion_rate": result.completion_rate,
+        "dropped_jobs": result.dropped_jobs,
+        "makespan_s": result.makespan_seconds,
+        "migrations": runtime.migrations,
+        "rollbacks": runtime.rollbacks,
+        "defrag_passes": runtime.defrag_passes,
+        "columns_retired": runtime.columns_retired,
+        "evictions": runtime.evictions,
+        "fragmentation": round(runtime.fragmentation_index(), 4),
+    }
+
+
+def crash_soak(rounds: int = 24) -> dict:
+    """Scripted churn with a crash at every migration phase, in rotation.
+
+    Each round fragments the strip (admit 4, retire the middle two),
+    then defragments with a crash injected at one of the four phase
+    boundaries.  After recovery the surviving module set must be exactly
+    the admitted-minus-retired set — any mismatch is a module-loss
+    event.
+    """
+    phases = ("copy", "verify", "activate", "free")
+    losses = 0
+    crashes = 0
+    completed = 0
+    aborted = 0
+    runtime = FabricRuntime(SOAK_DEVICE, config=FabricConfig(verify="crc"))
+    for round_index in range(rounds):
+        for name, width in (("a", 3), ("b", 3), ("c", 3), ("d", 3)):
+            runtime.admit(name, clb_demand(name, width))
+        runtime.retire("a")
+        runtime.retire("c")
+        phase = phases[round_index % len(phases)]
+
+        def crash(p, step, _phase=phase):
+            if p == _phase:
+                raise RuntimeError("injected crash")
+
+        runtime.crash_hook = crash
+        try:
+            runtime.defrag()
+        except RuntimeError:
+            crashes += 1
+        finally:
+            runtime.crash_hook = None
+        outcome = runtime.recover()
+        if outcome == "completed":
+            completed += 1
+        elif outcome == "aborted":
+            aborted += 1
+        if runtime.module_names() != {"b", "d"}:
+            losses += 1
+        runtime.check_invariants()
+        runtime.retire("b")
+        runtime.retire("d")
+    return {
+        "rounds": rounds,
+        "crashes": crashes,
+        "recovered_completed": completed,
+        "recovered_aborted": aborted,
+        "module_loss_events": losses,
+    }
+
+
+def static_equivalence() -> dict:
+    """Fault-free, churn-free admit_group vs the static floorplanner."""
+    family = XC5VLX110T.family
+    per_col = family.clb_per_col * family.luts_per_clb
+    groups = [
+        [PRMRequirements(f"m{i}", c * per_col, c * per_col, c * per_col)]
+        for i, c in enumerate((2, 3, 4))
+    ]
+    names = [f"m{i}" for i in range(len(groups))]
+    plan = floorplan(XC5VLX110T, groups)
+    runtime = FabricRuntime(XC5VLX110T)
+    modules = runtime.admit_group(list(zip(names, groups)))
+    matches = [
+        module.region == prr.region
+        for module, prr in zip(modules, plan.prrs)
+    ]
+    return {
+        "modules": len(modules),
+        "regions_match": all(matches),
+        "layout": [str(m.region) for m in modules],
+    }
+
+
+def sweep(quick: bool = False) -> dict:
+    horizon = QUICK_HORIZON_S if quick else HORIZON_S
+    jobs = job_stream(horizon)
+    arms = {}
+    for defrag in (True, False):
+        for permanent_rate in (0.0, PERMANENT_RATE_PER_S):
+            key = (
+                f"defrag_{'on' if defrag else 'off'}"
+                f"_faults_{'on' if permanent_rate > 0 else 'off'}"
+            )
+            arms[key] = run_arm(
+                jobs, defrag=defrag, permanent_rate=permanent_rate
+            )
+    return {
+        "seed": SEED,
+        "horizon_s": horizon,
+        "jobs": len(jobs),
+        "device": SOAK_DEVICE.name,
+        "arms": arms,
+        "crash_soak": crash_soak(8 if quick else 24),
+        "static_equivalence": static_equivalence(),
+    }
+
+
+def render(results: dict) -> str:
+    lines = [
+        f"seed {results['seed']}, {results['jobs']} jobs over "
+        f"{results['horizon_s']:g}s on {results['device']}",
+        "",
+        "| arm | completion | dropped | migrations | rollbacks | cols retired | frag |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for key, row in results["arms"].items():
+        lines.append(
+            f"| {key} | {row['completion_rate']:.4f} | {row['dropped_jobs']} "
+            f"| {row['migrations']} | {row['rollbacks']} "
+            f"| {row['columns_retired']} | {row['fragmentation']:.3f} |"
+        )
+    crash = results["crash_soak"]
+    lines += [
+        "",
+        f"crash soak: {crash['crashes']} crashes over {crash['rounds']} "
+        f"rounds -> {crash['recovered_completed']} completed, "
+        f"{crash['recovered_aborted']} aborted, "
+        f"{crash['module_loss_events']} module-loss events",
+        f"static equivalence: regions_match="
+        f"{results['static_equivalence']['regions_match']}",
+    ]
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="shorter soak")
+    parser.add_argument("--output", default=str(ROOT / "BENCH_defrag.json"))
+    args = parser.parse_args()
+    results = sweep(quick=args.quick)
+    Path(args.output).write_text(json.dumps(results, indent=2) + "\n")
+    print(render(results))
+    print(f"\nwrote {args.output}")
+    failures = []
+    arms = results["arms"]
+    for key in ("defrag_on_faults_off", "defrag_on_faults_on"):
+        if arms[key]["completion_rate"] < 0.95:
+            failures.append(f"{key} completion below 0.95")
+    if (
+        arms["defrag_off_faults_off"]["completion_rate"]
+        >= arms["defrag_on_faults_off"]["completion_rate"]
+    ):
+        failures.append("defrag-off did not degrade vs defrag-on")
+    if results["crash_soak"]["module_loss_events"] != 0:
+        failures.append("crash soak lost a module")
+    if not results["static_equivalence"]["regions_match"]:
+        failures.append("admit_group diverged from static floorplan")
+    for failure in failures:
+        print(f"ERROR: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

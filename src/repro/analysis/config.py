@@ -84,6 +84,7 @@ def default_config() -> AnalysisConfig:
                     "repro/bitgen/",
                     "repro/multitask/",
                     "repro/devices/",
+                    "repro/fabric/",
                 ),
             ),
             "typed-errors": RuleOptions(

@@ -255,6 +255,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "fabric",
+        help="self-healing fabric soak: churn, defrag, permanent faults",
+    )
+    p.add_argument("--device", default="xc5vlx110t", choices=sorted(DEVICES))
+    p.add_argument(
+        "--tasks",
+        nargs="+",
+        default=["fir", "sdram", "mips"],
+        choices=sorted(PAPER_WORKLOADS),
+        help="PRMs cycling through the fabric",
+    )
+    p.add_argument("--arrival-rate", type=float, default=200.0, help="jobs/s")
+    p.add_argument("--horizon", type=float, default=0.25, help="seconds simulated")
+    p.add_argument("--seed", type=int, default=2015, help="workload + fault seed")
+    p.add_argument(
+        "--permanent-rate", type=float, default=0.0,
+        help="permanent column faults per second (Poisson)",
+    )
+    p.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="per-transfer bit-flip probability during migration verify",
+    )
+    p.add_argument(
+        "--idle-retire-ms", type=float, default=20.0,
+        help="retire a module idle this long (the churn source); 0 disables",
+    )
+    p.add_argument(
+        "--no-defrag", action="store_true",
+        help="disable automatic defragmentation (ablation arm)",
+    )
+    p.add_argument(
+        "--render", action="store_true",
+        help="render the final floorplan snapshot",
+    )
+    p.add_argument(
+        "--show-events", type=int, default=0, metavar="N",
+        help="print the last N runtime events",
+    )
+
+    p = sub.add_parser(
         "analyze",
         help="run the domain-aware static analysis suite (repro.analysis)",
     )
@@ -511,16 +551,84 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_floorplan(args: argparse.Namespace) -> int:
-    from .core.floorplanner import floorplan, render_floorplan
+    from .core.floorplanner import FloorplanError, floorplan, render_floorplan
 
     device = get_device(args.device)
     prms = [
         synthesize(builder(device.family), device.family).requirements
         for builder in PAPER_WORKLOADS.values()
     ]
-    plan = floorplan(device, prms)
+    try:
+        plan = floorplan(device, prms)
+    except FloorplanError as error:
+        print(f"error: {error.describe()}", file=sys.stderr)
+        print(error.render_diagnostics(), file=sys.stderr)
+        return error.exit_code
     print(plan.summary())
     print(render_floorplan(plan))
+    return 0
+
+
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    from .core.floorplanner import render_floorplan
+    from .fabric import FabricConfig, FabricRuntime, simulate_on_fabric
+    from .faults import FaultInjector
+    from .multitask import HwTask, make_task_set
+
+    device = get_device(args.device)
+    tasks = [
+        HwTask(
+            synthesize(
+                PAPER_WORKLOADS[name](device.family), device.family
+            ).requirements,
+            exec_seconds=SIMULATE_EXEC_SECONDS.get(name, 2e-3),
+        )
+        for name in dict.fromkeys(args.tasks)
+    ]
+    jobs = make_task_set(
+        tasks,
+        rate_per_s=args.arrival_rate,
+        horizon_s=args.horizon,
+        seed=args.seed,
+    )
+    injector = None
+    if args.permanent_rate > 0 or args.fault_rate > 0:
+        injector = FaultInjector.from_rates(
+            seed=args.seed,
+            fault_rate=args.fault_rate,
+            permanent_rate_per_s=args.permanent_rate,
+        )
+    runtime = FabricRuntime(
+        device,
+        config=FabricConfig(auto_defrag=not args.no_defrag),
+        injector=injector,
+    )
+    result = simulate_on_fabric(
+        jobs,
+        runtime,
+        idle_retire_s=(
+            args.idle_retire_ms / 1e3 if args.idle_retire_ms > 0 else None
+        ),
+    )
+    runtime.check_invariants()
+    print(
+        f"{len(jobs)} jobs ({'+'.join(t.name for t in tasks)}) on "
+        f"{device.name}, seed {args.seed}, "
+        f"defrag {'off' if args.no_defrag else 'on'}"
+    )
+    print(result.summary())
+    stats = runtime.stats()
+    print(
+        "fabric: "
+        + " ".join(f"{key}={stats[key]}" for key in sorted(stats))
+    )
+    if injector is not None:
+        print(result.fault_summary())
+    if args.show_events:
+        for event in runtime.events[-args.show_events :]:
+            print(event.render())
+    if args.render:
+        print(render_floorplan(runtime.floorplan_snapshot()))
     return 0
 
 
@@ -642,6 +750,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "simulate": lambda: _cmd_simulate(args),
         "stats": lambda: _cmd_stats(args),
         "floorplan": lambda: _cmd_floorplan(args),
+        "fabric": lambda: _cmd_fabric(args),
         "relocate": lambda: _cmd_relocate(args),
         "advise": lambda: _cmd_advise(args),
         "cluster": lambda: _cmd_cluster(args),

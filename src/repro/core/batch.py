@@ -615,7 +615,11 @@ def find_prr_batch(
     # Section III.B shared-PRR merge: the largest W_CLB/W_DSP/W_BRAM
     # across members dictates the column counts; a member the eq. (4)
     # rule rejects at some H rejects the merged geometry at that H too.
-    feasible = grid.feasible.all(axis=0)  # (R,)
+    # A zero-demand member (width 0 at every H) only trips the
+    # one-column floor, which applies to the *merged* width below — the
+    # scalar merge in ``prr_geometry_for_rows`` forgives it the same way.
+    member_ok = grid.feasible | (grid.width == 0)
+    feasible = member_ok.all(axis=0)  # (R,)
     w_clb = grid.w_clb.max(axis=0)
     w_dsp = grid.w_dsp.max(axis=0)
     w_bram = grid.w_bram.max(axis=0)

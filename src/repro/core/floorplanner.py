@@ -19,23 +19,79 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..devices.fabric import Device, Region
 from ..errors import InfeasiblePlacement
 from .bitstream_model import bitstream_size_bytes
 from .params import PRMRequirements
+from .fastpath import RegionOccupancy
 from .placement_search import (
     PlacedPRR,
     PlacementNotFoundError,
     find_prr,
 )
+from .prr_model import InfeasibleGeometryError, prr_geometry_for_rows
 
 __all__ = ["Floorplan", "FloorplanError", "floorplan", "render_floorplan"]
 
 
 class FloorplanError(InfeasiblePlacement):
-    """No joint placement of all PRRs exists on the device."""
+    """No joint placement of all PRRs exists on the device.
+
+    Carries the search's post-mortem so callers (and the CLI error path)
+    can see *why*:
+
+    * ``unplaceable`` — name of the demand the best order could not
+      place (``None`` when every demand placed but the static-region
+      budget failed);
+    * ``best_partial`` — ``(name, PlacedPRR)`` pairs of the deepest
+      partial placement any order reached;
+    * ``candidate_counts`` — per-demand count of feasible single-PRR
+      placements on the otherwise-empty fabric: a zero means the demand
+      alone is unplaceable, small numbers mean tight packing.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        unplaceable: str | None = None,
+        best_partial: Sequence[tuple[str, PlacedPRR]] = (),
+        candidate_counts: Mapping[str, int] | None = None,
+        **details,
+    ) -> None:
+        super().__init__(
+            message,
+            unplaceable=unplaceable,
+            placed=len(best_partial),
+            **details,
+        )
+        self.unplaceable = unplaceable
+        self.best_partial = tuple(best_partial)
+        self.candidate_counts = dict(candidate_counts or {})
+
+    def render_diagnostics(self) -> str:
+        """Multi-line report for humans (the CLI renders this)."""
+        lines = []
+        if self.unplaceable is not None:
+            lines.append(f"first unplaceable demand: {self.unplaceable}")
+        if self.best_partial:
+            placed = ", ".join(
+                f"{name} H={prr.geometry.rows} W={prr.geometry.width} "
+                f"@ (row {prr.region.row}, col {prr.region.col})"
+                for name, prr in self.best_partial
+            )
+            lines.append(f"best partial placement ({len(self.best_partial)}): {placed}")
+        else:
+            lines.append("best partial placement: none")
+        if self.candidate_counts:
+            counts = ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.candidate_counts.items())
+            )
+            lines.append(f"per-demand candidate placements: {counts}")
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -109,6 +165,7 @@ def floorplan(
     static_min_cells: int = 0,
     optimize_static: bool = True,
     max_orders: int = 24,
+    forbidden: Sequence[Region] = (),
 ) -> Floorplan:
     """Floorplan one PRR per PRM group on *device*.
 
@@ -125,9 +182,12 @@ def floorplan(
         and the floorplan minimizing (total PR cells, static
         fragmentation) is returned; when False the first feasible
         greedy-order floorplan wins.
+    forbidden:
+        Fabric regions no PRR may cover — reserved static logic or
+        columns a fabric runtime has retired after permanent faults.
 
-    Raises :class:`FloorplanError` when no joint placement satisfies the
-    constraints.
+    Raises :class:`FloorplanError` (with diagnostics attached) when no
+    joint placement satisfies the constraints.
     """
     normalized: list[list[PRMRequirements]] = [
         [g] if isinstance(g, PRMRequirements) else list(g) for g in groups
@@ -135,6 +195,7 @@ def floorplan(
     if not normalized:
         raise ValueError("at least one PRM group is required")
     names = tuple("+".join(p.name for p in group) for group in normalized)
+    forbidden = tuple(forbidden)
 
     indices = list(range(len(normalized)))
     # Largest demand first is the strongest greedy order; then the rest.
@@ -153,11 +214,22 @@ def floorplan(
 
     best: Floorplan | None = None
     best_key: tuple[int, float] | None = None
+    best_partial: list[tuple[str, PlacedPRR]] = []
+    first_failed: str | None = None
+    diag_recorded = False
+    budget_failed = False
     for order in orders:
-        candidate = _place_in_order(device, normalized, names, order)
+        candidate, partial, failed = _place_in_order(
+            device, normalized, names, order, forbidden
+        )
+        if not diag_recorded or len(partial) > len(best_partial):
+            best_partial = partial
+            first_failed = failed
+            diag_recorded = True
         if candidate is None:
             continue
         if candidate.static_cells < static_min_cells:
+            budget_failed = True
             continue
         key = (candidate.total_prr_cells, candidate.static_fragmentation())
         if best_key is None or key < best_key:
@@ -165,11 +237,59 @@ def floorplan(
         if not optimize_static:
             break
     if best is None:
+        counts = {
+            name: _count_candidate_windows(device, group, forbidden)
+            for name, group in zip(names, normalized)
+        }
+        reason = (
+            "static-region budget unsatisfied"
+            if budget_failed and first_failed is None
+            else "no joint placement"
+        )
         raise FloorplanError(
             f"no feasible floorplan for {len(normalized)} PRRs on "
-            f"{device.name} (static_min_cells={static_min_cells})"
+            f"{device.name} ({reason}, static_min_cells={static_min_cells})",
+            unplaceable=first_failed,
+            best_partial=best_partial,
+            candidate_counts=counts,
         )
     return best
+
+
+def _count_candidate_windows(
+    device: Device,
+    group: list[PRMRequirements],
+    forbidden: Sequence[Region] = (),
+) -> int:
+    """Count every placement window a demand group could occupy alone.
+
+    Unlike the placement search (which stops at the first window per
+    geometry), this enumerates all ``(H, row, start-column)`` windows
+    that avoid *forbidden* — the per-demand candidate count the
+    :class:`FloorplanError` diagnostics report.  Zero means the demand
+    is unplaceable even on the otherwise-empty fabric.
+    """
+    occupancy = RegionOccupancy(tuple(forbidden))
+    count = 0
+    for rows in range(1, device.rows + 1):
+        try:
+            geometry = prr_geometry_for_rows(
+                group,
+                device.family,
+                rows,
+                single_dsp_column=device.has_single_dsp_column,
+            )
+        except InfeasibleGeometryError:
+            continue
+        starts = device.feasible_window_starts(geometry.columns)
+        for row in range(1, device.rows - geometry.rows + 2):
+            for col in starts:
+                region = Region(
+                    row=row, col=col, height=geometry.rows, width=geometry.width
+                )
+                if not occupancy.overlaps(region):
+                    count += 1
+    return count
 
 
 def _place_in_order(
@@ -177,18 +297,26 @@ def _place_in_order(
     groups: list[list[PRMRequirements]],
     names: tuple[str, ...],
     order: list[int],
-) -> Floorplan | None:
+    forbidden: tuple[Region, ...] = (),
+) -> tuple[Floorplan | None, list[tuple[str, PlacedPRR]], str | None]:
+    """Place one order; also report the partial placement it reached.
+
+    Returns ``(floorplan_or_None, [(name, prr), ...], failed_name)`` —
+    the second and third slots feed :class:`FloorplanError` diagnostics.
+    """
     placed: dict[int, PlacedPRR] = {}
-    occupied: list[Region] = []
+    occupied: list[Region] = list(forbidden)
+    partial: list[tuple[str, PlacedPRR]] = []
     for index in order:
         try:
             prr = find_prr(device, groups[index], forbidden=occupied)
         except PlacementNotFoundError:
-            return None
+            return None, partial, names[index]
         placed[index] = prr
         occupied.append(prr.region)
+        partial.append((names[index], prr))
     ordered = tuple(placed[i] for i in range(len(groups)))
-    return Floorplan(device=device, prrs=ordered, group_names=names)
+    return Floorplan(device=device, prrs=ordered, group_names=names), partial, None
 
 
 def _largest_rectangle(grid: list[list[bool]]) -> int:

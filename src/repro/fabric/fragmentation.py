@@ -1,0 +1,81 @@
+"""Free-space accounting for the live fabric.
+
+A fabric runtime needs two numbers to decide when to defragment:
+
+* the **largest free rectangle** — the biggest PRR it could still admit
+  somewhere (ignoring column-mix constraints, which only shrink it);
+* the **fragmentation index** — the fraction of free reconfigurable
+  cells *outside* that rectangle.  0.0 means all free space is one
+  contiguous block (any demand that fits the totals fits the fabric);
+  values near 1.0 mean the free cells are shredded into slivers no
+  module can use.
+
+Both come from the same boolean cell grid; the largest-rectangle sweep
+is the classic histogram algorithm shared with
+:meth:`repro.core.floorplanner.Floorplan.static_fragmentation`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+# The histogram sweep already exists for static-region scoring; reuse it
+# rather than forking the algorithm.
+from ..core.floorplanner import _largest_rectangle
+from ..devices.fabric import Device, Region
+
+__all__ = [
+    "free_cell_grid",
+    "fragmentation_index",
+    "largest_free_rectangle",
+    "total_free_cells",
+]
+
+
+def free_cell_grid(
+    device: Device,
+    occupied: Sequence[Region],
+    retired_columns: Iterable[int] = (),
+) -> list[list[bool]]:
+    """``rows x columns`` grid of cells still available for new PRRs.
+
+    A cell is free when its column is reconfigurable (CLB/DSP/BRAM), the
+    column has not been retired after a permanent fault, and no placed
+    module covers it.
+    """
+    retired = set(retired_columns)
+    grid = [
+        [
+            device.columns[c].reconfigurable and (c + 1) not in retired
+            for c in range(device.num_columns)
+        ]
+        for _ in range(device.rows)
+    ]
+    for region in occupied:
+        for row in region.row_span:
+            for col in region.col_span:
+                grid[row - 1][col - 1] = False
+    return grid
+
+
+def largest_free_rectangle(grid: Sequence[Sequence[bool]]) -> int:
+    """Area (cells) of the largest all-free rectangle in *grid*."""
+    return _largest_rectangle([list(row) for row in grid])
+
+
+def total_free_cells(grid: Sequence[Sequence[bool]]) -> int:
+    return sum(sum(1 for cell in row if cell) for row in grid)
+
+
+def fragmentation_index(grid: Sequence[Sequence[bool]]) -> float:
+    """Fraction of free cells outside the largest free rectangle.
+
+    0.0 for a fully-contiguous (or fully-occupied) fabric; approaches
+    1.0 as churn shreds the free space.  This is the gauge the runtime
+    publishes as ``fabric.fragmentation`` and the trigger for the
+    defragmentation pass.
+    """
+    free = total_free_cells(grid)
+    if free == 0:
+        return 0.0
+    return 1.0 - largest_free_rectangle(grid) / free

@@ -20,11 +20,16 @@ package supplies the failure side of the repo's otherwise-ideal models:
   truncation, torn-write temp files, and disk-full cache writes.
 """
 
-from .degraded import DegradedModePolicy, simulate_pr_with_faults
+from .degraded import (
+    DegradedModePolicy,
+    QuarantineEscalation,
+    simulate_pr_with_faults,
+)
 from .injector import FaultInjector, TransferOutcome
 from .models import (
     ControllerStallFault,
     FaultEvent,
+    PermanentColumnFault,
     SeuArrivalFault,
     StorageFetchFault,
     TransferBitFlipFault,
@@ -50,6 +55,8 @@ __all__ = [
     "StorageFetchFault",
     "ControllerStallFault",
     "SeuArrivalFault",
+    "PermanentColumnFault",
+    "QuarantineEscalation",
     "FaultInjector",
     "TransferOutcome",
     "RetryPolicy",

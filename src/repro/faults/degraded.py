@@ -53,7 +53,11 @@ from .injector import FaultInjector
 from .reliable import RetryPolicy
 from ..errors import InvalidInput
 
-__all__ = ["DegradedModePolicy", "simulate_pr_with_faults"]
+__all__ = [
+    "DegradedModePolicy",
+    "QuarantineEscalation",
+    "simulate_pr_with_faults",
+]
 
 
 @dataclass(frozen=True)
@@ -65,6 +69,12 @@ class DegradedModePolicy:
     scrub_period_s: float | None = None  #: periodic scrub restores quarantined PRRs
     verify_overhead_factor: float = 0.0  #: verify time as a fraction of write time
     spill_to_full: bool = True  #: failed-everywhere jobs use the full-reconfig path
+    #: Quarantine-streak escalation: after this many quarantines of the
+    #: *same* PRR the damage is treated as permanent — the region is
+    #: retired for the rest of the run (no scrub restores it) and counted
+    #: in ``ScheduleResult.permanent_retirements``.  ``None`` disables
+    #: escalation (every quarantine stays transient, the old behavior).
+    permanent_streak: int | None = None
 
     def __post_init__(self) -> None:
         if self.quarantine_threshold < 1:
@@ -75,6 +85,10 @@ class DegradedModePolicy:
             raise InvalidInput("scrub_period_s must be positive when set")
         if self.verify_overhead_factor < 0:
             raise InvalidInput("verify_overhead_factor must be non-negative")
+        if self.permanent_streak is not None and self.permanent_streak < 1:
+            raise InvalidInput(
+                f"permanent_streak must be >= 1 when set, got {self.permanent_streak}"
+            )
 
     @classmethod
     def no_retry(cls, **kwargs) -> "DegradedModePolicy":
@@ -85,6 +99,49 @@ class DegradedModePolicy:
 def _next_scrub_after(time_s: float, period_s: float) -> float:
     """First periodic scrub tick strictly after *time_s*."""
     return (floor(time_s / period_s) + 1) * period_s
+
+
+class QuarantineEscalation:
+    """Counts quarantine streaks per target and escalates to permanent.
+
+    A target (a PRR index, a fabric column) that keeps earning
+    quarantines is not suffering transient upsets — the silicon is
+    damaged.  ``record(key)`` returns ``True`` exactly once per key, the
+    moment its quarantine count reaches ``streak``; the caller then
+    retires the target into its blacklist.  Used by both the degraded
+    scheduler (PRR retirement) and :class:`repro.fabric.FabricRuntime`
+    (column retirement).
+    """
+
+    __slots__ = ("streak", "_counts", "_escalated")
+
+    def __init__(self, streak: int) -> None:
+        if streak < 1:
+            raise InvalidInput(f"streak must be >= 1, got {streak}")
+        self.streak = streak
+        self._counts: dict[object, int] = {}
+        self._escalated: set[object] = set()
+
+    def record(self, key: object) -> bool:
+        """Register one quarantine of *key*; True when it goes permanent."""
+        if key in self._escalated:
+            return False
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        if count >= self.streak:
+            self._escalated.add(key)
+            return True
+        return False
+
+    def count(self, key: object) -> int:
+        return self._counts.get(key, 0)
+
+    def is_permanent(self, key: object) -> bool:
+        return key in self._escalated
+
+    @property
+    def permanent_targets(self) -> frozenset:
+        return frozenset(self._escalated)
 
 
 def simulate_pr_with_faults(
@@ -140,6 +197,11 @@ def _run_degraded(
         raise InvalidInput("need at least one PRR")
     policy = policy if policy is not None else DegradedModePolicy()
     retry = policy.retry
+    escalation = (
+        QuarantineEscalation(policy.permanent_streak)
+        if policy.permanent_streak is not None
+        else None
+    )
     states = [PRRState(index=i, geometry=g) for i, g in enumerate(prrs)]
     failed_streak = [0] * len(states)
     offline: set[int] = set()
@@ -272,7 +334,18 @@ def _run_degraded(
             if failed_streak[state.index] >= policy.quarantine_threshold:
                 result.quarantines += 1
                 failed_streak[state.index] = 0
-                if policy.scrub_period_s is not None:
+                if escalation is not None and escalation.record(state.index):
+                    # Streak escalation: the damage is permanent — retire
+                    # the PRR for good, scrub or not.
+                    result.permanent_retirements += 1
+                    injector.record_permanent(
+                        state.busy_until,
+                        f"prr{state.index}",
+                        detail="quarantine-streak escalation",
+                    )
+                    offline.add(state.index)
+                    offline_since[state.index] = state.busy_until
+                elif policy.scrub_period_s is not None:
                     # Offline until the next periodic scrub pass rewrites
                     # the region (one blind-scrub repair reconfiguration).
                     quarantined_at = state.busy_until
@@ -373,6 +446,9 @@ def _record_fault_observations(
     registry.counter("sched.deadline_misses").inc(result.deadline_misses)
     registry.counter("sched.scrub_repairs").inc(result.scrub_repairs)
     registry.counter("sched.seu_hits").inc(result.seu_hits)
+    registry.counter("sched.permanent_retirements").inc(
+        result.permanent_retirements
+    )
     registry.counter("sched.retry_seconds_total").inc(sum(retry_events))
     registry.counter("sched.quarantine_seconds_total").inc(
         sum(quarantine_events)

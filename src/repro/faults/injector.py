@@ -21,6 +21,7 @@ from ..errors import InvalidInput, MissingDependency
 from .models import (
     ControllerStallFault,
     FaultEvent,
+    PermanentColumnFault,
     SeuArrivalFault,
     StorageFetchFault,
     TransferBitFlipFault,
@@ -60,6 +61,7 @@ class FaultInjector:
         fetch: StorageFetchFault | None = None,
         stall: ControllerStallFault | None = None,
         seu: SeuArrivalFault | None = None,
+        permanent: PermanentColumnFault | None = None,
     ) -> None:
         if (seed is None) == (rng is None):
             raise InvalidInput("provide exactly one of seed= or rng=")
@@ -74,6 +76,7 @@ class FaultInjector:
         self.fetch = fetch
         self.stall = stall
         self.seu = seu
+        self.permanent = permanent
         self.events: list[FaultEvent] = []
 
     @classmethod
@@ -87,6 +90,7 @@ class FaultInjector:
         stall_seconds: float = 1e-3,
         timeout_probability: float = 0.0,
         seu_rate_per_s: float = 0.0,
+        permanent_rate_per_s: float = 0.0,
     ) -> "FaultInjector":
         """Convenience constructor from plain per-mechanism rates.
 
@@ -108,6 +112,11 @@ class FaultInjector:
                 else None
             ),
             seu=SeuArrivalFault(seu_rate_per_s) if seu_rate_per_s > 0 else None,
+            permanent=(
+                PermanentColumnFault(permanent_rate_per_s)
+                if permanent_rate_per_s > 0
+                else None
+            ),
         )
 
     # -- draw API -----------------------------------------------------------
@@ -168,6 +177,15 @@ class FaultInjector:
             return 0
         return int(self.rng.poisson(self.seu.rate_per_s * (end - start)))
 
+    def permanent_arrivals(self, start: float, end: float) -> int:
+        """Permanent column faults striking the fabric in ``[start, end)``."""
+        if self.permanent is None or end <= start:
+            return 0
+        return int(self.rng.poisson(self.permanent.rate_per_s * (end - start)))
+
+    def record_permanent(self, now: float, target: str, detail: str = "") -> None:
+        self._record_detail(now, "permanent", target, detail=detail)
+
     def choose(self, n: int) -> int:
         """Uniform choice among *n* targets (which PRR an SEU hits)."""
         if n <= 0:
@@ -204,4 +222,11 @@ class FaultInjector:
     ) -> None:
         self.events.append(
             FaultEvent(time_s=now, kind=kind, target=target, attempt=attempt)
+        )
+
+    def _record_detail(
+        self, now: float, kind: str, target: str, *, detail: str = ""
+    ) -> None:
+        self.events.append(
+            FaultEvent(time_s=now, kind=kind, target=target, detail=detail)
         )

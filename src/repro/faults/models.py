@@ -34,6 +34,7 @@ __all__ = [
     "StorageFetchFault",
     "ControllerStallFault",
     "SeuArrivalFault",
+    "PermanentColumnFault",
 ]
 
 
@@ -105,6 +106,28 @@ class ControllerStallFault:
         if self.stall_seconds < 0:
             raise InvalidInput(
                 f"stall_seconds must be non-negative, got {self.stall_seconds!r}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class PermanentColumnFault:
+    """Permanent hard faults striking fabric columns (Poisson process).
+
+    Unlike an SEU — transient, repairable by rewriting the frame — a
+    permanent fault (electromigration, gate-oxide breakdown, latch-up
+    damage) kills the struck column's resources for good.  No scrub or
+    rewrite restores it; a fabric runtime must retire the column into a
+    blacklist and re-floorplan around it.  Arrivals are Poisson over the
+    whole fabric at ``rate_per_s``; the injector picks the victim column
+    uniformly among the still-healthy reconfigurable columns.
+    """
+
+    rate_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s < 0:
+            raise InvalidInput(
+                f"rate_per_s must be non-negative, got {self.rate_per_s!r}"
             )
 
 

@@ -92,6 +92,7 @@ class ScheduleResult:
     deadline_misses: int = 0  #: retry loops aborted by the per-job budget
     quarantines: int = 0  #: PRRs taken offline for repeated failures
     scrub_repairs: int = 0  #: quarantined PRRs restored by periodic scrub
+    permanent_retirements: int = 0  #: PRRs/columns retired for good (hard faults)
     seu_hits: int = 0  #: background upsets that struck a PRR
     spilled_jobs: int = 0  #: jobs rerouted to the full-reconfig context
     dropped_jobs: int = 0  #: jobs that could not be placed anywhere
@@ -146,6 +147,7 @@ class ScheduleResult:
             f"faults={self.fault_events} retries={self.retries} "
             f"failed={self.failed_reconfigs} deadline_misses={self.deadline_misses} "
             f"quarantines={self.quarantines} scrub_repairs={self.scrub_repairs} "
+            f"permanent={self.permanent_retirements} "
             f"seu_hits={self.seu_hits} spilled={self.spilled_jobs} "
             f"dropped={self.dropped_jobs} "
             f"completion={self.completion_rate:.4f}"
@@ -211,7 +213,24 @@ def simulate_pr(
     quarantined and scrub-restored, and unplaceable jobs spilled to the
     full-reconfiguration path when *device* is given.  With a zero-rate
     injector the result is identical to the fault-free mode.
+
+    ``prrs`` may also be a :class:`repro.fabric.FabricRuntime` — the run
+    then schedules on the live fabric (dynamic admission, defrag on
+    fragmentation, permanent-fault column retirement) instead of a fixed
+    PRR set; see :func:`repro.fabric.simulate_on_fabric`.
     """
+    from ..fabric.runtime import FabricRuntime
+
+    if isinstance(prrs, FabricRuntime):
+        from ..fabric.schedule import simulate_on_fabric
+
+        return simulate_on_fabric(
+            jobs,
+            prrs,
+            port_bytes_per_s=port_bytes_per_s,
+            faults=faults,
+            fault_policy=fault_policy,
+        )
     if not prrs:
         raise ValueError("need at least one PRR")
     if faults is not None:

@@ -52,6 +52,14 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "explore.pool_circuit_tripped",
         "explore.pool_retry_rounds",
         "explore.worker_crashes",
+        "fabric.admission_failures",
+        "fabric.admissions",
+        "fabric.columns_retired",
+        "fabric.defrag_passes",
+        "fabric.evictions",
+        "fabric.fragmentation",
+        "fabric.migrations",
+        "fabric.rollbacks",
         "faults.events",
         "reconfig.attempts",
         "reconfig.crc_mismatches",
@@ -66,6 +74,7 @@ METRIC_NAMES: frozenset[str] = frozenset(
         "sched.jobs_dropped",
         "sched.jobs_spilled",
         "sched.makespan_seconds",
+        "sched.permanent_retirements",
         "sched.quarantine_seconds",
         "sched.quarantine_seconds_total",
         "sched.quarantines",

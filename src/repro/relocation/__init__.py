@@ -16,6 +16,7 @@ from .relocate import (
     RelocationError,
     compatible_regions,
     find_compatible_regions,
+    find_compatible_regions_naive,
     relocate_bitstream,
 )
 
@@ -25,6 +26,7 @@ __all__ = [
     "RelocationError",
     "compatible_regions",
     "find_compatible_regions",
+    "find_compatible_regions_naive",
     "relocate_bitstream",
     "TaskContext",
     "save_context",

@@ -15,6 +15,8 @@ produces the re-addressed bitstream, preserving every frame's payload
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ..bitgen.generator import PartialBitstream, generate_partial_bitstream
 from ..devices.fabric import Device, Region
 from ..devices.frames import FrameAddress
@@ -25,6 +27,7 @@ __all__ = [
     "RelocationError",
     "compatible_regions",
     "find_compatible_regions",
+    "find_compatible_regions_naive",
     "relocate_bitstream",
 ]
 
@@ -51,9 +54,66 @@ def compatible_regions(device: Device, source: Region, target: Region) -> bool:
 
 
 def find_compatible_regions(
-    device: Device, source: Region, *, include_source: bool = False
+    device: Device,
+    source: Region,
+    *,
+    include_source: bool = False,
+    exclude: Sequence[Region] = (),
 ) -> list[Region]:
-    """All regions of *device* a *source* bitstream could relocate to."""
+    """All regions of *device* a *source* bitstream could relocate to.
+
+    ``exclude`` is a blacklist of fabric regions (occupied PRRs, columns
+    a fabric runtime retired after permanent faults): any candidate
+    overlapping one is skipped.
+
+    Candidate columns come from the device's
+    :class:`~repro.devices.window_index.ColumnWindowIndex` — the same
+    window semantics every placement query uses (column-count multiset
+    match with no IOB/CLK column), amortized O(1) per query — then the
+    exact column-kind *sequence* check relocation physically requires.
+    :func:`find_compatible_regions_naive` keeps the original full scan;
+    a differential test pins the two to identical results.
+    """
+    if not device.is_valid_prr(source):
+        return []
+    source_kinds = device.region_column_kinds(source)
+    counts = device.region_column_counts(source)
+    exclusions = tuple(exclude)
+    targets = []
+    # feasible_starts prunes to count-matching, blocked-free windows;
+    # compatibility additionally needs the exact kind sequence.
+    start_cols = [
+        col
+        for col in device.feasible_window_starts(counts)
+        if device.columns[col - 1 : col - 1 + source.width] == source_kinds
+    ]
+    for row in range(1, device.rows - source.height + 2):
+        for col in start_cols:
+            candidate = Region(
+                row=row, col=col, height=source.height, width=source.width
+            )
+            if candidate == source and not include_source:
+                continue
+            if any(candidate.overlaps(banned) for banned in exclusions):
+                continue
+            targets.append(candidate)
+    return targets
+
+
+def find_compatible_regions_naive(
+    device: Device,
+    source: Region,
+    *,
+    include_source: bool = False,
+    exclude: Sequence[Region] = (),
+) -> list[Region]:
+    """Reference implementation of :func:`find_compatible_regions`.
+
+    Scans every (row, col) offset and re-checks compatibility from
+    scratch.  Behaviorally identical to the indexed path (asserted by
+    the differential test); kept as the baseline.
+    """
+    exclusions = tuple(exclude)
     targets = []
     for row in range(1, device.rows - source.height + 2):
         for col in range(1, device.num_columns - source.width + 2):
@@ -61,6 +121,8 @@ def find_compatible_regions(
                 row=row, col=col, height=source.height, width=source.width
             )
             if candidate == source and not include_source:
+                continue
+            if any(candidate.overlaps(banned) for banned in exclusions):
                 continue
             if compatible_regions(device, source, candidate):
                 targets.append(candidate)

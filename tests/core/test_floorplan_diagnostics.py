@@ -1,0 +1,79 @@
+"""FloorplanError diagnostics: unplaceable demand, best partial, counts."""
+
+import pytest
+
+from repro.core import PRMRequirements
+from repro.core.floorplanner import FloorplanError, floorplan
+from repro.devices import Region, synthetic_device
+
+ROW = synthetic_device(rows=1, clb_runs=(8,), name="diagrow")
+
+
+def clb_demand(name: str, columns: int) -> PRMRequirements:
+    cells = columns * ROW.family.clb_per_col * ROW.family.luts_per_clb
+    return PRMRequirements(name, cells, cells, cells)
+
+
+def overfull_error() -> FloorplanError:
+    # 5 + 5 CLB columns on an 8-column row: any order places the first
+    # demand and fails the second.
+    with pytest.raises(FloorplanError) as excinfo:
+        floorplan(ROW, [[clb_demand("alpha", 5)], [clb_demand("beta", 5)]])
+    return excinfo.value
+
+
+class TestDiagnostics:
+    def test_unplaceable_demand_is_named(self):
+        error = overfull_error()
+        assert error.unplaceable in ("alpha", "beta")
+        assert error.details["unplaceable"] == error.unplaceable
+
+    def test_best_partial_carries_placements(self):
+        error = overfull_error()
+        assert len(error.best_partial) == 1
+        name, prr = error.best_partial[0]
+        assert name in ("alpha", "beta")
+        assert prr.region.width == 5
+        assert error.details["placed"] == 1
+
+    def test_candidate_counts_cover_every_demand(self):
+        error = overfull_error()
+        assert set(error.candidate_counts) == {"alpha", "beta"}
+        # Each 5-wide demand fits at 4 start columns of the 8-column run.
+        assert error.candidate_counts["alpha"] == 4
+        assert error.candidate_counts["beta"] == 4
+
+    def test_lone_infeasible_demand_counts_zero(self):
+        with pytest.raises(FloorplanError) as excinfo:
+            floorplan(ROW, [[clb_demand("huge", 9)]])
+        error = excinfo.value
+        assert error.unplaceable == "huge"
+        assert error.candidate_counts["huge"] == 0
+        assert error.best_partial == ()
+
+    def test_render_diagnostics_mentions_all_sections(self):
+        report = overfull_error().render_diagnostics()
+        assert "first unplaceable demand:" in report
+        assert "best partial placement (1):" in report
+        assert "per-demand candidate placements:" in report
+        assert "alpha=4" in report and "beta=4" in report
+
+    def test_render_diagnostics_without_partial(self):
+        with pytest.raises(FloorplanError) as excinfo:
+            floorplan(ROW, [[clb_demand("huge", 9)]])
+        report = excinfo.value.render_diagnostics()
+        assert "best partial placement: none" in report
+
+
+class TestForbiddenRegions:
+    def test_forbidden_region_blocks_placement(self):
+        demand = [[clb_demand("solo", 8)]]
+        assert floorplan(ROW, demand).prrs[0].region.width == 8
+        blocked = Region(row=1, col=5, height=1, width=1)
+        with pytest.raises(FloorplanError):
+            floorplan(ROW, demand, forbidden=(blocked,))
+
+    def test_placement_avoids_forbidden_region(self):
+        blocked = Region(row=1, col=2, height=1, width=2)
+        plan = floorplan(ROW, [[clb_demand("solo", 4)]], forbidden=(blocked,))
+        assert not plan.prrs[0].region.overlaps(blocked)

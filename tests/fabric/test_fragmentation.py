@@ -1,0 +1,71 @@
+"""Free-space accounting: grids, largest rectangle, fragmentation index."""
+
+from repro.devices import XC5VLX110T, Region, synthetic_device
+from repro.fabric import (
+    fragmentation_index,
+    free_cell_grid,
+    largest_free_rectangle,
+    total_free_cells,
+)
+
+# 10 contiguous CLB columns, IOB-bounded with a central CLK column.
+STRIP = synthetic_device(rows=2, clb_runs=(5, 5), name="strip")
+
+
+class TestFreeCellGrid:
+    def test_empty_fabric_frees_reconfigurable_cells_only(self):
+        grid = free_cell_grid(STRIP, [])
+        free = total_free_cells(grid)
+        reconfigurable = sum(
+            1 for kind in STRIP.columns if kind.reconfigurable
+        ) * STRIP.rows
+        assert free == reconfigurable
+        # IOB/CLK columns are never free.
+        for row in grid:
+            assert not row[0] and not row[-1]
+
+    def test_occupied_region_is_removed(self):
+        region = Region(row=1, col=2, height=1, width=3)
+        grid = free_cell_grid(STRIP, [region])
+        baseline = total_free_cells(free_cell_grid(STRIP, []))
+        assert total_free_cells(grid) == baseline - region.height * region.width
+        assert not grid[0][1] and not grid[0][3]
+        assert grid[1][1]  # row 2 untouched
+
+    def test_retired_column_is_removed_full_height(self):
+        grid = free_cell_grid(STRIP, [], retired_columns=[3])
+        for row in grid:
+            assert not row[2]
+        baseline = total_free_cells(free_cell_grid(STRIP, []))
+        assert total_free_cells(grid) == baseline - STRIP.rows
+
+
+class TestFragmentationIndex:
+    def test_contiguous_free_space_scores_zero(self):
+        # One CLB run: all free cells form a single rectangle.
+        device = synthetic_device(rows=2, clb_runs=(8,), name="solid")
+        grid = free_cell_grid(device, [])
+        assert largest_free_rectangle(grid) == total_free_cells(grid)
+        assert fragmentation_index(grid) == 0.0
+
+    def test_middle_placement_raises_index(self):
+        device = synthetic_device(rows=1, clb_runs=(9,), name="row")
+        empty = fragmentation_index(free_cell_grid(device, []))
+        split = fragmentation_index(
+            free_cell_grid(device, [Region(row=1, col=5, height=1, width=1)])
+        )
+        assert split > empty
+
+    def test_full_fabric_scores_zero(self):
+        device = synthetic_device(rows=1, clb_runs=(3,), name="tiny")
+        region = Region(row=1, col=2, height=1, width=3)
+        grid = free_cell_grid(device, [region])
+        assert total_free_cells(grid) == 0
+        assert fragmentation_index(grid) == 0.0
+
+    def test_catalog_device_index_in_unit_range(self):
+        grid = free_cell_grid(
+            XC5VLX110T, [Region(row=2, col=10, height=2, width=4)]
+        )
+        index = fragmentation_index(grid)
+        assert 0.0 <= index < 1.0

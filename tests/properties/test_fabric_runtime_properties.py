@@ -1,0 +1,120 @@
+"""Property suite for the self-healing fabric runtime.
+
+Random operation sequences (admit / retire / defrag / column fault /
+mid-migration crash) against a randomized device must preserve the
+runtime's safety invariants at every step:
+
+* no two live placements overlap;
+* no placement ever touches a blacklisted (retired) column;
+* the module set is exactly what the operation history implies — a
+  module only disappears through an explicit retire or a capacity
+  eviction the runtime reported, never through a crashed migration.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PRMRequirements
+from repro.devices import synthetic_device
+from repro.fabric import AdmissionError, FabricConfig, FabricRuntime
+from repro.faults import FaultInjector
+
+DEVICES = [
+    synthetic_device(rows=1, clb_runs=(10,), name="prop-row"),
+    synthetic_device(rows=2, clb_runs=(4, 4), name="prop-split"),
+    synthetic_device(rows=3, clb_runs=(6,), dsp_positions=(), name="prop-tall"),
+]
+
+
+def clb_demand(device, name: str, columns: int) -> PRMRequirements:
+    cells = columns * device.family.clb_per_col * device.family.luts_per_clb
+    return PRMRequirements(name, cells, cells, cells)
+
+
+@st.composite
+def op_sequences(draw):
+    """A random runtime workload: list of (op, payload) tuples."""
+    ops = []
+    n = draw(st.integers(1, 14))
+    for index in range(n):
+        kind = draw(
+            st.sampled_from(
+                ["admit", "retire", "defrag", "fault", "crash_migration"]
+            )
+        )
+        if kind == "admit":
+            ops.append((kind, (f"m{index}", draw(st.integers(1, 4)))))
+        elif kind == "retire":
+            ops.append((kind, draw(st.integers(0, n - 1))))
+        elif kind == "fault":
+            ops.append((kind, draw(st.integers(1, 16))))
+        elif kind == "crash_migration":
+            ops.append(
+                (kind, draw(st.sampled_from(["copy", "verify", "activate", "free"])))
+            )
+        else:
+            ops.append((kind, None))
+    return ops
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    device_index=st.integers(0, len(DEVICES) - 1),
+    ops=op_sequences(),
+    seed=st.integers(0, 2**16),
+    crc=st.booleans(),
+)
+def test_random_op_sequences_preserve_invariants(device_index, ops, seed, crc):
+    device = DEVICES[device_index]
+    runtime = FabricRuntime(
+        device,
+        config=FabricConfig(verify="crc" if crc else "model"),
+        injector=FaultInjector.from_rates(seed=seed, fault_rate=0.2),
+    )
+    expected = set()
+    now = 0.0
+    for op, payload in ops:
+        now += 1e-3
+        if op == "admit":
+            name, columns = payload
+            if name in expected:
+                continue
+            try:
+                runtime.admit(name, clb_demand(device, name, columns), now=now)
+                expected.add(name)
+            except AdmissionError:
+                pass
+        elif op == "retire":
+            live = sorted(expected)
+            if live:
+                name = live[payload % len(live)]
+                runtime.retire(name, now=now)
+                expected.discard(name)
+        elif op == "defrag":
+            runtime.defrag(now=now)
+        elif op == "fault":
+            col = 1 + (payload % device.num_columns)
+            if device.columns[col - 1].reconfigurable:
+                evicted = runtime.retire_column(col, now=now)
+                expected.difference_update(evicted)
+        elif op == "crash_migration":
+            phase = payload
+
+            def crash(p, step, _phase=phase):
+                if p == _phase:
+                    raise RuntimeError("injected crash")
+
+            runtime.crash_hook = crash
+            try:
+                runtime.defrag(now=now)
+            except RuntimeError:
+                runtime.recover(now=now)
+            finally:
+                runtime.crash_hook = None
+
+        # Invariants hold after *every* operation.
+        assert runtime.module_names() == frozenset(expected)
+        runtime.check_invariants()
+        for module_name in sorted(expected):
+            region = runtime.get(module_name).region
+            assert not set(region.col_span) & runtime.retired_columns

@@ -132,6 +132,31 @@ class TestExtensionCommands:
         out = capsys.readouterr().out
         assert "0=fir" in out and "static frag" in out
 
+    def test_fabric_soak(self, capsys):
+        assert main(["fabric", "--horizon", "0.2", "--show-events", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "defrag on" in out
+        assert "fabric: admission_failures=" in out
+        assert "migrations=" in out
+
+    def test_fabric_permanent_faults_deterministic(self, capsys):
+        argv = ["fabric", "--horizon", "0.2", "--permanent-rate", "10",
+                "--seed", "5"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "columns_retired=" in first
+        assert "permanent=" in first  # fault summary line
+
+    def test_fabric_no_defrag_renders(self, capsys):
+        assert main(["fabric", "--horizon", "0.1", "--no-defrag",
+                     "--render"]) == 0
+        out = capsys.readouterr().out
+        assert "defrag off" in out
+        assert "defrag_passes=0" in out
+
     def test_relocate(self, capsys):
         assert main(["relocate", "mips", "--device", "xc5vlx110t"]) == 0
         out = capsys.readouterr().out
